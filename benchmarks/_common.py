@@ -1,0 +1,63 @@
+"""Shared helpers for the experiment benchmarks (E1–E12).
+
+Each ``bench_eN_*.py`` file both
+
+- runs under ``pytest benchmarks/ --benchmark-only`` (the experiment body is
+  timed once via ``benchmark.pedantic``), and
+- runs standalone (``python benchmarks/bench_e1_....py``) printing the
+  experiment's table.
+
+Tables are also appended to ``benchmarks/results/`` so EXPERIMENTS.md can be
+refreshed from actual runs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Any, Dict, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Plain-text aligned table."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in rendered_rows), 1)
+        if rendered_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def emit(name: str, table: str) -> None:
+    """Print the table and persist it under benchmarks/results/."""
+    print("\n" + table + "\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(table + "\n")
+
+
+def human_bytes(count: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(count) < 1024:
+            return f"{count:.1f}{unit}"
+        count /= 1024
+    return f"{count:.1f}TB"

@@ -1,0 +1,94 @@
+"""E4 — Parallel speedup of the transformed architecture (Figure 1, §III).
+
+Claim: by making each node's off-chain control code feed *different* local
+data to the same on-chain contract, the blockchain becomes a distributed
+parallel computer: S sites process their shards simultaneously, so the
+makespan of a decomposable analytic approaches 1/S of the single-site time,
+bounded below by chain coordination latency.
+
+Workload: a fixed corpus of patient records is split over 1/2/4/8 sites;
+every site runs the ``local_train`` analytic on its shard (with a simulated
+compute rate so analytics take simulated time).  Reported: makespan,
+speedup vs one site, parallel efficiency, and the coordination floor.
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit, format_table
+
+from repro.common.signatures import KeyPair
+from repro.core.platform import MedicalBlockchainNetwork, PlatformConfig
+from repro.core.queryservice import GlobalQueryService
+from repro.datamgmt.cohort import CohortGenerator, default_site_profiles
+from repro.query.vector import QueryVector
+
+TOTAL_RECORDS = 480
+SITE_COUNTS = (1, 2, 4, 8)
+COMPUTE_RATE = 2e5  # flops/second per site server
+
+
+def run_split(site_count: int, seed: int = 21):
+    generator = CohortGenerator(seed=99)
+    profile = default_site_profiles(1)[0]
+    corpus = generator.generate_cohort(profile, TOTAL_RECORDS)
+    platform = MedicalBlockchainNetwork(
+        PlatformConfig(
+            site_count=site_count, consensus="poa", include_fda=False, seed=seed
+        )
+    )
+    shard_size = TOTAL_RECORDS // site_count
+    for index, site in enumerate(platform.site_names):
+        shard = corpus[index * shard_size : (index + 1) * shard_size]
+        platform.register_dataset(site, f"shard-{index}", shard)
+        platform.sites[site].control.compute_rate_flops = COMPUTE_RATE
+    researcher = KeyPair.generate("e4-researcher")
+    for index, site in enumerate(platform.site_names):
+        platform.grant_access(site, f"shard-{index}", researcher.address, "research")
+    service = GlobalQueryService(platform, researcher)
+    vector = QueryVector(intent="train", outcome="stroke", rounds=1)
+    answer = service.execute(vector)
+    return {
+        "sites": site_count,
+        "makespan_s": answer.latency_s,
+        "records_per_site": shard_size,
+    }
+
+
+def run_experiment():
+    rows = [run_split(count) for count in SITE_COUNTS]
+    base = rows[0]["makespan_s"]
+    for row in rows:
+        row["speedup"] = base / row["makespan_s"]
+        row["efficiency"] = row["speedup"] / row["sites"]
+    return rows
+
+
+def report(rows):
+    table = format_table(
+        f"E4: parallel speedup, {TOTAL_RECORDS} records split across sites",
+        ["sites", "records/site", "makespan (sim s)", "speedup", "efficiency"],
+        [
+            [r["sites"], r["records_per_site"], r["makespan_s"], r["speedup"],
+             r["efficiency"]]
+            for r in rows
+        ],
+    )
+    emit("e4_parallel_speedup", table)
+    return rows
+
+
+def test_e4_parallel_speedup(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(rows)
+    # Speedup grows with sites...
+    assert rows[-1]["speedup"] > rows[1]["speedup"] > 1.2
+    # ...and 4 sites give at least 2x.
+    four = next(r for r in rows if r["sites"] == 4)
+    assert four["speedup"] > 2.0
+
+
+if __name__ == "__main__":
+    report(run_experiment())

@@ -1,0 +1,117 @@
+"""E7 — Integrity auditing of anchored data and trial reports (§III.B).
+
+Claims: (a) Irving & Holden — hash-anchoring raw data on chain makes any
+post-hoc modification detectable by any peer at low cost; (b) COMPare —
+only 9 of 67 monitored trials reported pre-registered outcomes correctly,
+and on-chain registration makes outcome switching mechanically detectable.
+
+Workload: 60 synthetic trials; a controlled fraction have their raw data
+falsified after anchoring and/or their outcomes switched at publication.
+Reported: detection rate per tamper class, false-positive rate on clean
+trials, and per-trial audit cost (timed by the benchmark harness).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit, format_table
+
+from repro.datamgmt.cohort import CohortGenerator, default_site_profiles
+from repro.offchain.anchoring import DatasetAnchor
+from repro.trial.auditor import PublishedReport, TrialAuditor
+
+TRIALS = 60
+TAMPER_FRACTION = 0.4   # fraction with falsified raw data (China report: ~0.8)
+SWITCH_FRACTION = 0.55  # fraction with outcome switching (COMPare: 58/67)
+
+
+def build_trials(seed: int = 8):
+    generator = CohortGenerator(seed=seed)
+    profile = default_site_profiles(1)[0]
+    rng = np.random.default_rng(seed)
+    registrations = {}
+    anchors = {}
+    reports = []
+    truth = {"tampered": set(), "switched": set()}
+    for index in range(TRIALS):
+        trial_id = f"T{index:03d}"
+        outcomes = ["stroke"] if index % 2 == 0 else ["stroke", "mortality"]
+        registrations[trial_id] = outcomes
+        raw = generator.generate_cohort(profile, 20)
+        anchors[trial_id] = DatasetAnchor.build(raw).root_hex
+        published_raw = [dict(record) for record in raw]
+        claimed = list(outcomes)
+        if rng.random() < TAMPER_FRACTION:
+            victim = int(rng.integers(0, len(published_raw)))
+            published_raw[victim] = dict(published_raw[victim])
+            flipped = dict(published_raw[victim]["outcomes"])
+            flipped["stroke"] = 1 - flipped["stroke"]
+            published_raw[victim]["outcomes"] = flipped
+            truth["tampered"].add(trial_id)
+        if rng.random() < SWITCH_FRACTION:
+            claimed = [outcomes[0] + "_surrogate"] + claimed[1:]
+            truth["switched"].add(trial_id)
+        reports.append(
+            PublishedReport(trial_id, claimed_outcomes=claimed, raw_records=published_raw)
+        )
+    return registrations, anchors, reports, truth
+
+
+def run_experiment():
+    registrations, anchors, reports, truth = build_trials()
+    auditor = TrialAuditor()
+    summary = auditor.audit_many(registrations, reports, anchors)
+    findings = {finding.trial_id: finding for finding in summary["findings"]}
+    tamper_detected = sum(
+        1 for trial_id in truth["tampered"] if not findings[trial_id].data_intact
+    )
+    switch_detected = sum(
+        1 for trial_id in truth["switched"] if not findings[trial_id].reported_correctly
+    )
+    clean_trials = [
+        trial_id
+        for trial_id in registrations
+        if trial_id not in truth["tampered"] and trial_id not in truth["switched"]
+    ]
+    false_positives = sum(
+        1 for trial_id in clean_trials if not findings[trial_id].clean
+    )
+    return {
+        "trials": TRIALS,
+        "tampered": len(truth["tampered"]),
+        "tamper_detected": tamper_detected,
+        "switched": len(truth["switched"]),
+        "switch_detected": switch_detected,
+        "clean": len(clean_trials),
+        "false_positives": false_positives,
+        "reported_correctly": summary["reported_correctly"],
+    }
+
+
+def report(row):
+    table = format_table(
+        "E7: audit of 60 published trials against on-chain commitments",
+        ["trials", "data-tampered", "tamper detected", "outcome-switched",
+         "switch detected", "clean trials", "false positives"],
+        [[row["trials"], row["tampered"], row["tamper_detected"],
+          row["switched"], row["switch_detected"], row["clean"],
+          row["false_positives"]]],
+    )
+    emit("e7_integrity_audit", table)
+    return row
+
+
+def test_e7_integrity_audit(benchmark):
+    row = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(row)
+    assert row["tamper_detected"] == row["tampered"]     # 100% detection
+    assert row["switch_detected"] == row["switched"]     # 100% detection
+    assert row["false_positives"] == 0                   # no false alarms
+
+
+if __name__ == "__main__":
+    report(run_experiment())

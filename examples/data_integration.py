@@ -1,0 +1,93 @@
+"""Heterogeneous EMR integration and record linkage (Figure 3, §III.A).
+
+Four hospitals keep their records in four different legacy formats; some
+patients visited two hospitals and left scattered records.  This example:
+
+1. stores each cohort in its site's native format (hl7v2 / FHIR-JSON /
+   flat legacy CSV / canonical);
+2. reads everything back through the schema mappers into the canonical
+   form (the paper's "common data format");
+3. builds the *virtual cohort* — one logical dataset, nothing copied —
+   and answers population statistics from mergeable per-site summaries;
+4. re-links multi-hospital patients, with and without national ids.
+
+Run:  python examples/data_integration.py
+"""
+
+import numpy as np
+
+from repro.datamgmt.cohort import (
+    CohortGenerator,
+    default_site_profiles,
+    shared_patients,
+)
+from repro.datamgmt.linkage import RecordLinker, evaluate_linkage
+from repro.datamgmt.schema import is_canonical
+from repro.datamgmt.store import HospitalDataStore
+from repro.datamgmt.virtual import DatasetRef, VirtualCohort
+
+FORMATS = ("hl7v2", "fhirjson", "legacycsv", "canonical")
+RECORDS_PER_SITE = 200
+
+
+def main() -> None:
+    generator = CohortGenerator(seed=14)
+    profiles = default_site_profiles(4)
+    cohorts = generator.generate_multi_site(profiles, RECORDS_PER_SITE)
+
+    print("storing each hospital's cohort in its native legacy format:")
+    stores = {}
+    virtual = VirtualCohort(lambda site: stores[site])
+    for index, (site, records) in enumerate(sorted(cohorts.items())):
+        store = HospitalDataStore(site)
+        store.add_canonical(f"emr-{site}", records, fmt=FORMATS[index])
+        stores[site] = store
+        virtual.add_ref(DatasetRef(site, f"emr-{site}", len(records)))
+        sample = store.get_raw(f"emr-{site}")[0]
+        keys = list(sample)[:5]
+        print(f"  {site}: {FORMATS[index]:9s}  raw keys look like {keys}")
+
+    print("\nreading back through the schema mappers (canonical view):")
+    ok = 0
+    total = 0
+    for site in stores:
+        for record in stores[site].get_records(f"emr-{site}"):
+            total += 1
+            ok += is_canonical(record)
+    print(f"  {ok}/{total} records validate against the canonical schema")
+
+    print("\nvirtual cohort (no data copied):")
+    print(f"  total records: {virtual.total_records} across {len(virtual.sites)} sites "
+          f"(largest silo: {RECORDS_PER_SITE})")
+    sbp = virtual.numeric_summary("vitals.sbp")
+    print(f"  mean SBP {sbp.mean:.1f} mmHg over n={sbp.count} "
+          f"(composed from per-site summaries)")
+    for outcome in ("stroke", "diabetes", "cancer"):
+        print(f"  {outcome} prevalence: {virtual.prevalence(outcome):.3f}")
+
+    print("\nrecord linkage for patients seen at two hospitals:")
+    groups = shared_patients(generator, profiles, 60, sites_per_patient=2)
+    records = []
+    for person, group in enumerate(groups):
+        for record in group:
+            record["_person"] = person
+            records.append(record)
+    result = RecordLinker().link(records)
+    metrics = evaluate_linkage(result)
+    print(f"  with national ids:    precision {metrics['precision']:.3f} "
+          f"recall {metrics['recall']:.3f} "
+          f"({result.deterministic_links} deterministic links)")
+
+    rng = np.random.default_rng(0)
+    for record in records:
+        if rng.random() < 0.7:
+            record["national_id_hash"] = ""
+    result = RecordLinker().link(records)
+    metrics = evaluate_linkage(result)
+    print(f"  70% ids masked:       precision {metrics['precision']:.3f} "
+          f"recall {metrics['recall']:.3f} "
+          f"({result.probabilistic_links} probabilistic links)")
+
+
+if __name__ == "__main__":
+    main()

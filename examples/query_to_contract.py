@@ -1,0 +1,82 @@
+"""From a natural-language question to per-site smart contracts (Figs. 5/6).
+
+Shows the full query path in slow motion:
+
+1. parse the question into a QueryVector (intent, outcome, filters);
+2. decompose it over the on-chain dataset catalog into per-site tasks;
+3. dispatch the tasks as analytics-contract transactions;
+4. watch the monitor-node events and each site's control node execute;
+5. compose the partial results and compare against the pooled ground truth.
+
+Run:  python examples/query_to_contract.py
+"""
+
+from repro.analytics.tools import STANDARD_TOOLS
+from repro.common.signatures import KeyPair
+from repro.core.platform import MedicalBlockchainNetwork, PlatformConfig
+from repro.core.queryservice import GlobalQueryService
+from repro.datamgmt.cohort import CohortGenerator, default_site_profiles
+from repro.query.compose import decompose
+from repro.query.parser import parse_query
+
+QUESTION = "what is the prevalence of stroke among smokers over 60"
+
+
+def main() -> None:
+    generator = CohortGenerator(seed=21)
+    profiles = default_site_profiles(3)
+    cohorts = generator.generate_multi_site(profiles, 180)
+    pooled = [record for records in cohorts.values() for record in records]
+
+    platform = MedicalBlockchainNetwork(
+        PlatformConfig(site_count=3, consensus="poa", include_fda=False, seed=6)
+    )
+    for site in platform.site_names:
+        platform.register_dataset(site, f"emr-{site}", cohorts[site])
+    researcher = KeyPair.generate("query-demo-researcher")
+    for site in platform.site_names:
+        platform.grant_access(site, f"emr-{site}", researcher.address, "research")
+
+    print(f"question: {QUESTION!r}")
+    vector = parse_query(QUESTION)
+    print("\n1. parsed query vector:")
+    print(f"   intent={vector.intent} outcome={vector.outcome} "
+          f"filters={vector.filters}")
+    print(f"   query id (content-addressed): {vector.query_id}")
+
+    print("\n2. decomposition over the on-chain catalog:")
+    catalog = platform.catalog()
+    for task in decompose(vector, catalog):
+        print(f"   {task.site}: tool={task.tool_id} datasets={task.dataset_ids}")
+
+    print("\n3. dispatch + execution (the simulation runs the whole dance):")
+    service = GlobalQueryService(platform, researcher)
+    answer = service.execute(vector)
+    platform.run(10)  # let the post_result transactions commit
+    monitor = platform.sites["hospital-0"].monitor
+    requested = monitor.events_named("TaskRequested")
+    completed = monitor.events_named("TaskCompleted")
+    print(f"   TaskRequested events seen on chain: {len(requested)}")
+    print(f"   TaskCompleted events (result hashes anchored): {len(completed)}")
+
+    print("\n4. per-site partial results:")
+    for site, partial in sorted(answer.site_partials.items()):
+        print(f"   {site}: {partial}")
+
+    print("\n5. composed answer vs pooled ground truth:")
+    tool = next(t for t in STANDARD_TOOLS if t.tool_id == vector.tool_id())
+    reference = tool.fn(pooled, vector.tool_params())
+    print(f"   composed: {answer.result}")
+    print(f"   pooled:   positives={reference['positives']} n={reference['n']}")
+    match = (
+        answer.result["positives"] == reference["positives"]
+        and answer.result["n"] == reference["n"]
+    )
+    print(f"   exact match: {match}")
+    print(f"\n   latency {answer.latency_s:.2f} simulated s, "
+          f"{answer.bytes_on_wire} bytes moved (vs ~{len(pooled) * 900} bytes "
+          f"if the records had been copied)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""medchain: blockchain as a distributed parallel computing architecture
+for precision medicine.
+
+Reproduction of Shae & Tsai, "Transform Blockchain into Distributed Parallel
+Computing Architecture for Precision Medicine", ICDCS 2018.
+
+Public entry points live in :mod:`repro.core`; the substrates (chain,
+consensus, contracts, simulation, data management, sharing, analytics,
+learning, query, trial) are importable subpackages.
+"""
+
+__version__ = "1.0.0"

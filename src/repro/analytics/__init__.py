@@ -1,0 +1,69 @@
+"""Analytics substrate: features, models, stats, clustering, pipelines, tools."""
+
+from repro.analytics.clustering import KMeansResult, kmeans
+from repro.analytics.features import (
+    FEATURE_DIM,
+    FEATURE_NAMES,
+    dataset_for,
+    featurize,
+    labels_for,
+    multitask_dataset_for,
+)
+from repro.analytics.models import (
+    LogisticModel,
+    MLPModel,
+    MultiTaskMLP,
+    SupervisedModel,
+    accuracy,
+    auc_score,
+    average_params,
+    log_loss,
+    params_size_bytes,
+    sigmoid,
+)
+from repro.analytics.pipeline import AnalyticsPipeline, PipelineStep, StepOutcome
+from repro.analytics.stats import (
+    KaplanMeier,
+    TestResult,
+    chi_square_2x2,
+    describe,
+    log_rank_test,
+    normal_sf,
+    two_proportion_test,
+    welch_t_test,
+)
+from repro.analytics.tools import STANDARD_TOOLS, standard_registry
+
+__all__ = [
+    "AnalyticsPipeline",
+    "FEATURE_DIM",
+    "FEATURE_NAMES",
+    "KMeansResult",
+    "KaplanMeier",
+    "LogisticModel",
+    "MLPModel",
+    "MultiTaskMLP",
+    "PipelineStep",
+    "STANDARD_TOOLS",
+    "StepOutcome",
+    "SupervisedModel",
+    "TestResult",
+    "accuracy",
+    "auc_score",
+    "average_params",
+    "chi_square_2x2",
+    "dataset_for",
+    "describe",
+    "featurize",
+    "kmeans",
+    "labels_for",
+    "log_loss",
+    "log_rank_test",
+    "multitask_dataset_for",
+    "normal_sf",
+    "params_size_bytes",
+    "sigmoid",
+    "standard_registry",
+    "two_proportion_test",
+    "welch_t_test",
+]

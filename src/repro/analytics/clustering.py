@@ -1,0 +1,79 @@
+"""K-means clustering for patient subtyping.
+
+Precision medicine stratifies patients into subgroups before choosing
+treatments; plain Lloyd's algorithm over the standardized feature matrix is
+enough to exercise that path (used by the subtype-discovery example and the
+query engine's ``cluster`` analytic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import LearningError
+
+
+@dataclass
+class KMeansResult:
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+
+    @property
+    def cluster_sizes(self) -> List[int]:
+        return [int(np.sum(self.labels == k)) for k in range(len(self.centroids))]
+
+
+def kmeans(
+    X: np.ndarray,
+    k: int,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+    seed: int = 0,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ style seeding."""
+    if len(X) < k:
+        raise LearningError(f"need at least {k} points for {k} clusters")
+    rng = np.random.default_rng(seed)
+    centroids = _init_plus_plus(X, k, rng)
+    labels = np.zeros(len(X), dtype=int)
+    inertia = float("inf")
+    iteration = 0
+    for iteration in range(1, max_iter + 1):
+        distances = ((X[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        labels = distances.argmin(axis=1)
+        new_inertia = float(distances[np.arange(len(X)), labels].sum())
+        new_centroids = centroids.copy()
+        for cluster in range(k):
+            members = X[labels == cluster]
+            if len(members):
+                new_centroids[cluster] = members.mean(axis=0)
+        shift = float(np.abs(new_centroids - centroids).max())
+        centroids = new_centroids
+        if abs(inertia - new_inertia) < tol and shift < tol:
+            inertia = new_inertia
+            break
+        inertia = new_inertia
+    return KMeansResult(
+        centroids=centroids, labels=labels, inertia=inertia, iterations=iteration
+    )
+
+
+def _init_plus_plus(X: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by squared distance."""
+    centroids = [X[rng.integers(0, len(X))]]
+    for __ in range(1, k):
+        distances = np.min(
+            [((X - c) ** 2).sum(axis=1) for c in centroids], axis=0
+        )
+        total = distances.sum()
+        if total == 0:
+            centroids.append(X[rng.integers(0, len(X))])
+            continue
+        probabilities = distances / total
+        centroids.append(X[rng.choice(len(X), p=probabilities)])
+    return np.array(centroids)

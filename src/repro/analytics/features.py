@@ -1,0 +1,92 @@
+"""Feature extraction from canonical records to model matrices.
+
+Standardization uses *fixed reference constants* (population-scale priors)
+rather than dataset statistics, so every site featurizes identically without
+exchanging any data — a prerequisite for federated training over non-IID
+sites (section III.C).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import LearningError
+from repro.datamgmt.schema import VARIANT_PANEL
+
+#: (name, extractor-path description, reference mean, reference scale)
+FEATURE_SPECS: Tuple[Tuple[str, float, float], ...] = (
+    ("age", 58.0, 15.0),
+    ("sex_male", 0.48, 0.5),
+    ("sbp", 128.0, 18.0),
+    ("dbp", 80.0, 11.0),
+    ("bmi", 26.0, 4.5),
+    ("heart_rate", 72.0, 10.0),
+    ("glucose", 104.0, 22.0),
+    ("ldl", 118.0, 30.0),
+    ("hdl", 52.0, 13.0),
+    ("hba1c", 5.7, 0.9),
+    ("smoker", 0.25, 0.43),
+    ("alcohol_units_week", 4.0, 3.0),
+    ("exercise_hours_week", 2.4, 1.7),
+) + tuple((rsid, 0.6, 0.6) for rsid in VARIANT_PANEL)
+
+FEATURE_NAMES: Tuple[str, ...] = tuple(name for name, __, ___ in FEATURE_SPECS)
+FEATURE_DIM = len(FEATURE_SPECS)
+
+_CURRENT_YEAR = 2018
+
+
+def _raw_feature(record: Dict[str, Any], name: str) -> float:
+    if name == "age":
+        return float(_CURRENT_YEAR - record["birth_year"])
+    if name == "sex_male":
+        return 1.0 if record["sex"] == "M" else 0.0
+    if name in ("sbp", "dbp", "bmi", "heart_rate"):
+        return float(record["vitals"][name])
+    if name in ("glucose", "ldl", "hdl", "hba1c"):
+        return float(record["labs"][name])
+    if name in ("smoker", "alcohol_units_week", "exercise_hours_week"):
+        return float(record["lifestyle"][name])
+    if name in VARIANT_PANEL:
+        return float(record["genomics"].get(name, 0))
+    raise LearningError(f"unknown feature {name!r}")
+
+
+def featurize(records: Sequence[Dict[str, Any]]) -> np.ndarray:
+    """Standardized (n, FEATURE_DIM) design matrix."""
+    if not records:
+        return np.zeros((0, FEATURE_DIM))
+    rows = np.empty((len(records), FEATURE_DIM), dtype=np.float64)
+    for i, record in enumerate(records):
+        for j, (name, mean, scale) in enumerate(FEATURE_SPECS):
+            rows[i, j] = (_raw_feature(record, name) - mean) / scale
+    return rows
+
+
+def labels_for(records: Sequence[Dict[str, Any]], outcome: str) -> np.ndarray:
+    """Binary label vector for an outcome name."""
+    try:
+        return np.array(
+            [float(record["outcomes"][outcome]) for record in records],
+            dtype=np.float64,
+        )
+    except KeyError as exc:
+        raise LearningError(f"records lack outcome {outcome!r}") from exc
+
+
+def dataset_for(
+    records: Sequence[Dict[str, Any]], outcome: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(X, y) pair for supervised training."""
+    return featurize(records), labels_for(records, outcome)
+
+
+def multitask_dataset_for(
+    records: Sequence[Dict[str, Any]], outcomes: Sequence[str]
+) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    """(X, {outcome: y}) for multi-task core-model pretraining."""
+    return featurize(records), {
+        outcome: labels_for(records, outcome) for outcome in outcomes
+    }

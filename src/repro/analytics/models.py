@@ -1,0 +1,448 @@
+"""NumPy learning models with federated-ready parameter access.
+
+Stand-ins for the paper's TensorFlow/Torch/Caffe/Keras analytics stack
+(see DESIGN.md substitutions): a logistic-regression classifier and a
+one-hidden-layer MLP, both trained with mini-batch SGD, both exposing
+``get_params`` / ``set_params`` as flat structures so FedAvg can average
+them, and both counting FLOPs for the energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import LearningError
+
+Params = List[np.ndarray]
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically-stable logistic function."""
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+def log_loss(y_true: np.ndarray, y_prob: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean binary cross-entropy."""
+    p = np.clip(y_prob, eps, 1 - eps)
+    return float(-np.mean(y_true * np.log(p) + (1 - y_true) * np.log(1 - p)))
+
+
+def accuracy(y_true: np.ndarray, y_prob: np.ndarray) -> float:
+    """Fraction correct at the 0.5 threshold."""
+    if len(y_true) == 0:
+        return 0.0
+    return float(np.mean((y_prob >= 0.5).astype(float) == y_true))
+
+
+def auc_score(y_true: np.ndarray, y_prob: np.ndarray) -> float:
+    """Rank-based AUROC (Mann–Whitney), with tie correction."""
+    y_true = np.asarray(y_true, dtype=float)
+    positives = int(np.sum(y_true == 1))
+    negatives = int(np.sum(y_true == 0))
+    if positives == 0 or negatives == 0:
+        return 0.5
+    order = np.argsort(y_prob, kind="mergesort")
+    ranks = np.empty(len(y_prob), dtype=float)
+    sorted_probs = np.asarray(y_prob)[order]
+    i = 0
+    position = 1
+    while i < len(sorted_probs):
+        j = i
+        while j + 1 < len(sorted_probs) and sorted_probs[j + 1] == sorted_probs[i]:
+            j += 1
+        average_rank = (position + position + (j - i)) / 2.0
+        ranks[order[i : j + 1]] = average_rank
+        position += j - i + 1
+        i = j + 1
+    rank_sum = float(np.sum(ranks[y_true == 1]))
+    u_statistic = rank_sum - positives * (positives + 1) / 2.0
+    return u_statistic / (positives * negatives)
+
+
+class SupervisedModel:
+    """Interface shared by federated-trainable classifiers."""
+
+    flops: float = 0.0
+
+    def get_params(self) -> Params:
+        raise NotImplementedError
+
+    def set_params(self, params: Params) -> None:
+        raise NotImplementedError
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def train_epochs(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 1,
+        lr: float = 0.1,
+        batch_size: int = 32,
+        seed: int = 0,
+        l2: float = 0.0,
+    ) -> float:
+        raise NotImplementedError
+
+    def clone(self) -> "SupervisedModel":
+        raise NotImplementedError
+
+    # -- shared evaluation -------------------------------------------------
+    def evaluate(self, X: np.ndarray, y: np.ndarray) -> Dict[str, float]:
+        probs = self.predict_proba(X)
+        return {
+            "loss": log_loss(y, probs),
+            "accuracy": accuracy(y, probs),
+            "auc": auc_score(y, probs),
+            "n": float(len(y)),
+        }
+
+
+class LogisticModel(SupervisedModel):
+    """L2-regularized logistic regression trained by mini-batch SGD."""
+
+    def __init__(self, dim: int, seed: int = 0):
+        self.dim = dim
+        rng = np.random.default_rng(seed)
+        self.weights = rng.normal(0, 0.01, size=dim)
+        self.bias = 0.0
+        self.flops = 0.0
+
+    def get_params(self) -> Params:
+        return [self.weights.copy(), np.array([self.bias])]
+
+    def set_params(self, params: Params) -> None:
+        if len(params) != 2 or params[0].shape != (self.dim,):
+            raise LearningError("parameter shape mismatch for LogisticModel")
+        self.weights = params[0].copy()
+        self.bias = float(params[1][0])
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self.flops += 2.0 * X.size
+        return sigmoid(X @ self.weights + self.bias)
+
+    def train_epochs(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 1,
+        lr: float = 0.1,
+        batch_size: int = 32,
+        seed: int = 0,
+        l2: float = 1e-4,
+    ) -> float:
+        if len(X) == 0:
+            return 0.0
+        rng = np.random.default_rng(seed)
+        n = len(X)
+        for __ in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch_size):
+                batch = order[start : start + batch_size]
+                xb, yb = X[batch], y[batch]
+                probs = sigmoid(xb @ self.weights + self.bias)
+                error = probs - yb
+                grad_w = xb.T @ error / len(batch) + l2 * self.weights
+                grad_b = float(np.mean(error))
+                self.weights -= lr * grad_w
+                self.bias -= lr * grad_b
+                self.flops += 4.0 * xb.size
+        return log_loss(y, self.predict_proba(X))
+
+    def clone(self) -> "LogisticModel":
+        model = LogisticModel(self.dim)
+        model.set_params(self.get_params())
+        return model
+
+
+class MLPModel(SupervisedModel):
+    """One-hidden-layer perceptron (tanh) with sigmoid output."""
+
+    def __init__(self, dim: int, hidden: int = 16, seed: int = 0):
+        self.dim = dim
+        self.hidden = hidden
+        rng = np.random.default_rng(seed)
+        scale1 = 1.0 / np.sqrt(dim)
+        scale2 = 1.0 / np.sqrt(hidden)
+        self.w1 = rng.normal(0, scale1, size=(dim, hidden))
+        self.b1 = np.zeros(hidden)
+        self.w2 = rng.normal(0, scale2, size=hidden)
+        self.b2 = 0.0
+        self.flops = 0.0
+
+    def get_params(self) -> Params:
+        return [self.w1.copy(), self.b1.copy(), self.w2.copy(), np.array([self.b2])]
+
+    def set_params(self, params: Params) -> None:
+        if len(params) != 4 or params[0].shape != (self.dim, self.hidden):
+            raise LearningError("parameter shape mismatch for MLPModel")
+        self.w1 = params[0].copy()
+        self.b1 = params[1].copy()
+        self.w2 = params[2].copy()
+        self.b2 = float(params[3][0])
+
+    def _forward(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        hidden = np.tanh(X @ self.w1 + self.b1)
+        probs = sigmoid(hidden @ self.w2 + self.b2)
+        self.flops += 2.0 * X.shape[0] * self.dim * self.hidden + 2.0 * hidden.size
+        return hidden, probs
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return self._forward(X)[1]
+
+    def train_epochs(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 1,
+        lr: float = 0.1,
+        batch_size: int = 32,
+        seed: int = 0,
+        l2: float = 1e-4,
+    ) -> float:
+        if len(X) == 0:
+            return 0.0
+        rng = np.random.default_rng(seed)
+        n = len(X)
+        for __ in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch_size):
+                batch = order[start : start + batch_size]
+                xb, yb = X[batch], y[batch]
+                hidden, probs = self._forward(xb)
+                delta_out = probs - yb  # dL/dz2
+                grad_w2 = hidden.T @ delta_out / len(batch) + l2 * self.w2
+                grad_b2 = float(np.mean(delta_out))
+                delta_hidden = np.outer(delta_out, self.w2) * (1 - hidden**2)
+                grad_w1 = xb.T @ delta_hidden / len(batch) + l2 * self.w1
+                grad_b1 = delta_hidden.mean(axis=0)
+                self.w2 -= lr * grad_w2
+                self.b2 -= lr * grad_b2
+                self.w1 -= lr * grad_w1
+                self.b1 -= lr * grad_b1
+                self.flops += 6.0 * xb.shape[0] * self.dim * self.hidden
+        return log_loss(y, self.predict_proba(X))
+
+    def clone(self) -> "MLPModel":
+        model = MLPModel(self.dim, self.hidden)
+        model.set_params(self.get_params())
+        return model
+
+    # -- transfer learning support ------------------------------------------
+    def reset_head(self, seed: int = 0) -> None:
+        """Re-initialize the output layer, keeping learned hidden features.
+
+        The distributed-transfer-learning experiments (E9) pretrain the
+        hidden layer on the large virtual cohort, then fine-tune a fresh
+        head on a small disease-specific task.
+        """
+        rng = np.random.default_rng(seed)
+        self.w2 = rng.normal(0, 1.0 / np.sqrt(self.hidden), size=self.hidden)
+        self.b2 = 0.0
+
+    def train_head_only(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 1,
+        lr: float = 0.1,
+        batch_size: int = 32,
+        seed: int = 0,
+        l2: float = 1e-4,
+    ) -> float:
+        """Fine-tune only the output layer (frozen hidden features)."""
+        if len(X) == 0:
+            return 0.0
+        rng = np.random.default_rng(seed)
+        n = len(X)
+        for __ in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch_size):
+                batch = order[start : start + batch_size]
+                xb, yb = X[batch], y[batch]
+                hidden, probs = self._forward(xb)
+                delta_out = probs - yb
+                grad_w2 = hidden.T @ delta_out / len(batch) + l2 * self.w2
+                grad_b2 = float(np.mean(delta_out))
+                self.w2 -= lr * grad_w2
+                self.b2 -= lr * grad_b2
+        return log_loss(y, self.predict_proba(X))
+
+
+class MultiTaskMLP(SupervisedModel):
+    """Shared hidden layer with one sigmoid head per outcome.
+
+    This is the "core model" of the paper's transfer-learning story
+    (section III.A): trained on several diseases at once over the large
+    virtual cohort, its hidden layer learns general medical features that a
+    fresh head can reuse for a new small-data task.
+    """
+
+    def __init__(self, dim: int, outcomes: Sequence[str], hidden: int = 16, seed: int = 0):
+        if not outcomes:
+            raise LearningError("MultiTaskMLP needs at least one outcome head")
+        self.dim = dim
+        self.hidden = hidden
+        self.outcomes = sorted(outcomes)
+        rng = np.random.default_rng(seed)
+        self.w1 = rng.normal(0, 1.0 / np.sqrt(dim), size=(dim, hidden))
+        self.b1 = np.zeros(hidden)
+        self.heads: Dict[str, Tuple[np.ndarray, float]] = {
+            outcome: (rng.normal(0, 1.0 / np.sqrt(hidden), size=hidden), 0.0)
+            for outcome in self.outcomes
+        }
+        self.flops = 0.0
+
+    def get_params(self) -> Params:
+        params: Params = [self.w1.copy(), self.b1.copy()]
+        for outcome in self.outcomes:
+            w2, b2 = self.heads[outcome]
+            params.append(w2.copy())
+            params.append(np.array([b2]))
+        return params
+
+    def set_params(self, params: Params) -> None:
+        expected = 2 + 2 * len(self.outcomes)
+        if len(params) != expected or params[0].shape != (self.dim, self.hidden):
+            raise LearningError("parameter shape mismatch for MultiTaskMLP")
+        self.w1 = params[0].copy()
+        self.b1 = params[1].copy()
+        for index, outcome in enumerate(self.outcomes):
+            w2 = params[2 + 2 * index].copy()
+            b2 = float(params[3 + 2 * index][0])
+            self.heads[outcome] = (w2, b2)
+
+    def _hidden(self, X: np.ndarray) -> np.ndarray:
+        self.flops += 2.0 * X.shape[0] * self.dim * self.hidden
+        return np.tanh(X @ self.w1 + self.b1)
+
+    def predict_proba_for(self, X: np.ndarray, outcome: str) -> np.ndarray:
+        w2, b2 = self.heads[outcome]
+        return sigmoid(self._hidden(X) @ w2 + b2)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_proba_for(X, self.outcomes[0])
+
+    def train_multitask(
+        self,
+        X: np.ndarray,
+        labels: Dict[str, np.ndarray],
+        epochs: int = 1,
+        lr: float = 0.1,
+        batch_size: int = 32,
+        seed: int = 0,
+        l2: float = 1e-4,
+    ) -> float:
+        """Joint training: shared layer receives the mean of head gradients."""
+        missing = [o for o in self.outcomes if o not in labels]
+        if missing:
+            raise LearningError(f"labels missing for outcomes {missing}")
+        if len(X) == 0:
+            return 0.0
+        rng = np.random.default_rng(seed)
+        n = len(X)
+        for __ in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch_size):
+                batch = order[start : start + batch_size]
+                xb = X[batch]
+                hidden = np.tanh(xb @ self.w1 + self.b1)
+                grad_w1 = np.zeros_like(self.w1)
+                grad_b1 = np.zeros_like(self.b1)
+                for outcome in self.outcomes:
+                    yb = labels[outcome][batch]
+                    w2, b2 = self.heads[outcome]
+                    probs = sigmoid(hidden @ w2 + b2)
+                    delta_out = probs - yb
+                    grad_w2 = hidden.T @ delta_out / len(batch) + l2 * w2
+                    grad_b2 = float(np.mean(delta_out))
+                    delta_hidden = np.outer(delta_out, w2) * (1 - hidden**2)
+                    grad_w1 += xb.T @ delta_hidden / len(batch)
+                    grad_b1 += delta_hidden.mean(axis=0)
+                    self.heads[outcome] = (w2 - lr * grad_w2, b2 - lr * grad_b2)
+                scale = 1.0 / len(self.outcomes)
+                self.w1 -= lr * (scale * grad_w1 + l2 * self.w1)
+                self.b1 -= lr * scale * grad_b1
+                self.flops += 6.0 * xb.shape[0] * self.dim * self.hidden * len(self.outcomes)
+        losses = [
+            log_loss(labels[o], self.predict_proba_for(X, o)) for o in self.outcomes
+        ]
+        return float(np.mean(losses))
+
+    def train_epochs(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 1,
+        lr: float = 0.1,
+        batch_size: int = 32,
+        seed: int = 0,
+        l2: float = 1e-4,
+    ) -> float:
+        """SupervisedModel interface: trains the first head only."""
+        return self.train_multitask(
+            X,
+            {self.outcomes[0]: y, **{o: y for o in self.outcomes[1:]}},
+            epochs=epochs,
+            lr=lr,
+            batch_size=batch_size,
+            seed=seed,
+            l2=l2,
+        )
+
+    def to_mlp(self, outcome: Optional[str] = None, seed: int = 0) -> "MLPModel":
+        """Export a single-head MLP sharing this model's hidden features.
+
+        With a known ``outcome`` the matching head is copied; otherwise the
+        head is freshly initialized (the transfer-to-new-task case).
+        """
+        model = MLPModel(self.dim, hidden=self.hidden, seed=seed)
+        model.w1 = self.w1.copy()
+        model.b1 = self.b1.copy()
+        if outcome is not None:
+            if outcome not in self.heads:
+                raise LearningError(f"no head for outcome {outcome!r}")
+            w2, b2 = self.heads[outcome]
+            model.w2 = w2.copy()
+            model.b2 = b2
+        return model
+
+    def clone(self) -> "MultiTaskMLP":
+        model = MultiTaskMLP(self.dim, self.outcomes, hidden=self.hidden)
+        model.set_params(self.get_params())
+        return model
+
+
+def params_size_bytes(params: Params) -> int:
+    """Wire size of a parameter set (8 bytes per float64 plus framing)."""
+    return sum(array.size * 8 for array in params) + 64 * len(params)
+
+
+def average_params(param_sets: Sequence[Params], weights: Sequence[float]) -> Params:
+    """Weighted average of parameter sets (the FedAvg aggregation step)."""
+    if not param_sets:
+        raise LearningError("no parameter sets to average")
+    total = float(sum(weights))
+    if total <= 0:
+        raise LearningError("aggregation weights must sum to a positive value")
+    shapes = [array.shape for array in param_sets[0]]
+    for params in param_sets:
+        if [array.shape for array in params] != shapes:
+            raise LearningError("cannot average differently-shaped parameters")
+    averaged: Params = []
+    for index in range(len(shapes)):
+        stacked = sum(
+            params[index] * (weight / total)
+            for params, weight in zip(param_sets, weights)
+        )
+        averaged.append(np.asarray(stacked))
+    return averaged

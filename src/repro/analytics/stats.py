@@ -1,0 +1,200 @@
+"""Statistical toolkit: descriptive stats, hypothesis tests, survival.
+
+Pure-NumPy implementations of the analyses the real-world-evidence trial
+pipeline needs (section II / E11): Welch's t-test, the chi-square test for
+2x2 efficacy tables, Kaplan–Meier survival curves, and the log-rank test.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import MedchainError
+
+
+def describe(values: Sequence[float]) -> Dict[str, float]:
+    """Count/mean/sd/min/median/max of a sample."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return {"n": 0, "mean": 0.0, "sd": 0.0, "min": 0.0, "median": 0.0, "max": 0.0}
+    return {
+        "n": int(array.size),
+        "mean": float(array.mean()),
+        "sd": float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        "min": float(array.min()),
+        "median": float(np.median(array)),
+        "max": float(array.max()),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Normal distribution helpers (no scipy dependency needed at runtime)
+# ---------------------------------------------------------------------------
+
+def normal_sf(z: float) -> float:
+    """Survival function of the standard normal."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def chi2_sf_1df(x: float) -> float:
+    """Survival function of chi-square with 1 degree of freedom."""
+    if x <= 0:
+        return 1.0
+    return 2.0 * normal_sf(math.sqrt(x))
+
+
+# ---------------------------------------------------------------------------
+# Two-sample tests
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TestResult:
+    statistic: float
+    p_value: float
+    detail: str = ""
+
+    @property
+    def significant_05(self) -> bool:
+        return self.p_value < 0.05
+
+
+def welch_t_test(a: Sequence[float], b: Sequence[float]) -> TestResult:
+    """Welch's unequal-variance t-test (normal approximation for p)."""
+    xa = np.asarray(list(a), dtype=float)
+    xb = np.asarray(list(b), dtype=float)
+    if xa.size < 2 or xb.size < 2:
+        raise MedchainError("welch_t_test needs at least 2 samples per group")
+    va = xa.var(ddof=1) / xa.size
+    vb = xb.var(ddof=1) / xb.size
+    if va + vb == 0:
+        return TestResult(statistic=0.0, p_value=1.0, detail="zero variance")
+    t = float((xa.mean() - xb.mean()) / math.sqrt(va + vb))
+    p = 2.0 * normal_sf(abs(t))
+    return TestResult(statistic=t, p_value=p, detail="welch-t (normal approx)")
+
+
+def two_proportion_test(
+    successes_a: int, n_a: int, successes_b: int, n_b: int
+) -> TestResult:
+    """Two-proportion z-test (pooled), e.g. treatment vs control response."""
+    if n_a <= 0 or n_b <= 0:
+        raise MedchainError("group sizes must be positive")
+    pa, pb = successes_a / n_a, successes_b / n_b
+    pooled = (successes_a + successes_b) / (n_a + n_b)
+    variance = pooled * (1 - pooled) * (1 / n_a + 1 / n_b)
+    if variance == 0:
+        return TestResult(statistic=0.0, p_value=1.0, detail="degenerate table")
+    z = (pa - pb) / math.sqrt(variance)
+    return TestResult(statistic=float(z), p_value=2.0 * normal_sf(abs(z)))
+
+
+def chi_square_2x2(table: Sequence[Sequence[int]]) -> TestResult:
+    """Pearson chi-square on a 2x2 contingency table."""
+    observed = np.asarray(table, dtype=float)
+    if observed.shape != (2, 2):
+        raise MedchainError("chi_square_2x2 requires a 2x2 table")
+    row = observed.sum(axis=1, keepdims=True)
+    col = observed.sum(axis=0, keepdims=True)
+    total = observed.sum()
+    if total == 0 or (row == 0).any() or (col == 0).any():
+        return TestResult(statistic=0.0, p_value=1.0, detail="degenerate table")
+    expected = row @ col / total
+    statistic = float(((observed - expected) ** 2 / expected).sum())
+    return TestResult(statistic=statistic, p_value=chi2_sf_1df(statistic))
+
+
+# ---------------------------------------------------------------------------
+# Survival analysis
+# ---------------------------------------------------------------------------
+
+@dataclass
+class KaplanMeier:
+    """Kaplan–Meier estimate: step function of survival probability."""
+
+    times: List[float]
+    survival: List[float]
+
+    @classmethod
+    def fit(
+        cls, durations: Sequence[float], events: Sequence[int]
+    ) -> "KaplanMeier":
+        """``events[i]`` = 1 if the event occurred at ``durations[i]``,
+        0 if censored then."""
+        pairs = sorted(zip(durations, events))
+        n_at_risk = len(pairs)
+        current = 1.0
+        times: List[float] = [0.0]
+        survival: List[float] = [1.0]
+        index = 0
+        while index < len(pairs):
+            time = pairs[index][0]
+            deaths = 0
+            removed = 0
+            while index < len(pairs) and pairs[index][0] == time:
+                deaths += pairs[index][1]
+                removed += 1
+                index += 1
+            if deaths and n_at_risk > 0:
+                current *= 1.0 - deaths / n_at_risk
+                times.append(float(time))
+                survival.append(current)
+            n_at_risk -= removed
+        return cls(times=times, survival=survival)
+
+    def at(self, time: float) -> float:
+        """Survival probability at ``time``."""
+        probability = 1.0
+        for t, s in zip(self.times, self.survival):
+            if t <= time:
+                probability = s
+            else:
+                break
+        return probability
+
+
+def log_rank_test(
+    durations_a: Sequence[float],
+    events_a: Sequence[int],
+    durations_b: Sequence[float],
+    events_b: Sequence[int],
+) -> TestResult:
+    """Two-group log-rank test for differing survival curves."""
+    entries = [(float(t), int(e), 0) for t, e in zip(durations_a, events_a)]
+    entries += [(float(t), int(e), 1) for t, e in zip(durations_b, events_b)]
+    entries.sort()
+    n = [len(durations_a), len(durations_b)]
+    observed_minus_expected = 0.0
+    variance = 0.0
+    index = 0
+    at_risk = [n[0], n[1]]
+    while index < len(entries):
+        time = entries[index][0]
+        deaths = [0, 0]
+        removed = [0, 0]
+        while index < len(entries) and entries[index][0] == time:
+            __, event, group = entries[index]
+            deaths[group] += event
+            removed[group] += 1
+            index += 1
+        total_at_risk = at_risk[0] + at_risk[1]
+        total_deaths = deaths[0] + deaths[1]
+        if total_deaths > 0 and total_at_risk > 1 and at_risk[0] > 0 and at_risk[1] > 0:
+            expected0 = total_deaths * at_risk[0] / total_at_risk
+            observed_minus_expected += deaths[0] - expected0
+            variance += (
+                total_deaths
+                * (at_risk[0] / total_at_risk)
+                * (at_risk[1] / total_at_risk)
+                * (total_at_risk - total_deaths)
+                / (total_at_risk - 1)
+            )
+        at_risk[0] -= removed[0]
+        at_risk[1] -= removed[1]
+    if variance <= 0:
+        return TestResult(statistic=0.0, p_value=1.0, detail="no comparable events")
+    statistic = observed_minus_expected**2 / variance
+    return TestResult(statistic=float(statistic), p_value=chi2_sf_1df(statistic))

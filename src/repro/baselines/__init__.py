@@ -1,0 +1,11 @@
+"""Baselines the paper argues against: duplicated on-chain compute and
+centralized copy-all-data analytics (the latter lives in
+:mod:`repro.core.strategies` and :mod:`repro.learning.baseline`)."""
+
+from repro.baselines.duplicated import (
+    ComputeReport,
+    run_onchain_training,
+    run_transformed_training,
+)
+
+__all__ = ["ComputeReport", "run_onchain_training", "run_transformed_training"]

@@ -1,0 +1,232 @@
+"""Lightning-style state channels (paper section I survey).
+
+The paper surveys the Lightning Network as a duplication-reduction
+mechanism: two parties open a channel, exchange any number of *off-chain*
+signed state updates, and only the final state is recorded on the ledger —
+"from the distributed ledger point of view, it only sees one final
+transaction occurred."
+
+This module implements the scheme over our chain primitives so experiment
+E13 can quantify the reduction (and its limits — the paper notes it "is
+still a duplicated computing mechanism" for what *does* reach the chain):
+
+- :class:`ChannelState` — a monotonically-versioned balance split signed by
+  both parties;
+- :class:`StateChannel` — open / update / cooperative close / unilateral
+  close with a dispute window where the counterparty can present a
+  higher-versioned state (punishing stale-state fraud).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ChainError, CryptoError, ValidationError
+from repro.common.hashing import hash_value
+from repro.common.signatures import KeyPair, PublicKey, Signature
+
+
+@dataclass(frozen=True)
+class ChannelState:
+    """One signed state of a two-party channel.
+
+    ``version`` is strictly increasing; the latest doubly-signed state wins
+    any dispute.  ``balances`` maps each party's address to its share of the
+    channel's capacity.
+    """
+
+    channel_id: str
+    version: int
+    balances: Dict[str, int]
+    signature_a: bytes = b""
+    signature_b: bytes = b""
+
+    def signing_digest(self) -> bytes:
+        return hash_value(
+            {
+                "channel_id": self.channel_id,
+                "version": self.version,
+                "balances": self.balances,
+            },
+            allow_float=False,
+        )
+
+    def signed_by(self, party: KeyPair, is_a: bool) -> "ChannelState":
+        signature = party.sign(self.signing_digest()).to_bytes()
+        if is_a:
+            return replace(self, signature_a=signature)
+        return replace(self, signature_b=signature)
+
+    def fully_signed(self) -> bool:
+        return bool(self.signature_a) and bool(self.signature_b)
+
+    def verify(self, public_a: PublicKey, public_b: PublicKey) -> bool:
+        """Both signatures must cover this exact state."""
+        if not self.fully_signed():
+            return False
+        digest = self.signing_digest()
+        try:
+            sig_a = Signature.from_bytes(self.signature_a)
+            sig_b = Signature.from_bytes(self.signature_b)
+        except CryptoError:
+            return False
+        return public_a.verify(digest, sig_a) and public_b.verify(digest, sig_b)
+
+
+@dataclass
+class SettlementRecord:
+    """What ultimately reaches the ledger for one channel."""
+
+    channel_id: str
+    final_balances: Dict[str, int]
+    final_version: int
+    cooperative: bool
+    disputed: bool = False
+    onchain_txs: int = 2  # open + close (a dispute adds one)
+
+
+class StateChannel:
+    """A two-party channel with off-chain updates and on-chain settlement."""
+
+    DISPUTE_WINDOW_S = 60.0
+
+    def __init__(
+        self,
+        channel_id: str,
+        party_a: KeyPair,
+        party_b: KeyPair,
+        deposit_a: int,
+        deposit_b: int,
+    ):
+        if deposit_a < 0 or deposit_b < 0:
+            raise ValidationError("deposits must be non-negative")
+        if party_a.address == party_b.address:
+            raise ValidationError("a channel needs two distinct parties")
+        self.channel_id = channel_id
+        self.party_a = party_a
+        self.party_b = party_b
+        self.capacity = deposit_a + deposit_b
+        self.updates_exchanged = 0
+        self._closed: Optional[SettlementRecord] = None
+        self._pending_close: Optional[Tuple[ChannelState, float]] = None
+        initial = ChannelState(
+            channel_id=channel_id,
+            version=0,
+            balances={party_a.address: deposit_a, party_b.address: deposit_b},
+        )
+        initial = initial.signed_by(party_a, True).signed_by(party_b, False)
+        self.latest = initial
+
+    # -- state queries ------------------------------------------------------
+    @property
+    def is_closed(self) -> bool:
+        return self._closed is not None
+
+    def balance_of(self, address: str) -> int:
+        return self.latest.balances.get(address, 0)
+
+    # -- off-chain updates ----------------------------------------------------
+    def propose_update(self, payer: KeyPair, amount: int) -> ChannelState:
+        """Pay ``amount`` from ``payer`` to the counterparty, off chain.
+
+        Returns the new fully-signed state.  Raises on overdraft, closure,
+        or a non-member payer.  In a real deployment each side signs
+        independently; here both keys are in-process, so the handshake is
+        collapsed (the signatures are still real and checked).
+        """
+        if self.is_closed:
+            raise ChainError("channel is closed")
+        if self._pending_close is not None:
+            raise ChainError("channel close is pending; no further updates")
+        if payer.address not in self.latest.balances:
+            raise ValidationError("payer is not a channel member")
+        if amount <= 0:
+            raise ValidationError("payment amount must be positive")
+        if self.latest.balances[payer.address] < amount:
+            raise ChainError("insufficient channel balance")
+        payee = next(
+            address for address in self.latest.balances if address != payer.address
+        )
+        new_balances = dict(self.latest.balances)
+        new_balances[payer.address] -= amount
+        new_balances[payee] += amount
+        state = ChannelState(
+            channel_id=self.channel_id,
+            version=self.latest.version + 1,
+            balances=new_balances,
+        )
+        state = state.signed_by(self.party_a, True).signed_by(self.party_b, False)
+        if not state.verify(self.party_a.public, self.party_b.public):
+            raise CryptoError("channel state failed signature verification")
+        self.latest = state
+        self.updates_exchanged += 1
+        return state
+
+    # -- settlement ---------------------------------------------------------
+    def close_cooperative(self) -> SettlementRecord:
+        """Both parties sign off; the final state settles immediately."""
+        if self.is_closed:
+            raise ChainError("channel already closed")
+        self._closed = SettlementRecord(
+            channel_id=self.channel_id,
+            final_balances=dict(self.latest.balances),
+            final_version=self.latest.version,
+            cooperative=True,
+        )
+        return self._closed
+
+    def start_unilateral_close(
+        self, claimed_state: ChannelState, now_s: float
+    ) -> None:
+        """One party publishes a (possibly stale) state; a window opens."""
+        if self.is_closed:
+            raise ChainError("channel already closed")
+        if claimed_state.channel_id != self.channel_id:
+            raise ValidationError("state belongs to a different channel")
+        if not claimed_state.verify(self.party_a.public, self.party_b.public):
+            raise CryptoError("claimed state is not fully signed")
+        if sum(claimed_state.balances.values()) != self.capacity:
+            raise ValidationError("claimed state does not conserve capacity")
+        self._pending_close = (claimed_state, now_s)
+
+    def dispute(self, newer_state: ChannelState, now_s: float) -> None:
+        """Counterparty presents a strictly newer fully-signed state."""
+        if self._pending_close is None:
+            raise ChainError("no close in progress")
+        pending, opened_at = self._pending_close
+        if now_s > opened_at + self.DISPUTE_WINDOW_S:
+            raise ChainError("dispute window has elapsed")
+        if not newer_state.verify(self.party_a.public, self.party_b.public):
+            raise CryptoError("dispute state is not fully signed")
+        if newer_state.version <= pending.version:
+            raise ValidationError("dispute requires a strictly newer state")
+        self._pending_close = (newer_state, opened_at)
+
+    def finalize_close(self, now_s: float) -> SettlementRecord:
+        """After the window, the highest-version presented state settles."""
+        if self._pending_close is None:
+            raise ChainError("no close in progress")
+        state, opened_at = self._pending_close
+        if now_s < opened_at + self.DISPUTE_WINDOW_S:
+            raise ChainError("dispute window still open")
+        disputed = state.version != self.latest.version or state is not self.latest
+        self._closed = SettlementRecord(
+            channel_id=self.channel_id,
+            final_balances=dict(state.balances),
+            final_version=state.version,
+            cooperative=False,
+            disputed=state.version > 0 and disputed,
+            onchain_txs=3,  # open + close-start + finalize
+        )
+        self._pending_close = None
+        return self._closed
+
+    # -- accounting ----------------------------------------------------------
+    def ledger_footprint(self) -> Dict[str, int]:
+        """On-chain txs vs off-chain updates (E13's headline numbers)."""
+        record = self._closed
+        return {
+            "offchain_updates": self.updates_exchanged,
+            "onchain_txs": record.onchain_txs if record else 1,
+        }

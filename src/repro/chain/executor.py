@@ -1,0 +1,120 @@
+"""Transaction execution interface.
+
+The chain layer defines *what* a transaction is; this module defines *how*
+one is applied to state.  The base :class:`TransferExecutor` handles value
+transfers and nonce bookkeeping; the contract VM (``repro.contracts``)
+plugs in as a richer executor via the same protocol, keeping the chain
+substrate independent of the contract layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol
+
+from repro.chain.state import StateDB
+from repro.chain.transactions import TX_TRANSFER, Transaction
+from repro.common.errors import ChainError, ValidationError
+
+
+@dataclass
+class ContractEvent:
+    """Event emitted during contract execution (Fig. 3's monitor feed)."""
+
+    contract_id: str
+    name: str
+    data: Dict[str, Any]
+    tx_id: str = ""
+    block_height: int = -1
+
+
+@dataclass
+class Receipt:
+    """Result of applying one transaction."""
+
+    tx_id: str
+    success: bool
+    gas_used: int = 0
+    output: Any = None
+    error: str = ""
+    events: List[ContractEvent] = field(default_factory=list)
+
+
+class Executor(Protocol):
+    """Applies a validated transaction to state, returning a receipt."""
+
+    def apply(self, state: StateDB, tx: Transaction, context: "ExecutionContext") -> Receipt:
+        ...
+
+
+@dataclass
+class ExecutionContext:
+    """Ambient data available to executing transactions."""
+
+    block_height: int = 0
+    timestamp_ms: int = 0
+    proposer: str = ""
+    node_name: str = ""
+
+
+BASE_TX_GAS = 21_000
+
+
+class TransferExecutor:
+    """Minimal executor: nonces + value transfers; rejects contract txs."""
+
+    def apply(
+        self, state: StateDB, tx: Transaction, context: ExecutionContext
+    ) -> Receipt:
+        expected_nonce = state.nonce(tx.sender)
+        if tx.nonce != expected_nonce:
+            return Receipt(
+                tx_id=tx.tx_id,
+                success=False,
+                error=f"bad nonce: expected {expected_nonce}, got {tx.nonce}",
+            )
+        state.bump_nonce(tx.sender)
+        if tx.kind != TX_TRANSFER:
+            return Receipt(
+                tx_id=tx.tx_id,
+                success=False,
+                gas_used=BASE_TX_GAS,
+                error=f"TransferExecutor cannot execute {tx.kind!r} transactions",
+            )
+        to = tx.payload.get("to")
+        amount = tx.payload.get("amount")
+        if not isinstance(to, str) or not isinstance(amount, int) or amount < 0:
+            return Receipt(
+                tx_id=tx.tx_id,
+                success=False,
+                gas_used=BASE_TX_GAS,
+                error="malformed transfer payload",
+            )
+        try:
+            state.debit(tx.sender, amount)
+        except ChainError as exc:
+            return Receipt(
+                tx_id=tx.tx_id, success=False, gas_used=BASE_TX_GAS, error=str(exc)
+            )
+        state.credit(to, amount)
+        return Receipt(tx_id=tx.tx_id, success=True, gas_used=BASE_TX_GAS)
+
+
+def apply_block_transactions(
+    executor: Executor,
+    state: StateDB,
+    transactions: List[Transaction],
+    context: ExecutionContext,
+) -> List[Receipt]:
+    """Apply a block's transactions in order.
+
+    Each transaction executes inside a state snapshot; a failed transaction
+    still consumes its nonce (mirroring Ethereum semantics) but its other
+    writes are rolled back by the executor itself.  Structural invalidity
+    (bad signature) raises — such a transaction must never reach execution.
+    """
+    receipts = []
+    for tx in transactions:
+        tx.validate()
+        receipts.append(executor.apply(state, tx, context))
+    return receipts

@@ -1,0 +1,86 @@
+"""Pending-transaction pool.
+
+Each node keeps its own mempool; gossip inserts, block commits evict.
+Ordering is FIFO by arrival with per-sender nonce ordering so the executor
+sees nonces in sequence.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional
+
+from repro.chain.transactions import Transaction
+
+
+class Mempool:
+    """Bounded pool of pending transactions, deduplicated by tx id."""
+
+    def __init__(self, max_size: int = 100_000):
+        self.max_size = max_size
+        self._txs: "OrderedDict[str, Transaction]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._txs)
+
+    def __contains__(self, tx_id: str) -> bool:
+        return tx_id in self._txs
+
+    def add(self, tx: Transaction) -> bool:
+        """Insert; returns False if duplicate or pool full."""
+        if tx.tx_id in self._txs or len(self._txs) >= self.max_size:
+            return False
+        self._txs[tx.tx_id] = tx
+        return True
+
+    def remove(self, tx_id: str) -> None:
+        self._txs.pop(tx_id, None)
+
+    def remove_all(self, tx_ids: Iterable[str]) -> None:
+        for tx_id in tx_ids:
+            self.remove(tx_id)
+
+    def select(
+        self, limit: int, nonces: Optional[Dict[str, int]] = None
+    ) -> List[Transaction]:
+        """Pick up to ``limit`` executable transactions, FIFO.
+
+        When ``nonces`` maps sender address to current account nonce, only
+        transactions forming a contiguous nonce sequence per sender are
+        selected, so the executor never sees a nonce gap.
+        """
+        selected: List[Transaction] = []
+        expected: Dict[str, int] = dict(nonces or {})
+        # Per-sender buffers preserve arrival order within a sender.
+        deferred: Dict[str, List[Transaction]] = {}
+        for tx in self._txs.values():
+            if len(selected) >= limit:
+                break
+            if nonces is None:
+                selected.append(tx)
+                continue
+            want = expected.get(tx.sender, 0)
+            if tx.nonce == want:
+                selected.append(tx)
+                expected[tx.sender] = want + 1
+                # A queued successor may now be executable.
+                queue = deferred.get(tx.sender, [])
+                while queue and len(selected) < limit:
+                    nxt = next(
+                        (q for q in queue if q.nonce == expected[tx.sender]), None
+                    )
+                    if nxt is None:
+                        break
+                    queue.remove(nxt)
+                    selected.append(nxt)
+                    expected[tx.sender] += 1
+            elif tx.nonce > want:
+                deferred.setdefault(tx.sender, []).append(tx)
+            # tx.nonce < want: stale, skip (it will be evicted on commit)
+        return selected
+
+    def all_ids(self) -> List[str]:
+        return list(self._txs)
+
+    def clear(self) -> None:
+        self._txs.clear()

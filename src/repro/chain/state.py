@@ -1,0 +1,142 @@
+"""World-state database backing the ledger.
+
+A flat key/value store holding account balances, account nonces, and smart
+contract storage (namespaced by contract id).  The state root is the hash of
+the sorted item list — simple, but sufficient for consensus: two nodes agree
+on the root iff they agree on every entry, which is the determinism property
+the contract VM is property-tested against (DESIGN.md invariant 3).
+
+Snapshots give contract execution transactional semantics: a failed call
+rolls back every write it made.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.common.errors import ChainError
+from repro.common.hashing import hash_value
+
+ACCOUNT_PREFIX = "acct"
+CONTRACT_PREFIX = "contract"
+
+
+class StateDB:
+    """Mutable world state with snapshot/rollback support."""
+
+    def __init__(self, initial: Optional[Dict[str, Any]] = None):
+        self._data: Dict[str, Any] = dict(initial or {})
+        self._snapshots: List[Dict[str, Any]] = []
+
+    # -- raw access ------------------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        return copy.deepcopy(self._data.get(key, default))
+
+    def set(self, key: str, value: Any) -> None:
+        self._data[key] = copy.deepcopy(value)
+
+    def delete(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    def contains(self, key: str) -> bool:
+        return key in self._data
+
+    def keys_with_prefix(self, prefix: str) -> List[str]:
+        return sorted(key for key in self._data if key.startswith(prefix))
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        for key in sorted(self._data):
+            yield key, copy.deepcopy(self._data[key])
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- accounts ----------------------------------------------------------
+    @staticmethod
+    def _account_key(address: str) -> str:
+        return f"{ACCOUNT_PREFIX}/{address}"
+
+    def balance(self, address: str) -> int:
+        account = self._data.get(self._account_key(address))
+        return account["balance"] if account else 0
+
+    def nonce(self, address: str) -> int:
+        account = self._data.get(self._account_key(address))
+        return account["nonce"] if account else 0
+
+    def credit(self, address: str, amount: int) -> None:
+        if amount < 0:
+            raise ChainError("credit amount must be non-negative")
+        account = self._data.setdefault(
+            self._account_key(address), {"balance": 0, "nonce": 0}
+        )
+        account["balance"] += amount
+
+    def debit(self, address: str, amount: int) -> None:
+        if amount < 0:
+            raise ChainError("debit amount must be non-negative")
+        key = self._account_key(address)
+        account = self._data.get(key)
+        if account is None or account["balance"] < amount:
+            raise ChainError(f"insufficient balance for {address}")
+        account["balance"] -= amount
+
+    def bump_nonce(self, address: str) -> int:
+        account = self._data.setdefault(
+            self._account_key(address), {"balance": 0, "nonce": 0}
+        )
+        account["nonce"] += 1
+        return account["nonce"]
+
+    # -- contract storage ---------------------------------------------------
+    @staticmethod
+    def contract_key(contract_id: str, slot: str) -> str:
+        return f"{CONTRACT_PREFIX}/{contract_id}/{slot}"
+
+    def get_slot(self, contract_id: str, slot: str, default: Any = None) -> Any:
+        return self.get(self.contract_key(contract_id, slot), default)
+
+    def set_slot(self, contract_id: str, slot: str, value: Any) -> None:
+        self.set(self.contract_key(contract_id, slot), value)
+
+    def contract_slots(self, contract_id: str) -> Dict[str, Any]:
+        prefix = f"{CONTRACT_PREFIX}/{contract_id}/"
+        return {
+            key[len(prefix):]: copy.deepcopy(self._data[key])
+            for key in self.keys_with_prefix(prefix)
+        }
+
+    # -- snapshots -----------------------------------------------------------
+    def snapshot(self) -> int:
+        """Push a snapshot; returns its index for sanity checks."""
+        self._snapshots.append(copy.deepcopy(self._data))
+        return len(self._snapshots) - 1
+
+    def commit(self) -> None:
+        """Discard the most recent snapshot, keeping current writes."""
+        if not self._snapshots:
+            raise ChainError("no snapshot to commit")
+        self._snapshots.pop()
+
+    def rollback(self) -> None:
+        """Restore the most recent snapshot, discarding writes since."""
+        if not self._snapshots:
+            raise ChainError("no snapshot to roll back to")
+        self._data = self._snapshots.pop()
+
+    # -- roots and copies ------------------------------------------------
+    def state_root(self) -> bytes:
+        """Deterministic digest of the entire state.
+
+        Serializes the raw dict directly (canonical JSON sorts keys), which
+        avoids the defensive deep-copies of :meth:`items`.
+        """
+        return hash_value(self._data, allow_float=False)
+
+    def copy(self) -> "StateDB":
+        """Deep copy without snapshot history."""
+        return StateDB(copy.deepcopy(self._data))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return copy.deepcopy(self._data)

@@ -1,0 +1,154 @@
+"""Chain store: block persistence, linkage validation, and fork choice.
+
+Each node owns a :class:`ChainStore`.  Blocks attach to known parents;
+orphans are buffered until their parent arrives.  Fork choice is
+longest-chain (by height, then lowest block hash as a deterministic
+tie-break), matching the paper's "current commercial blockchain" framing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.chain.blocks import Block
+from repro.common.errors import ChainError, ValidationError
+
+
+class ChainStore:
+    """Append-only block DAG with a canonical head."""
+
+    def __init__(self, genesis: Block):
+        if genesis.height != 0:
+            raise ChainError("genesis must have height 0")
+        self._blocks: Dict[str, Block] = {genesis.block_id: genesis}
+        self._children: Dict[str, List[str]] = {}
+        self._orphans: Dict[str, Block] = {}
+        self.genesis = genesis
+        self._head = genesis
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def head(self) -> Block:
+        return self._head
+
+    @property
+    def height(self) -> int:
+        return self._head.height
+
+    def __contains__(self, block_id: str) -> bool:
+        return block_id in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(self, block_id: str) -> Block:
+        block = self._blocks.get(block_id)
+        if block is None:
+            raise ChainError(f"unknown block {block_id[:12]}")
+        return block
+
+    def has_parent(self, block: Block) -> bool:
+        return block.header.parent_hash.hex() in self._blocks
+
+    def orphan_count(self) -> int:
+        return len(self._orphans)
+
+    # -- insertion ----------------------------------------------------------
+    def add(self, block: Block) -> bool:
+        """Insert a structurally valid block.
+
+        Returns True when the canonical head changed.  Unknown-parent blocks
+        are buffered as orphans and connected when the parent shows up.
+        """
+        block.validate_structure()
+        block_id = block.block_id
+        if block_id in self._blocks:
+            return False
+        parent_id = block.header.parent_hash.hex()
+        if parent_id not in self._blocks:
+            self._orphans[block_id] = block
+            return False
+        parent = self._blocks[parent_id]
+        if block.height != parent.height + 1:
+            raise ValidationError(
+                f"height {block.height} does not follow parent {parent.height}"
+            )
+        self._blocks[block_id] = block
+        self._children.setdefault(parent_id, []).append(block_id)
+        head_changed = self._maybe_reorg(block)
+        head_changed |= self._connect_orphans(block_id)
+        return head_changed
+
+    def _connect_orphans(self, new_parent_id: str) -> bool:
+        changed = False
+        ready = [
+            block
+            for block in self._orphans.values()
+            if block.header.parent_hash.hex() == new_parent_id
+        ]
+        for block in ready:
+            del self._orphans[block.block_id]
+            changed |= self.add(block)
+        return changed
+
+    def _maybe_reorg(self, candidate: Block) -> bool:
+        """Longest chain wins; ties broken by lexicographically lowest hash."""
+        if candidate.height > self._head.height or (
+            candidate.height == self._head.height
+            and candidate.block_id < self._head.block_id
+        ):
+            changed = candidate.block_id != self._head.block_id
+            self._head = candidate
+            return changed
+        return False
+
+    # -- chain walks ---------------------------------------------------------
+    def ancestors(self, block: Block) -> Iterable[Block]:
+        """Yield blocks from ``block`` back to genesis, inclusive."""
+        current = block
+        while True:
+            yield current
+            if current.height == 0:
+                return
+            current = self.get(current.header.parent_hash.hex())
+
+    def canonical_chain(self) -> List[Block]:
+        """Genesis-to-head block list along the canonical branch."""
+        chain = list(self.ancestors(self._head))
+        chain.reverse()
+        return chain
+
+    def block_at_height(self, height: int) -> Optional[Block]:
+        """Canonical block at ``height``, or None above the head."""
+        if height > self._head.height or height < 0:
+            return None
+        for block in self.ancestors(self._head):
+            if block.height == height:
+                return block
+        return None
+
+    def canonical_tx_ids(self) -> List[str]:
+        """Every tx id on the canonical chain, in execution order."""
+        out: List[str] = []
+        for block in self.canonical_chain():
+            out.extend(tx.tx_id for tx in block.transactions)
+        return out
+
+    def contains_tx(self, tx_id: str) -> bool:
+        return tx_id in set(self.canonical_tx_ids())
+
+    def verify_chain_integrity(self) -> bool:
+        """Re-validate every canonical block and its parent linkage.
+
+        Used by the integrity experiments (E7): any in-place mutation of a
+        stored block breaks either its own hash linkage or its tx root.
+        """
+        chain = self.canonical_chain()
+        for i, block in enumerate(chain):
+            try:
+                block.validate_structure()
+            except ValidationError:
+                return False
+            if i > 0 and block.header.parent_hash != chain[i - 1].block_hash:
+                return False
+        return True

@@ -1,0 +1,182 @@
+"""Signed blockchain transactions.
+
+Every ledger mutation in the medical blockchain — money transfer, contract
+deployment, contract call, data-set registration, access grant — travels as
+a :class:`Transaction`.  The transaction hash covers every field except the
+signature, and the signature covers the hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from repro.common.errors import ValidationError
+from repro.common.hashing import hash_value
+from repro.common.signatures import KeyPair, PublicKey, Signature
+
+# Transaction kinds understood by the executor.
+TX_TRANSFER = "transfer"
+TX_DEPLOY = "deploy"
+TX_CALL = "call"
+VALID_TX_KINDS = frozenset({TX_TRANSFER, TX_DEPLOY, TX_CALL})
+
+DEFAULT_GAS_LIMIT = 2_000_000
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An immutable signed transaction.
+
+    ``payload`` must be canonical-JSON serializable without floats; its shape
+    depends on ``kind``:
+
+    - ``transfer``: ``{"to": address, "amount": int}``
+    - ``deploy``:   ``{"contract": name, "source": str, "init": {...}}``
+    - ``call``:     ``{"contract": contract_id, "method": str, "args": {...}}``
+    """
+
+    sender: str
+    nonce: int
+    kind: str
+    payload: Dict[str, Any]
+    gas_limit: int = DEFAULT_GAS_LIMIT
+    timestamp_ms: int = 0
+    public_key: bytes = b""
+    signature: bytes = b""
+
+    def signing_digest(self) -> bytes:
+        """Hash over every field except the signature (memoized)."""
+        cached = self.__dict__.get("_digest_memo")
+        if cached is not None:
+            return cached
+        digest = hash_value(
+            {
+                "sender": self.sender,
+                "nonce": self.nonce,
+                "kind": self.kind,
+                "payload": self.payload,
+                "gas_limit": self.gas_limit,
+                "timestamp_ms": self.timestamp_ms,
+                "public_key": self.public_key,
+            },
+            allow_float=False,
+        )
+        object.__setattr__(self, "_digest_memo", digest)
+        return digest
+
+    @property
+    def tx_id(self) -> str:
+        return self.signing_digest().hex()
+
+    def signed_by(self, keypair: KeyPair) -> "Transaction":
+        """Return a copy carrying the signer's public key and signature."""
+        unsigned = replace(self, public_key=keypair.public.data, signature=b"")
+        signature = keypair.sign(unsigned.signing_digest())
+        return replace(unsigned, signature=signature.to_bytes())
+
+    def verify_signature(self) -> bool:
+        """True when signature is valid and matches the sender address.
+
+        Memoized per instance: gossip floods re-validate the same object on
+        every node, and EC verification dominates simulation wall-clock.
+        The cache key includes the signature so a mutated copy re-verifies.
+        """
+        cached = self.__dict__.get("_verify_memo")
+        if cached is not None and cached[0] == self.signature:
+            return cached[1]
+        result = self._verify_signature_uncached()
+        object.__setattr__(self, "_verify_memo", (self.signature, result))
+        return result
+
+    def _verify_signature_uncached(self) -> bool:
+        if not self.public_key or not self.signature:
+            return False
+        try:
+            public = PublicKey(self.public_key)
+            signature = Signature.from_bytes(self.signature)
+        except Exception:
+            return False
+        if public.address() != self.sender:
+            return False
+        return public.verify(self.signing_digest(), signature)
+
+    def validate(self) -> None:
+        """Structural validation; raises :class:`ValidationError`."""
+        if self.kind not in VALID_TX_KINDS:
+            raise ValidationError(f"unknown tx kind {self.kind!r}")
+        if self.nonce < 0:
+            raise ValidationError("nonce must be non-negative")
+        if self.gas_limit <= 0:
+            raise ValidationError("gas limit must be positive")
+        if not isinstance(self.payload, dict):
+            raise ValidationError("payload must be a dict")
+        if not self.verify_signature():
+            raise ValidationError(f"bad signature on tx from {self.sender}")
+
+    def estimated_size_bytes(self) -> int:
+        """Wire-size estimate used by the network simulator (memoized)."""
+        cached = self.__dict__.get("_size_memo")
+        if cached is not None:
+            return cached
+        from repro.common.serialize import canonical_bytes
+
+        size = len(canonical_bytes(self, allow_float=False)) + 64
+        object.__setattr__(self, "_size_memo", size)
+        return size
+
+
+def make_transfer(
+    keypair: KeyPair, to: str, amount: int, nonce: int, timestamp_ms: int = 0
+) -> Transaction:
+    """Build and sign a value-transfer transaction."""
+    tx = Transaction(
+        sender=keypair.address,
+        nonce=nonce,
+        kind=TX_TRANSFER,
+        payload={"to": to, "amount": amount},
+        timestamp_ms=timestamp_ms,
+    )
+    return tx.signed_by(keypair)
+
+
+def make_deploy(
+    keypair: KeyPair,
+    contract_name: str,
+    source: str,
+    init: Optional[Dict[str, Any]] = None,
+    nonce: int = 0,
+    gas_limit: int = DEFAULT_GAS_LIMIT,
+    timestamp_ms: int = 0,
+) -> Transaction:
+    """Build and sign a contract-deployment transaction."""
+    tx = Transaction(
+        sender=keypair.address,
+        nonce=nonce,
+        kind=TX_DEPLOY,
+        payload={"contract": contract_name, "source": source, "init": init or {}},
+        gas_limit=gas_limit,
+        timestamp_ms=timestamp_ms,
+    )
+    return tx.signed_by(keypair)
+
+
+def make_call(
+    keypair: KeyPair,
+    contract_id: str,
+    method: str,
+    args: Optional[Dict[str, Any]] = None,
+    nonce: int = 0,
+    gas_limit: int = DEFAULT_GAS_LIMIT,
+    timestamp_ms: int = 0,
+) -> Transaction:
+    """Build and sign a contract-call transaction."""
+    tx = Transaction(
+        sender=keypair.address,
+        nonce=nonce,
+        kind=TX_CALL,
+        payload={"contract": contract_id, "method": method, "args": args or {}},
+        gas_limit=gas_limit,
+        timestamp_ms=timestamp_ms,
+    )
+    return tx.signed_by(keypair)

@@ -1,0 +1,55 @@
+"""Simulated and wall clocks.
+
+All distributed components take a :class:`Clock` so the whole system can run
+on simulated time inside the discrete-event kernel (deterministic, fast) or
+on wall time in the examples.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+from repro.common.errors import SimulationError
+
+
+class Clock(ABC):
+    """Minimal clock interface used across the library."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds."""
+
+
+class WallClock(Clock):
+    """Real time (``time.monotonic``-anchored to an epoch of zero)."""
+
+    def __init__(self) -> None:
+        self._start = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._start
+
+
+class SimClock(Clock):
+    """Manually-advanced simulated clock driven by the event kernel."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Advance to an absolute time; time never flows backwards."""
+        if timestamp < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards: {timestamp} < {self._now}"
+            )
+        self._now = float(timestamp)
+
+    def advance_by(self, delta: float) -> None:
+        """Advance by a non-negative delta."""
+        if delta < 0:
+            raise SimulationError(f"negative clock delta: {delta}")
+        self._now += float(delta)

@@ -1,0 +1,41 @@
+"""SHA-256 hashing helpers used throughout the chain and integrity layers."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.common.serialize import canonical_bytes
+
+HASH_SIZE = 32
+ZERO_HASH = b"\x00" * HASH_SIZE
+
+
+def sha256(data: bytes) -> bytes:
+    """Raw SHA-256 digest."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex-encoded SHA-256 digest."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def hash_value(value: Any, allow_float: bool = True) -> bytes:
+    """Hash any canonically-serializable value."""
+    return sha256(canonical_bytes(value, allow_float))
+
+
+def hash_value_hex(value: Any, allow_float: bool = True) -> str:
+    """Hex form of :func:`hash_value`."""
+    return hash_value(value, allow_float).hex()
+
+
+def hash_pair(left: bytes, right: bytes) -> bytes:
+    """Hash two child digests into a parent digest (Merkle interior node)."""
+    return sha256(left + right)
+
+
+def short_hash(data: bytes, length: int = 8) -> str:
+    """Human-friendly hash prefix for logging and ids."""
+    return sha256_hex(data)[:length]

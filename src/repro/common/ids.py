@@ -1,0 +1,35 @@
+"""Deterministic identifier generation.
+
+The simulation must be reproducible, so ids are derived from a namespace and
+a monotonically increasing counter (or explicit content) rather than from
+``uuid4``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator
+
+from repro.common.hashing import hash_value_hex
+
+_counters: Dict[str, Iterator[int]] = {}
+
+
+def next_id(namespace: str) -> str:
+    """Sequential id like ``"tx-000001"`` within a namespace.
+
+    Counters are process-global; tests that need isolation should use
+    :func:`reset_ids`.
+    """
+    counter = _counters.setdefault(namespace, itertools.count(1))
+    return f"{namespace}-{next(counter):06d}"
+
+
+def reset_ids() -> None:
+    """Reset all namespaces (test isolation)."""
+    _counters.clear()
+
+
+def content_id(namespace: str, value: Any, length: int = 16) -> str:
+    """Content-addressed id: stable hash of a canonical value."""
+    return f"{namespace}-{hash_value_hex(value)[:length]}"

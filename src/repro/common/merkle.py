@@ -1,0 +1,102 @@
+"""Merkle tree over transaction (or record) hashes.
+
+Used for block transaction roots and for anchoring off-chain data sets on
+chain (Irving & Holden style integrity proofs, paper section III.A/B).
+Odd layers duplicate the last node, matching Bitcoin's construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.common.errors import ValidationError
+from repro.common.hashing import ZERO_HASH, hash_pair, sha256
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Inclusion proof for one leaf.
+
+    ``path`` lists sibling digests from leaf level to the root; ``index`` is
+    the leaf's position, whose bits select left/right at each level.
+    """
+
+    leaf: bytes
+    index: int
+    path: List[bytes]
+
+    def root(self) -> bytes:
+        """Recompute the root implied by this proof."""
+        node = self.leaf
+        position = self.index
+        for sibling in self.path:
+            if position % 2 == 0:
+                node = hash_pair(node, sibling)
+            else:
+                node = hash_pair(sibling, node)
+            position //= 2
+        return node
+
+    def verify(self, expected_root: bytes) -> bool:
+        """True when the proof reproduces ``expected_root``."""
+        return self.root() == expected_root
+
+
+class MerkleTree:
+    """Binary Merkle tree built from leaf digests."""
+
+    def __init__(self, leaves: Sequence[bytes]):
+        for leaf in leaves:
+            if not isinstance(leaf, bytes) or len(leaf) != 32:
+                raise ValidationError("merkle leaves must be 32-byte digests")
+        self._leaves: List[bytes] = list(leaves)
+        self._levels: List[List[bytes]] = self._build(self._leaves)
+
+    @staticmethod
+    def _build(leaves: List[bytes]) -> List[List[bytes]]:
+        if not leaves:
+            return [[ZERO_HASH]]
+        levels = [list(leaves)]
+        current = list(leaves)
+        while len(current) > 1:
+            if len(current) % 2 == 1:
+                current = current + [current[-1]]
+                levels[-1] = current
+            parent = [
+                hash_pair(current[i], current[i + 1]) for i in range(0, len(current), 2)
+            ]
+            levels.append(parent)
+            current = parent
+        return levels
+
+    @property
+    def root(self) -> bytes:
+        """Root digest; ZERO_HASH for an empty tree."""
+        return self._levels[-1][0]
+
+    @property
+    def leaf_count(self) -> int:
+        return len(self._leaves)
+
+    def proof(self, index: int) -> MerkleProof:
+        """Inclusion proof for the leaf at ``index``."""
+        if not 0 <= index < len(self._leaves):
+            raise ValidationError(f"leaf index {index} out of range")
+        path: List[bytes] = []
+        position = index
+        for level in self._levels[:-1]:
+            sibling_index = position + 1 if position % 2 == 0 else position - 1
+            path.append(level[sibling_index])
+            position //= 2
+        return MerkleProof(leaf=self._leaves[index], index=index, path=path)
+
+    @classmethod
+    def from_items(cls, items: Sequence[bytes]) -> "MerkleTree":
+        """Build a tree by hashing raw byte items into leaves first."""
+        return cls([sha256(item) for item in items])
+
+
+def merkle_root(leaves: Sequence[bytes]) -> bytes:
+    """Convenience: root of a tree over pre-hashed leaves."""
+    return MerkleTree(leaves).root

@@ -1,0 +1,103 @@
+"""Canonical, deterministic serialization.
+
+Blockchain consensus requires every node to compute the *same* bytes for the
+same logical value, so hashing must run over a canonical encoding.  We use
+JSON with sorted keys, no whitespace, and explicit handling of bytes (hex)
+and dataclasses.  Floats are rejected inside consensus-critical payloads
+(transactions, blocks) because float formatting is platform-dependent; use
+:func:`encode_decimal` to carry fixed-point values instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro.common.errors import SerializationError
+
+_FIXED_POINT_SCALE = 10**9
+
+
+def encode_decimal(value: float, scale: int = _FIXED_POINT_SCALE) -> int:
+    """Encode a float as a fixed-point integer safe for consensus payloads."""
+    return int(round(value * scale))
+
+
+def decode_decimal(value: int, scale: int = _FIXED_POINT_SCALE) -> float:
+    """Invert :func:`encode_decimal`."""
+    return value / scale
+
+
+def to_jsonable(value: Any, allow_float: bool = True) -> Any:
+    """Recursively convert ``value`` into plain JSON-compatible types.
+
+    Supports dataclasses, dicts, lists/tuples, bytes (hex-encoded with a
+    ``"0x"`` prefix), and scalars.  Set ``allow_float=False`` for
+    consensus-critical payloads.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if not allow_float:
+            raise SerializationError(
+                "floats are not allowed in consensus-critical payloads; "
+                "use encode_decimal()"
+            )
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        return "0x" + bytes(value).hex()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name), allow_float)
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SerializationError(f"dict keys must be str, got {type(key).__name__}")
+            out[key] = to_jsonable(item, allow_float)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item, allow_float) for item in value]
+    if isinstance(value, (set, frozenset)):
+        items = [to_jsonable(item, allow_float) for item in value]
+        try:
+            return sorted(items)
+        except TypeError as exc:
+            raise SerializationError("sets must contain sortable items") from exc
+    raise SerializationError(f"cannot serialize {type(value).__name__}")
+
+
+def canonical_json(value: Any, allow_float: bool = True) -> str:
+    """Render ``value`` as canonical JSON text (sorted keys, no whitespace)."""
+    jsonable = to_jsonable(value, allow_float)
+    return json.dumps(jsonable, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_bytes(value: Any, allow_float: bool = True) -> bytes:
+    """Canonical JSON encoded as UTF-8 bytes, ready for hashing."""
+    return canonical_json(value, allow_float).encode("utf-8")
+
+
+def from_json(text: str) -> Any:
+    """Parse JSON text produced by :func:`canonical_json`."""
+    try:
+        return json.loads(text)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+
+
+def decode_hex_fields(value: Any) -> Any:
+    """Recursively decode ``"0x..."`` strings back into bytes."""
+    if isinstance(value, str) and value.startswith("0x"):
+        try:
+            return bytes.fromhex(value[2:])
+        except ValueError:
+            return value
+    if isinstance(value, dict):
+        return {key: decode_hex_fields(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_hex_fields(item) for item in value]
+    return value

@@ -1,0 +1,29 @@
+"""Consensus engines (PoW / PoA / PoS) and the full blockchain node."""
+
+from repro.consensus.base import ConsensusEngine, ProposalPlan
+from repro.consensus.difficulty import (
+    DifficultySchedule,
+    RetargetConfig,
+    next_difficulty_bits,
+)
+from repro.consensus.node import BlockchainNode, NodeConfig, make_network_nodes
+from repro.consensus.poa import ProofOfAuthority
+from repro.consensus.pos import ProofOfStake
+from repro.consensus.pow import ProofOfWork, check_pow, grind, pow_target
+
+__all__ = [
+    "BlockchainNode",
+    "ConsensusEngine",
+    "DifficultySchedule",
+    "NodeConfig",
+    "ProofOfAuthority",
+    "ProofOfStake",
+    "ProofOfWork",
+    "ProposalPlan",
+    "check_pow",
+    "grind",
+    "make_network_nodes",
+    "pow_target",
+    "RetargetConfig",
+    "next_difficulty_bits",
+]

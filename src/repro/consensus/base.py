@@ -1,0 +1,54 @@
+"""Consensus engine interface.
+
+An engine decides (a) when a given node may propose the next block, (b) what
+proof it must attach, and (c) how other nodes verify that proof.  Three
+engines are provided, matching the mechanisms the paper surveys in section I:
+proof of work (the baseline whose duplicated hashing wastes energy), proof of
+stake ("virtual mining", no hashing), and proof of authority (the permissioned
+setting a hospital consortium would actually run).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.chain.blocks import Block
+
+
+@dataclass
+class ProposalPlan:
+    """When and how a node should try to propose the next block.
+
+    ``delay_s`` is simulation time until the proposal fires (None = this node
+    never proposes at this height); ``hash_work`` is the number of hash
+    attempts the proposal will burn (energy accounting, PoW only).
+    """
+
+    delay_s: Optional[float]
+    hash_work: int = 0
+
+
+class ConsensusEngine(ABC):
+    """Strategy object plugged into :class:`repro.consensus.node.BlockchainNode`."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def plan_proposal(
+        self, node_name: str, parent: Block, rng_sample: float
+    ) -> ProposalPlan:
+        """Schedule this node's proposal attempt on top of ``parent``."""
+
+    @abstractmethod
+    def seal(self, node_name: str, block: Block) -> Block:
+        """Attach the consensus proof, returning the sealed block."""
+
+    @abstractmethod
+    def verify(self, block: Block, parent: Block) -> bool:
+        """Check the proof on a received block."""
+
+    def work_per_second(self, node_name: str) -> float:
+        """Background hash work burned per second while racing (PoW only)."""
+        return 0.0

@@ -1,0 +1,85 @@
+"""Proof-of-work difficulty retargeting.
+
+Bitcoin-style adjustment: every ``window`` blocks, compare the actual time
+the window took against ``target_block_time_s * window`` and move the
+difficulty up or down (in whole bits, since our target is a power of two),
+clamped to one bit per adjustment — the stabilizing mechanism that makes
+"more miners" translate into "more energy" rather than "faster blocks"
+(experiment E2's premise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.chain.blocks import Block
+from repro.common.errors import ConsensusError
+
+
+@dataclass
+class RetargetConfig:
+    target_block_time_s: float = 10.0
+    window: int = 8              # blocks per adjustment period
+    min_bits: int = 4
+    max_bits: int = 40
+
+
+def next_difficulty_bits(
+    current_bits: int,
+    window_timestamps_ms: Sequence[int],
+    config: Optional[RetargetConfig] = None,
+) -> int:
+    """Difficulty for the next period given the last window's timestamps.
+
+    ``window_timestamps_ms`` must contain ``window + 1`` block timestamps
+    (the fencepost block plus the window).  The adjustment is at most one
+    bit per period: actual time under half the target doubles difficulty
+    (+1 bit); over double the target halves it (-1 bit).
+    """
+    config = config or RetargetConfig()
+    if not config.min_bits <= current_bits <= config.max_bits:
+        raise ConsensusError(f"difficulty {current_bits} outside configured range")
+    if len(window_timestamps_ms) < 2:
+        return current_bits
+    actual_s = (window_timestamps_ms[-1] - window_timestamps_ms[0]) / 1000.0
+    expected_s = config.target_block_time_s * (len(window_timestamps_ms) - 1)
+    if actual_s <= 0:
+        return min(config.max_bits, current_bits + 1)
+    ratio = actual_s / expected_s
+    if ratio < 0.5:
+        return min(config.max_bits, current_bits + 1)
+    if ratio > 2.0:
+        return max(config.min_bits, current_bits - 1)
+    return current_bits
+
+
+class DifficultySchedule:
+    """Tracks difficulty over a chain of blocks."""
+
+    def __init__(self, initial_bits: int, config: Optional[RetargetConfig] = None):
+        self.config = config or RetargetConfig()
+        if not self.config.min_bits <= initial_bits <= self.config.max_bits:
+            raise ConsensusError("initial difficulty outside configured range")
+        self.initial_bits = initial_bits
+
+    def bits_at_height(self, height: int, chain: Sequence[Block]) -> int:
+        """Difficulty for a block at ``height`` given the canonical chain.
+
+        Recomputes period by period from genesis — O(height), fine at
+        simulation scale and trivially deterministic across nodes.
+        """
+        window = self.config.window
+        bits = self.initial_bits
+        period_start = 0
+        while period_start + window < height:
+            timestamps = [
+                chain[i].header.timestamp_ms
+                for i in range(period_start, period_start + window + 1)
+                if i < len(chain)
+            ]
+            if len(timestamps) < window + 1:
+                break
+            bits = next_difficulty_bits(bits, timestamps, self.config)
+            period_start += window
+        return bits

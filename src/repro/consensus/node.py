@@ -1,0 +1,437 @@
+"""A full blockchain node: mempool, gossip, mining/proposal loop, execution.
+
+This implements the *un-transformed* commercial-blockchain behaviour the
+paper starts from (section I): every transaction is broadcast to all
+participants, every node re-executes every smart contract, and consensus
+requires the whole network to agree on each ledger modification.  The
+duplicated work is charged to the metrics registry per node, so experiments
+can quantify exactly what the transformed architecture (``repro.core``)
+saves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.chain.blocks import Block, build_block
+from repro.chain.executor import ContractEvent, ExecutionContext, Receipt
+from repro.chain.mempool import Mempool
+from repro.chain.state import StateDB
+from repro.chain.store import ChainStore
+from repro.chain.transactions import Transaction
+from repro.common.errors import ValidationError
+from repro.consensus.base import ConsensusEngine
+from repro.contracts.runtime import ContractExecutor
+from repro.sim.kernel import EventHandle, Kernel, Process
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import Message, Network
+
+EventSubscriber = Callable[[ContractEvent], None]
+
+
+@dataclass
+class NodeConfig:
+    """Tunables for a blockchain node."""
+
+    max_txs_per_block: int = 200
+    mine_empty: bool = False
+    rebroadcast_txs: bool = True
+    rebroadcast_blocks: bool = True
+
+
+class BlockchainNode(Process):
+    """One participant in the medical blockchain network (Figure 2)."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        network: Network,
+        name: str,
+        genesis: Block,
+        genesis_state: StateDB,
+        consensus: ConsensusEngine,
+        executor: Optional[ContractExecutor] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        config: Optional[NodeConfig] = None,
+    ):
+        super().__init__(kernel, name)
+        self.network = network
+        self.consensus = consensus
+        self.executor = executor or ContractExecutor()
+        self.metrics = metrics or MetricsRegistry()
+        self.config = config or NodeConfig()
+        self.store = ChainStore(genesis)
+        self.mempool = Mempool()
+        self._states: Dict[str, StateDB] = {genesis.block_id: genesis_state.copy()}
+        self._block_receipts: Dict[str, List[Receipt]] = {genesis.block_id: []}
+        self._receipts_by_tx: Dict[str, Receipt] = {}
+        self._seen_txs: Set[str] = set()
+        self._seen_blocks: Set[str] = {genesis.block_id}
+        # Blocks waiting for an ancestor we are back-filling via get_block.
+        self._pending_blocks: Dict[str, List[Block]] = {}
+        self._requested_blocks: Set[str] = set()
+        self._emitted_blocks: Set[str] = {genesis.block_id}
+        self._event_subscribers: List[EventSubscriber] = []
+        self._tx_submit_times: Dict[str, float] = {}
+        self._proposal_handle: Optional[EventHandle] = None
+        self._round_start: Optional[float] = None
+        self._started = False
+        self.events: List[ContractEvent] = []
+        network.register(name, self._on_message)
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        """Begin participating in consensus."""
+        self._started = True
+        self._plan_round()
+
+    def stop(self) -> None:
+        self._started = False
+        self._cancel_round()
+
+    # -- public API --------------------------------------------------------
+    @property
+    def head(self) -> Block:
+        return self.store.head
+
+    @property
+    def state(self) -> StateDB:
+        """World state at the canonical head."""
+        return self._states[self.store.head.block_id]
+
+    def receipt(self, tx_id: str) -> Optional[Receipt]:
+        return self._receipts_by_tx.get(tx_id)
+
+    def subscribe_events(self, subscriber: EventSubscriber) -> None:
+        """Register a contract-event callback (the monitor node hook, Fig. 3)."""
+        self._event_subscribers.append(subscriber)
+
+    def submit_tx(self, tx: Transaction) -> bool:
+        """Inject a transaction locally and gossip it to every peer."""
+        tx.validate()
+        if tx.tx_id in self._seen_txs:
+            return False
+        self._seen_txs.add(tx.tx_id)
+        self._tx_submit_times[tx.tx_id] = self.now
+        added = self.mempool.add(tx)
+        self.network.broadcast(
+            self.name, "tx", tx, size_bytes=tx.estimated_size_bytes()
+        )
+        if added and self._started and self._proposal_handle is None:
+            self._plan_round()
+        return added
+
+    def call_view(
+        self,
+        contract_id: str,
+        method: str,
+        args: Optional[Dict[str, Any]] = None,
+        caller: str = "",
+    ) -> Any:
+        """Read-only contract call against this node's head state."""
+        return self.executor.execute_view(
+            self.state,
+            contract_id,
+            method,
+            args,
+            caller=caller or self.name,
+            context=ExecutionContext(
+                block_height=self.head.height,
+                timestamp_ms=int(self.now * 1000),
+                node_name=self.name,
+            ),
+        )
+
+    # -- network ------------------------------------------------------------
+    def _on_message(self, sender: str, message: Message) -> None:
+        if message.kind == "tx":
+            self._handle_gossip_tx(message.payload)
+        elif message.kind == "block":
+            self._handle_gossip_block(message.payload, sender)
+        elif message.kind == "get_block":
+            self._handle_get_block(message.payload, sender)
+
+    def _handle_gossip_tx(self, tx: Transaction) -> None:
+        if tx.tx_id in self._seen_txs:
+            return
+        try:
+            tx.validate()
+        except ValidationError:
+            return
+        self._seen_txs.add(tx.tx_id)
+        added = self.mempool.add(tx)
+        if self.config.rebroadcast_txs:
+            self.network.broadcast(
+                self.name, "tx", tx, size_bytes=tx.estimated_size_bytes()
+            )
+        if added and self._started and self._proposal_handle is None:
+            self._plan_round()
+
+    def _handle_gossip_block(self, block: Block, sender: str = "") -> None:
+        if block.block_id in self._seen_blocks:
+            return
+        self._seen_blocks.add(block.block_id)
+        parent_id = block.header.parent_hash.hex()
+        if parent_id not in self._states:
+            # We missed an ancestor (e.g. during a partition): buffer the
+            # block and back-fill the gap from whoever sent it.
+            self._pending_blocks.setdefault(parent_id, []).append(block)
+            if sender and parent_id not in self._requested_blocks:
+                self._requested_blocks.add(parent_id)
+                self.network.send(self.name, sender, "get_block", parent_id)
+            return
+        self._ingest_block(block)
+
+    def _ingest_block(self, block: Block) -> None:
+        """Verify, execute, adopt, and drain any blocks waiting on this one."""
+        if not self._verify_and_execute(block):
+            return
+        old_head = self.store.head
+        self.store.add(block)
+        if self.config.rebroadcast_blocks:
+            self.network.broadcast(
+                self.name, "block", block, size_bytes=block.estimated_size_bytes()
+            )
+        if self.store.head.block_id != old_head.block_id:
+            self._on_new_head(old_head)
+        for child in self._pending_blocks.pop(block.block_id, []):
+            self._ingest_block(child)
+
+    def _handle_get_block(self, block_id: str, requester: str) -> None:
+        """Serve a back-fill request from a peer catching up."""
+        if not isinstance(block_id, str) or block_id not in self.store:
+            return
+        block = self.store.get(block_id)
+        self.network.send(
+            self.name,
+            requester,
+            "block",
+            block,
+            size_bytes=block.estimated_size_bytes(),
+        )
+
+    # -- verification (the duplicated computing) -----------------------------
+    def _verify_and_execute(self, block: Block) -> bool:
+        """Verify proof and re-execute the block's transactions.
+
+        Every node does this for every block — the per-node gas charged here
+        is the paper's duplicated smart-contract computation.
+        """
+        parent_id = block.header.parent_hash.hex()
+        parent_state = self._states.get(parent_id)
+        if parent_state is None:
+            return False  # unknown parent; ignore (no sync protocol needed here)
+        parent = self.store.get(parent_id)
+        try:
+            block.validate_structure()
+        except ValidationError:
+            return False
+        if not self.consensus.verify(block, parent):
+            return False
+        state, receipts = self._execute_transactions(
+            parent_state, block.transactions, block
+        )
+        if state.state_root() != block.header.state_root:
+            return False
+        self._remember_execution(block, state, receipts)
+        return True
+
+    def _execute_transactions(
+        self, parent_state: StateDB, txs: List[Transaction], block: Block
+    ):
+        state = parent_state.copy()
+        context = ExecutionContext(
+            block_height=block.height,
+            timestamp_ms=block.header.timestamp_ms,
+            proposer=block.header.proposer,
+            node_name=self.name,
+        )
+        receipts = []
+        for tx in txs:
+            receipt = self.executor.apply(state, tx, context)
+            self.metrics.add_gas(receipt.gas_used, scope=self.name)
+            receipts.append(receipt)
+        return state, receipts
+
+    def _remember_execution(
+        self, block: Block, state: StateDB, receipts: List[Receipt]
+    ) -> None:
+        self._states[block.block_id] = state
+        self._block_receipts[block.block_id] = receipts
+
+    # -- head adoption -----------------------------------------------------
+    def _on_new_head(self, old_head: Block) -> None:
+        self._charge_lost_race()
+        new_blocks = self._new_canonical_blocks()
+        self._evict_committed(new_blocks)
+        self._record_commits(new_blocks)
+        self._emit_new_canonical_events(new_blocks)
+        self.metrics.add("blocks_adopted", 1, scope=self.name)
+        if self._started:
+            self._plan_round()
+
+    def _new_canonical_blocks(self) -> List[Block]:
+        """Canonical blocks not yet processed, oldest first.
+
+        Walks back from the head until it meets an already-emitted block;
+        with longest-chain consensus reorgs are shallow, so this is O(new
+        blocks) instead of O(chain length).  Transactions reorged *out* are
+        not returned to the mempool (documented simplification).
+        """
+        fresh: List[Block] = []
+        for block in self.store.ancestors(self.store.head):
+            if block.block_id in self._emitted_blocks:
+                break
+            fresh.append(block)
+        fresh.reverse()
+        return fresh
+
+    def _evict_committed(self, new_blocks: List[Block]) -> None:
+        for block in new_blocks:
+            self.mempool.remove_all(tx.tx_id for tx in block.transactions)
+
+    def _record_commits(self, new_blocks: List[Block]) -> None:
+        for block in new_blocks:
+            for receipt in self._block_receipts.get(block.block_id, []):
+                if receipt.tx_id not in self._receipts_by_tx:
+                    self._receipts_by_tx[receipt.tx_id] = receipt
+                    submitted = self._tx_submit_times.get(receipt.tx_id)
+                    if submitted is not None:
+                        self.metrics.observe(
+                            "tx_commit_latency_s", self.now - submitted
+                        )
+                        self.metrics.add("txs_committed", 1, scope=self.name)
+
+    def _emit_new_canonical_events(self, new_blocks: List[Block]) -> None:
+        for block in new_blocks:
+            if block.block_id in self._emitted_blocks:
+                continue
+            self._emitted_blocks.add(block.block_id)
+            for receipt in self._block_receipts.get(block.block_id, []):
+                for event in receipt.events:
+                    self.events.append(event)
+                    for subscriber in self._event_subscribers:
+                        subscriber(event)
+
+    # -- proposing ----------------------------------------------------------
+    def _cancel_round(self) -> None:
+        if self._proposal_handle is not None:
+            self._proposal_handle.cancel()
+            self._proposal_handle = None
+        self._round_start = None
+
+    def _charge_lost_race(self) -> None:
+        """Account hash work burned since the round began (PoW racing)."""
+        if self._round_start is None:
+            return
+        elapsed = self.now - self._round_start
+        rate = self.consensus.work_per_second(self.name)
+        if rate > 0 and elapsed > 0:
+            self.metrics.add_hashes(elapsed * rate, scope=self.name)
+        self._round_start = None
+
+    def _plan_round(self) -> None:
+        self._cancel_round()
+        if not self._started:
+            return
+        if not self.config.mine_empty and len(self.mempool) == 0:
+            return
+        plan = self.consensus.plan_proposal(
+            self.name, self.store.head, self.kernel.rng.random()
+        )
+        if plan.delay_s is None:
+            return
+        parent_id = self.store.head.block_id
+        self._round_start = self.now
+        self._proposal_handle = self.after(
+            plan.delay_s, lambda: self._propose(parent_id), label=f"{self.name}:propose"
+        )
+
+    def _propose(self, parent_id: str) -> None:
+        self._proposal_handle = None
+        if self.store.head.block_id != parent_id:
+            # Lost the race; a new round has been planned by _on_new_head.
+            return
+        parent = self.store.head
+        parent_state = self._states[parent.block_id]
+        nonces = {}
+        for tx in self.mempool.select(10_000):
+            if tx.sender not in nonces:
+                nonces[tx.sender] = parent_state.nonce(tx.sender)
+        txs = self.mempool.select(self.config.max_txs_per_block, nonces)
+        if not txs and not self.config.mine_empty:
+            # Nothing executable (nonce gaps); wait for new txs or a new head.
+            return
+        state = parent_state.copy()
+        context = ExecutionContext(
+            block_height=parent.height + 1,
+            timestamp_ms=int(self.now * 1000),
+            proposer=self.name,
+            node_name=self.name,
+        )
+        receipts = []
+        for tx in txs:
+            receipt = self.executor.apply(state, tx, context)
+            self.metrics.add_gas(receipt.gas_used, scope=self.name)
+            receipts.append(receipt)
+        block = build_block(
+            parent=parent,
+            transactions=txs,
+            state_root=state.state_root(),
+            proposer=self.name,
+            timestamp_ms=int(self.now * 1000),
+        )
+        sealed = self.consensus.seal(self.name, block)
+        attempts = sealed.header.consensus.get("attempts", 0)
+        if attempts:
+            self.metrics.add_hashes(attempts, scope=self.name)
+        self._round_start = None
+        self._seen_blocks.add(sealed.block_id)
+        self._remember_execution(sealed, state, receipts)
+        old_head = self.store.head
+        self.store.add(sealed)
+        self.metrics.add("blocks_proposed", 1, scope=self.name)
+        self.network.broadcast(
+            self.name, "block", sealed, size_bytes=sealed.estimated_size_bytes()
+        )
+        if self.store.head.block_id != old_head.block_id:
+            self._on_new_head(old_head)
+        else:
+            self._plan_round()
+
+
+def make_network_nodes(
+    kernel: Kernel,
+    network: Network,
+    names: List[str],
+    genesis: Block,
+    genesis_state: StateDB,
+    consensus_factory: Callable[[], ConsensusEngine],
+    metrics: Optional[MetricsRegistry] = None,
+    config: Optional[NodeConfig] = None,
+    shared_executor: bool = False,
+) -> Dict[str, BlockchainNode]:
+    """Build one node per name on a shared network and genesis.
+
+    ``consensus_factory`` is called once per node unless the engine is
+    stateless; passing a single shared engine instance via a lambda is fine.
+    ``shared_executor=True`` shares one compile cache (saves wall-clock in
+    large simulations without affecting determinism).
+    """
+    executor = ContractExecutor() if shared_executor else None
+    shared_metrics = metrics or MetricsRegistry()
+    nodes = {}
+    for name in names:
+        nodes[name] = BlockchainNode(
+            kernel=kernel,
+            network=network,
+            name=name,
+            genesis=genesis,
+            genesis_state=genesis_state,
+            consensus=consensus_factory(),
+            executor=executor or ContractExecutor(),
+            metrics=shared_metrics,
+            config=config,
+        )
+    return nodes

@@ -1,0 +1,86 @@
+"""Proof of stake ("virtual mining", paper section I).
+
+Winning probability is proportional to stake, with no hash grinding: for
+each height, every staker draws a deterministic ticket
+``H(parent_hash, height, staker)`` mapped to [0, 1); the effective score is
+``-ln(ticket) / stake`` (the classic exponential-race transform), and the
+*lowest* score proposes after a delay proportional to its score.  Because
+tickets derive from the parent hash, every node computes the same winner
+independently — consensus without duplicated hash work, which is exactly the
+energy fix the paper attributes to PoS (while remaining duplicated in
+contract execution, as E12 shows).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.chain.blocks import Block
+from repro.common.errors import ConsensusError
+from repro.common.hashing import hash_value
+from repro.consensus.base import ConsensusEngine, ProposalPlan
+
+
+def _ticket(parent_hash: bytes, height: int, staker: str) -> float:
+    """Deterministic uniform draw in (0, 1) for a staker at a height."""
+    digest = hash_value(
+        {"parent": parent_hash, "height": height, "staker": staker},
+        allow_float=False,
+    )
+    value = int.from_bytes(digest, "big")
+    return (value + 1) / float(2 ** 256 + 2)
+
+
+class ProofOfStake(ConsensusEngine):
+    """Stake-weighted virtual-mining lottery."""
+
+    name = "pos"
+
+    def __init__(self, stakes: Dict[str, int], round_time_s: float = 1.0):
+        if not stakes or any(stake <= 0 for stake in stakes.values()):
+            raise ConsensusError("all stakes must be positive")
+        self.stakes = dict(stakes)
+        self.round_time_s = round_time_s
+
+    def score(self, parent: Block, height: int, staker: str) -> float:
+        """Exponential-race score; the minimum across stakers wins."""
+        stake = self.stakes.get(staker)
+        if stake is None:
+            return math.inf
+        ticket = _ticket(parent.block_hash, height, staker)
+        return -math.log(ticket) / stake
+
+    def winner_at(self, parent: Block, height: int) -> str:
+        return min(
+            self.stakes, key=lambda staker: (self.score(parent, height, staker), staker)
+        )
+
+    def plan_proposal(
+        self, node_name: str, parent: Block, rng_sample: float
+    ) -> ProposalPlan:
+        height = parent.height + 1
+        if node_name not in self.stakes:
+            return ProposalPlan(delay_s=None)
+        if self.winner_at(parent, height) != node_name:
+            return ProposalPlan(delay_s=None)
+        # Delay scales with the winning score so block times vary naturally.
+        total_stake = sum(self.stakes.values())
+        delay = self.round_time_s * self.score(parent, height, node_name) * total_stake
+        return ProposalPlan(delay_s=max(0.05, min(delay, 10 * self.round_time_s)))
+
+    def seal(self, node_name: str, block: Block) -> Block:
+        if node_name not in self.stakes:
+            raise ConsensusError(f"{node_name} holds no stake")
+        return block.with_consensus(
+            {"type": self.name, "staker": node_name, "stake": self.stakes[node_name]}
+        )
+
+    def verify(self, block: Block, parent: Block) -> bool:
+        proof = block.header.consensus
+        if proof.get("type") != self.name:
+            return False
+        staker = proof.get("staker")
+        if staker not in self.stakes:
+            return False
+        return self.winner_at(parent, block.height) == staker

@@ -1,0 +1,386 @@
+"""Contract runtime: deploys and executes MedScript contracts against state.
+
+Implements the chain layer's ``Executor`` protocol.  Every node in the
+baseline (un-transformed) blockchain runs this executor over every block,
+which is exactly the duplicated computing the paper sets out to remove; the
+transformed architecture (``repro.core``) keeps only light-weight policy
+contracts on chain and moves heavy work off chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.chain.executor import (
+    BASE_TX_GAS,
+    ContractEvent,
+    ExecutionContext,
+    Receipt,
+)
+from repro.chain.state import StateDB
+from repro.chain.transactions import TX_CALL, TX_DEPLOY, TX_TRANSFER, Transaction
+from repro.common.errors import ChainError, ContractError, OutOfGasError
+from repro.common.hashing import hash_value_hex, sha256_hex
+from repro.common.serialize import canonical_bytes
+from repro.contracts import gas as G
+from repro.contracts.vm import ContractSource, GasMeter, Interpreter, compile_contract
+
+META_SLOT = "__meta__"
+STORAGE_PREFIX = "s/"
+
+
+@dataclass
+class ContractInfo:
+    """On-chain metadata for a deployed contract."""
+
+    contract_id: str
+    name: str
+    owner: str
+    source: str
+    deployed_at_height: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "contract_id": self.contract_id,
+            "name": self.name,
+            "owner": self.owner,
+            "source": self.source,
+            "deployed_at_height": self.deployed_at_height,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ContractInfo":
+        return cls(**data)
+
+
+class HostBridge:
+    """Host functions exposed to contract code, bound to one execution."""
+
+    def __init__(
+        self,
+        state: StateDB,
+        contract_id: str,
+        sender: str,
+        context: ExecutionContext,
+        meter: GasMeter,
+        events: List[ContractEvent],
+        read_only: bool = False,
+    ):
+        self._state = state
+        self._contract_id = contract_id
+        self._sender = sender
+        self._context = context
+        self._meter = meter
+        self._events = events
+        self._read_only = read_only
+
+    def functions(self) -> Dict[str, Callable[..., Any]]:
+        return {
+            "storage_get": self.storage_get,
+            "storage_set": self.storage_set,
+            "storage_has": self.storage_has,
+            "storage_delete": self.storage_delete,
+            "storage_keys": self.storage_keys,
+            "emit": self.emit,
+            "require": self.require,
+            "sender": lambda: self._sender,
+            "contract_id": lambda: self._contract_id,
+            "block_height": lambda: self._context.block_height,
+            "timestamp_ms": lambda: self._context.timestamp_ms,
+            "sha256_hex": self.sha256_hex,
+        }
+
+    def _guard_write(self) -> None:
+        if self._read_only:
+            raise ContractError("storage writes are forbidden in view calls")
+
+    def storage_get(self, key: str, default: Any = None) -> Any:
+        self._meter.charge(G.GAS_STORAGE_READ)
+        return self._state.get_slot(self._contract_id, STORAGE_PREFIX + str(key), default)
+
+    def storage_set(self, key: str, value: Any) -> None:
+        self._guard_write()
+        self._meter.charge(G.GAS_STORAGE_WRITE)
+        canonical_bytes(value, allow_float=False)  # determinism check
+        self._state.set_slot(self._contract_id, STORAGE_PREFIX + str(key), value)
+
+    def storage_has(self, key: str) -> bool:
+        self._meter.charge(G.GAS_STORAGE_READ)
+        return self._state.contains(
+            self._state.contract_key(self._contract_id, STORAGE_PREFIX + str(key))
+        )
+
+    def storage_delete(self, key: str) -> None:
+        self._guard_write()
+        self._meter.charge(G.GAS_STORAGE_WRITE)
+        self._state.delete(
+            self._state.contract_key(self._contract_id, STORAGE_PREFIX + str(key))
+        )
+
+    def storage_keys(self, prefix: str = "") -> List[str]:
+        full_prefix = self._state.contract_key(
+            self._contract_id, STORAGE_PREFIX + str(prefix)
+        )
+        keys = self._state.keys_with_prefix(full_prefix)
+        self._meter.charge(G.GAS_STORAGE_READ * max(1, len(keys)))
+        strip = len(self._state.contract_key(self._contract_id, STORAGE_PREFIX))
+        return [key[strip:] for key in keys]
+
+    def emit(self, name: str, data: Dict[str, Any]) -> None:
+        self._guard_write()
+        self._meter.charge(G.GAS_EMIT_EVENT)
+        canonical_bytes(data, allow_float=False)
+        self._events.append(
+            ContractEvent(
+                contract_id=self._contract_id,
+                name=str(name),
+                data=dict(data),
+                block_height=self._context.block_height,
+            )
+        )
+
+    @staticmethod
+    def require(condition: Any, message: str = "requirement failed") -> bool:
+        if not condition:
+            raise ContractError(str(message))
+        return True
+
+    def sha256_hex(self, value: Any) -> str:
+        data = canonical_bytes(value, allow_float=False)
+        self._meter.charge(G.GAS_HASH_PER_BYTE * len(data))
+        return sha256_hex(data)
+
+
+class ContractExecutor:
+    """Full executor: transfers, deployments, and contract calls.
+
+    Compiled contracts are cached by source so repeated calls do not re-parse;
+    the cache is content-addressed, hence safe to share across nodes.
+    """
+
+    def __init__(self) -> None:
+        self._compile_cache: Dict[str, ContractSource] = {}
+
+    # -- Executor protocol ------------------------------------------------
+    def apply(
+        self, state: StateDB, tx: Transaction, context: ExecutionContext
+    ) -> Receipt:
+        expected_nonce = state.nonce(tx.sender)
+        if tx.nonce != expected_nonce:
+            return Receipt(
+                tx_id=tx.tx_id,
+                success=False,
+                error=f"bad nonce: expected {expected_nonce}, got {tx.nonce}",
+            )
+        state.bump_nonce(tx.sender)
+        if tx.kind == TX_TRANSFER:
+            return self._apply_transfer(state, tx)
+        if tx.kind == TX_DEPLOY:
+            return self._apply_deploy(state, tx, context)
+        if tx.kind == TX_CALL:
+            return self._apply_call(state, tx, context)
+        return Receipt(
+            tx_id=tx.tx_id, success=False, error=f"unknown tx kind {tx.kind!r}"
+        )
+
+    # -- transfer ------------------------------------------------------------
+    @staticmethod
+    def _apply_transfer(state: StateDB, tx: Transaction) -> Receipt:
+        to = tx.payload.get("to")
+        amount = tx.payload.get("amount")
+        if not isinstance(to, str) or not isinstance(amount, int) or amount < 0:
+            return Receipt(
+                tx_id=tx.tx_id,
+                success=False,
+                gas_used=BASE_TX_GAS,
+                error="malformed transfer payload",
+            )
+        try:
+            state.debit(tx.sender, amount)
+        except ChainError as exc:
+            return Receipt(
+                tx_id=tx.tx_id, success=False, gas_used=BASE_TX_GAS, error=str(exc)
+            )
+        state.credit(to, amount)
+        return Receipt(tx_id=tx.tx_id, success=True, gas_used=BASE_TX_GAS)
+
+    # -- deploy -----------------------------------------------------------
+    def _apply_deploy(
+        self, state: StateDB, tx: Transaction, context: ExecutionContext
+    ) -> Receipt:
+        name = tx.payload.get("contract", "")
+        source = tx.payload.get("source", "")
+        init_args = tx.payload.get("init", {}) or {}
+        gas_used = G.GAS_DEPLOY_BASE + G.GAS_DEPLOY_PER_BYTE * len(source)
+        if gas_used > tx.gas_limit:
+            return Receipt(
+                tx_id=tx.tx_id,
+                success=False,
+                gas_used=tx.gas_limit,
+                error="out of gas during deployment",
+            )
+        try:
+            compiled = self._compile(source)
+        except ContractError as exc:
+            return Receipt(
+                tx_id=tx.tx_id, success=False, gas_used=gas_used, error=str(exc)
+            )
+        contract_id = hash_value_hex(
+            {"owner": tx.sender, "nonce": tx.nonce, "name": name}, allow_float=False
+        )[:40]
+        meta_key = state.contract_key(contract_id, META_SLOT)
+        if state.contains(meta_key):
+            return Receipt(
+                tx_id=tx.tx_id,
+                success=False,
+                gas_used=gas_used,
+                error="contract already deployed",
+            )
+        info = ContractInfo(
+            contract_id=contract_id,
+            name=name,
+            owner=tx.sender,
+            source=source,
+            deployed_at_height=context.block_height,
+        )
+        state.set(meta_key, info.to_dict())
+        events: List[ContractEvent] = []
+        if "init" in compiled.functions:
+            meter = GasMeter(tx.gas_limit - gas_used)
+            state.snapshot()
+            try:
+                bridge = HostBridge(
+                    state, contract_id, tx.sender, context, meter, events
+                )
+                Interpreter(compiled, bridge.functions(), meter).call(
+                    "init", dict(init_args)
+                )
+                state.commit()
+            except (ContractError, OutOfGasError) as exc:
+                state.rollback()
+                return Receipt(
+                    tx_id=tx.tx_id,
+                    success=False,
+                    gas_used=gas_used + meter.used,
+                    error=f"init failed: {exc}",
+                )
+            gas_used += meter.used
+        for event in events:
+            event.tx_id = tx.tx_id
+        return Receipt(
+            tx_id=tx.tx_id,
+            success=True,
+            gas_used=gas_used,
+            output=contract_id,
+            events=events,
+        )
+
+    # -- call ----------------------------------------------------------------
+    def _apply_call(
+        self, state: StateDB, tx: Transaction, context: ExecutionContext
+    ) -> Receipt:
+        contract_id = tx.payload.get("contract", "")
+        method = tx.payload.get("method", "")
+        args = tx.payload.get("args", {}) or {}
+        info = self.contract_info(state, contract_id)
+        if info is None:
+            return Receipt(
+                tx_id=tx.tx_id,
+                success=False,
+                gas_used=G.GAS_CALL_BASE,
+                error=f"unknown contract {contract_id[:12]}",
+            )
+        try:
+            compiled = self._compile(info.source)
+        except ContractError as exc:
+            return Receipt(
+                tx_id=tx.tx_id,
+                success=False,
+                gas_used=G.GAS_CALL_BASE,
+                error=str(exc),
+            )
+        meter = GasMeter(max(0, tx.gas_limit - G.GAS_CALL_BASE))
+        events: List[ContractEvent] = []
+        state.snapshot()
+        try:
+            bridge = HostBridge(state, contract_id, tx.sender, context, meter, events)
+            output = Interpreter(compiled, bridge.functions(), meter).call(
+                method, dict(args)
+            )
+            state.commit()
+        except (ContractError, OutOfGasError) as exc:
+            state.rollback()
+            return Receipt(
+                tx_id=tx.tx_id,
+                success=False,
+                gas_used=G.GAS_CALL_BASE + meter.used,
+                error=str(exc),
+            )
+        for event in events:
+            event.tx_id = tx.tx_id
+        return Receipt(
+            tx_id=tx.tx_id,
+            success=True,
+            gas_used=G.GAS_CALL_BASE + meter.used,
+            output=output,
+            events=events,
+        )
+
+    # -- view (read-only, off-consensus) ----------------------------------
+    def execute_view(
+        self,
+        state: StateDB,
+        contract_id: str,
+        method: str,
+        args: Optional[Dict[str, Any]] = None,
+        caller: str = "viewer",
+        gas_limit: int = 50_000_000,
+        context: Optional[ExecutionContext] = None,
+    ) -> Any:
+        """Run a method read-only against a state copy (no tx, no writes).
+
+        This is how off-chain control code inspects contract state without
+        paying consensus cost — the "light-weight policy control point" read
+        path of Figure 1.
+        """
+        info = self.contract_info(state, contract_id)
+        if info is None:
+            raise ContractError(f"unknown contract {contract_id[:12]}")
+        compiled = self._compile(info.source)
+        meter = GasMeter(gas_limit)
+        events: List[ContractEvent] = []
+        bridge = HostBridge(
+            state.copy(),
+            contract_id,
+            caller,
+            context or ExecutionContext(),
+            meter,
+            events,
+            read_only=True,
+        )
+        return Interpreter(compiled, bridge.functions(), meter).call(
+            method, dict(args or {})
+        )
+
+    # -- helpers ----------------------------------------------------------
+    def _compile(self, source: str) -> ContractSource:
+        key = sha256_hex(source.encode("utf-8"))
+        cached = self._compile_cache.get(key)
+        if cached is None:
+            cached = compile_contract(source)
+            self._compile_cache[key] = cached
+        return cached
+
+    @staticmethod
+    def contract_info(state: StateDB, contract_id: str) -> Optional[ContractInfo]:
+        data = state.get(state.contract_key(contract_id, META_SLOT))
+        return ContractInfo.from_dict(data) if data else None
+
+    @staticmethod
+    def list_contracts(state: StateDB) -> List[ContractInfo]:
+        infos = []
+        for key in state.keys_with_prefix("contract/"):
+            if key.endswith("/" + META_SLOT):
+                infos.append(ContractInfo.from_dict(state.get(key)))
+        return infos

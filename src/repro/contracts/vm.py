@@ -1,0 +1,486 @@
+"""MedScript: a deterministic, gas-metered smart-contract interpreter.
+
+Contracts are written in a strict subset of Python (parsed with ``ast``,
+never ``exec``).  The subset is chosen so that execution is *deterministic
+across nodes* — the consensus-critical property the paper relies on when it
+runs "the identical smart contract code in all the nodes" (section I):
+
+- integers, strings, booleans, lists, dicts, tuples — no floats;
+- ``if`` / ``while`` / ``for`` / function definitions / ``return``;
+- a whitelist of pure builtins (``len``, ``range``, ``min``, ...);
+- host functions injected by the runtime (``storage_get``, ``storage_set``,
+  ``emit``, ``require``, ``sender``, ``block_height``, ``timestamp_ms``,
+  ``sha256_hex``);
+- every AST node evaluated charges gas; storage and events cost extra.
+
+No attribute access, no imports, no comprehensions, no closures over
+mutable state: what remains is small enough to audit and big enough to be
+Turing-complete (bounded by gas), matching the paper's "arbitrary
+computation codes" framing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.common.errors import ContractError, OutOfGasError
+from repro.contracts import gas as G
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class GasMeter:
+    """Tracks gas consumption against a limit."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def charge(self, amount: int) -> None:
+        self.used += amount
+        if self.used > self.limit:
+            raise OutOfGasError(f"out of gas: used {self.used} > limit {self.limit}")
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.limit - self.used)
+
+
+_ALLOWED_BINOPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.Pow: lambda a, b: a ** b,
+}
+
+_ALLOWED_COMPARE = {
+    ast.Eq: lambda a, b: a == b,
+    ast.NotEq: lambda a, b: a != b,
+    ast.Lt: lambda a, b: a < b,
+    ast.LtE: lambda a, b: a <= b,
+    ast.Gt: lambda a, b: a > b,
+    ast.GtE: lambda a, b: a >= b,
+    ast.In: lambda a, b: a in b,
+    ast.NotIn: lambda a, b: a not in b,
+    ast.Is: lambda a, b: a is b,
+    ast.IsNot: lambda a, b: a is not b,
+}
+
+_PURE_BUILTINS: Dict[str, Callable[..., Any]] = {
+    "len": len,
+    "range": range,
+    "min": min,
+    "max": max,
+    "sum": sum,
+    "abs": abs,
+    "sorted": sorted,
+    "int": int,
+    "str": str,
+    "bool": bool,
+    "list": list,
+    "dict": dict,
+    "tuple": tuple,
+    "enumerate": enumerate,
+    "zip": zip,
+    "reversed": reversed,
+    "divmod": divmod,
+}
+
+
+def _check_value(value: Any) -> Any:
+    """Reject non-deterministic value types (floats, sets, objects)."""
+    if isinstance(value, float):
+        raise ContractError("floats are forbidden in contracts (non-deterministic)")
+    return value
+
+
+@dataclass
+class ContractSource:
+    """Parsed and statically-checked contract module."""
+
+    source: str
+    functions: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    constants: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def methods(self) -> List[str]:
+        return sorted(name for name in self.functions if not name.startswith("_"))
+
+
+def compile_contract(source: str) -> ContractSource:
+    """Parse and statically validate a MedScript contract module.
+
+    Top level may contain only function definitions and constant
+    assignments.  Raises :class:`ContractError` on any disallowed syntax.
+    """
+    try:
+        module = ast.parse(source)
+    except SyntaxError as exc:
+        raise ContractError(f"contract syntax error: {exc}") from exc
+    compiled = ContractSource(source=source)
+    for node in module.body:
+        if isinstance(node, ast.FunctionDef):
+            _validate_function(node)
+            compiled.functions[node.name] = node
+        elif isinstance(node, ast.Assign):
+            if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+                raise ContractError("top-level assignments must bind a single name")
+            compiled.constants[node.targets[0].id] = _literal(node.value)
+        elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Constant):
+            continue  # docstring
+        else:
+            raise ContractError(
+                f"disallowed top-level statement: {type(node).__name__}"
+            )
+    if not compiled.functions:
+        raise ContractError("contract defines no functions")
+    return compiled
+
+
+def _literal(node: ast.AST) -> Any:
+    try:
+        value = ast.literal_eval(node)
+    except (ValueError, SyntaxError) as exc:
+        raise ContractError("top-level constants must be literals") from exc
+    return _check_value(value)
+
+
+_DISALLOWED_IN_FUNCTIONS = (
+    ast.Import,
+    ast.ImportFrom,
+    ast.Attribute,
+    ast.Lambda,
+    ast.GeneratorExp,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.With,
+    ast.Try,
+    ast.Raise,
+    ast.Global,
+    ast.Nonlocal,
+    ast.ClassDef,
+    ast.AsyncFunctionDef,
+    ast.Await,
+    ast.Yield,
+    ast.YieldFrom,
+    ast.Starred,
+    ast.NamedExpr,
+)
+
+
+def _validate_function(func: ast.FunctionDef) -> None:
+    if func.args.vararg or func.args.kwarg or func.args.kwonlyargs:
+        raise ContractError(
+            f"{func.name}: only plain positional parameters are allowed"
+        )
+    for node in ast.walk(func):
+        if isinstance(node, _DISALLOWED_IN_FUNCTIONS):
+            raise ContractError(
+                f"{func.name}: disallowed syntax {type(node).__name__}"
+            )
+        if isinstance(node, ast.FunctionDef) and node is not func:
+            raise ContractError(f"{func.name}: nested functions are not allowed")
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            raise ContractError(f"{func.name}: float literals are forbidden")
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            raise ContractError(f"{func.name}: use // (true division yields floats)")
+
+
+class Interpreter:
+    """Evaluates one method call of a compiled contract."""
+
+    def __init__(
+        self,
+        contract: ContractSource,
+        host_functions: Dict[str, Callable[..., Any]],
+        meter: GasMeter,
+    ):
+        self.contract = contract
+        self.host_functions = host_functions
+        self.meter = meter
+        self._depth = 0
+
+    def call(self, method: str, args: Dict[str, Any]) -> Any:
+        """Invoke a public method with keyword arguments."""
+        func = self.contract.functions.get(method)
+        if func is None or method.startswith("_"):
+            raise ContractError(f"unknown or private method {method!r}")
+        return self._invoke(func, args)
+
+    def _invoke(self, func: ast.FunctionDef, args: Dict[str, Any]) -> Any:
+        self._depth += 1
+        if self._depth > G.MAX_CALL_DEPTH:
+            raise ContractError("max call depth exceeded")
+        self.meter.charge(G.GAS_CALL)
+        params = [arg.arg for arg in func.args.args]
+        defaults = func.args.defaults
+        env: Dict[str, Any] = dict(self.contract.constants)
+        # Bind defaults right-aligned, then override with provided args.
+        for param, default in zip(params[len(params) - len(defaults):], defaults):
+            env[param] = _literal(default)
+        for param in params:
+            if param in args:
+                env[param] = _check_value(args[param])
+        missing = [p for p in params if p not in env]
+        if missing:
+            raise ContractError(f"{func.name}: missing arguments {missing}")
+        extra = set(args) - set(params)
+        if extra:
+            raise ContractError(f"{func.name}: unexpected arguments {sorted(extra)}")
+        try:
+            self._exec_block(func.body, env)
+        except _ReturnSignal as signal:
+            return signal.value
+        finally:
+            self._depth -= 1
+        return None
+
+    # -- statements ----------------------------------------------------------
+    def _exec_block(self, body: List[ast.stmt], env: Dict[str, Any]) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, stmt: ast.stmt, env: Dict[str, Any]) -> None:
+        self.meter.charge(G.GAS_STATEMENT)
+        if isinstance(stmt, ast.Return):
+            raise _ReturnSignal(
+                self._eval(stmt.value, env) if stmt.value else None
+            )
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                self._assign(target, value, env)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            op = type(stmt.op)
+            if op not in _ALLOWED_BINOPS:
+                raise ContractError(f"disallowed operator {op.__name__}")
+            current = self._eval_target(stmt.target, env)
+            value = _ALLOWED_BINOPS[op](current, self._eval(stmt.value, env))
+            self._assign(stmt.target, _check_value(value), env)
+            return
+        if isinstance(stmt, ast.If):
+            branch = stmt.body if self._eval(stmt.test, env) else stmt.orelse
+            self._exec_block(branch, env)
+            return
+        if isinstance(stmt, ast.While):
+            iterations = 0
+            while self._eval(stmt.test, env):
+                iterations += 1
+                if iterations > G.MAX_ITERATIONS_PER_LOOP:
+                    raise ContractError("loop iteration limit exceeded")
+                self.meter.charge(G.GAS_LOOP_ITERATION)
+                try:
+                    self._exec_block(stmt.body, env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+            else:
+                self._exec_block(stmt.orelse, env)
+            return
+        if isinstance(stmt, ast.For):
+            iterable = self._eval(stmt.iter, env)
+            iterations = 0
+            broke = False
+            for item in iterable:
+                iterations += 1
+                if iterations > G.MAX_ITERATIONS_PER_LOOP:
+                    raise ContractError("loop iteration limit exceeded")
+                self.meter.charge(G.GAS_LOOP_ITERATION)
+                self._assign(stmt.target, _check_value(item), env)
+                try:
+                    self._exec_block(stmt.body, env)
+                except _BreakSignal:
+                    broke = True
+                    break
+                except _ContinueSignal:
+                    continue
+            if not broke:
+                self._exec_block(stmt.orelse, env)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+            return
+        if isinstance(stmt, ast.Pass):
+            return
+        if isinstance(stmt, ast.Break):
+            raise _BreakSignal()
+        if isinstance(stmt, ast.Continue):
+            raise _ContinueSignal()
+        if isinstance(stmt, ast.Assert):
+            if not self._eval(stmt.test, env):
+                message = self._eval(stmt.msg, env) if stmt.msg else "assertion failed"
+                raise ContractError(str(message))
+            return
+        raise ContractError(f"disallowed statement {type(stmt).__name__}")
+
+    def _assign(self, target: ast.expr, value: Any, env: Dict[str, Any]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+            return
+        if isinstance(target, ast.Subscript):
+            container = self._eval(target.value, env)
+            key = self._eval(target.slice, env)
+            container[key] = value
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            values = list(value)
+            if len(values) != len(target.elts):
+                raise ContractError("unpacking arity mismatch")
+            for element, item in zip(target.elts, values):
+                self._assign(element, _check_value(item), env)
+            return
+        raise ContractError(f"cannot assign to {type(target).__name__}")
+
+    def _eval_target(self, target: ast.expr, env: Dict[str, Any]) -> Any:
+        if isinstance(target, ast.Name):
+            if target.id not in env:
+                raise ContractError(f"undefined name {target.id!r}")
+            return env[target.id]
+        if isinstance(target, ast.Subscript):
+            container = self._eval(target.value, env)
+            return container[self._eval(target.slice, env)]
+        raise ContractError("invalid augmented-assignment target")
+
+    # -- expressions ---------------------------------------------------------
+    def _eval(self, node: ast.expr, env: Dict[str, Any]) -> Any:
+        self.meter.charge(G.GAS_EXPRESSION)
+        if isinstance(node, ast.Constant):
+            return _check_value(node.value)
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            if node.id in self.host_functions:
+                return self.host_functions[node.id]
+            if node.id in _PURE_BUILTINS:
+                return _PURE_BUILTINS[node.id]
+            if node.id in self.contract.functions:
+                return self.contract.functions[node.id]
+            raise ContractError(f"undefined name {node.id!r}")
+        if isinstance(node, ast.BinOp):
+            op = type(node.op)
+            if op not in _ALLOWED_BINOPS:
+                raise ContractError(f"disallowed operator {op.__name__}")
+            if op is ast.Pow:
+                self.meter.charge(G.GAS_POW)
+            left = self._eval(node.left, env)
+            right = self._eval(node.right, env)
+            try:
+                return _check_value(_ALLOWED_BINOPS[op](left, right))
+            except (TypeError, ZeroDivisionError, ValueError) as exc:
+                raise ContractError(f"arithmetic error: {exc}") from exc
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(node.operand, env)
+            if isinstance(node.op, ast.USub):
+                return -operand
+            if isinstance(node.op, ast.UAdd):
+                return +operand
+            if isinstance(node.op, ast.Not):
+                return not operand
+            raise ContractError("disallowed unary operator")
+        if isinstance(node, ast.BoolOp):
+            if isinstance(node.op, ast.And):
+                result: Any = True
+                for value_node in node.values:
+                    result = self._eval(value_node, env)
+                    if not result:
+                        return result
+                return result
+            for value_node in node.values:
+                result = self._eval(value_node, env)
+                if result:
+                    return result
+            return result
+        if isinstance(node, ast.Compare):
+            left = self._eval(node.left, env)
+            for op, comparator in zip(node.ops, node.comparators):
+                op_type = type(op)
+                if op_type not in _ALLOWED_COMPARE:
+                    raise ContractError(f"disallowed comparison {op_type.__name__}")
+                right = self._eval(comparator, env)
+                if not _ALLOWED_COMPARE[op_type](left, right):
+                    return False
+                left = right
+            return True
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.Subscript):
+            container = self._eval(node.value, env)
+            key = self._eval(node.slice, env)
+            try:
+                return _check_value(container[key])
+            except (KeyError, IndexError, TypeError) as exc:
+                raise ContractError(f"subscript error: {exc}") from exc
+        if isinstance(node, ast.Slice):
+            lower = self._eval(node.lower, env) if node.lower else None
+            upper = self._eval(node.upper, env) if node.upper else None
+            step = self._eval(node.step, env) if node.step else None
+            return slice(lower, upper, step)
+        if isinstance(node, ast.List):
+            return [self._eval(element, env) for element in node.elts]
+        if isinstance(node, ast.Tuple):
+            return tuple(self._eval(element, env) for element in node.elts)
+        if isinstance(node, ast.Dict):
+            out = {}
+            for key_node, value_node in zip(node.keys, node.values):
+                if key_node is None:
+                    raise ContractError("dict unpacking is not allowed")
+                out[self._eval(key_node, env)] = self._eval(value_node, env)
+            return out
+        if isinstance(node, ast.IfExp):
+            if self._eval(node.test, env):
+                return self._eval(node.body, env)
+            return self._eval(node.orelse, env)
+        if isinstance(node, ast.JoinedStr):
+            parts = []
+            for value_node in node.values:
+                if isinstance(value_node, ast.Constant):
+                    parts.append(str(value_node.value))
+                elif isinstance(value_node, ast.FormattedValue):
+                    parts.append(str(self._eval(value_node.value, env)))
+            return "".join(parts)
+        raise ContractError(f"disallowed expression {type(node).__name__}")
+
+    def _eval_call(self, node: ast.Call, env: Dict[str, Any]) -> Any:
+        func = self._eval(node.func, env)
+        args = [self._eval(arg, env) for arg in node.args]
+        kwargs = {}
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                raise ContractError("**kwargs calls are not allowed")
+            kwargs[keyword.arg] = self._eval(keyword.value, env)
+        if isinstance(func, ast.FunctionDef):
+            if kwargs:
+                bound = dict(kwargs)
+                params = [a.arg for a in func.args.args]
+                for param, value in zip(params, args):
+                    bound[param] = value
+                return self._invoke(func, bound)
+            params = [a.arg for a in func.args.args]
+            return self._invoke(func, dict(zip(params, args)))
+        if callable(func):
+            self.meter.charge(G.GAS_CALL)
+            try:
+                return _check_value(func(*args, **kwargs))
+            except ContractError:
+                raise
+            except (TypeError, ValueError, KeyError, IndexError) as exc:
+                raise ContractError(f"call error: {exc}") from exc
+        raise ContractError("attempt to call a non-function")

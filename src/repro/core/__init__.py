@@ -1,0 +1,28 @@
+"""Core: the transformed blockchain platform, query service, strategies."""
+
+from repro.core.platform import (
+    FDA_NODE_NAME,
+    MedicalBlockchainNetwork,
+    ParamsDepot,
+    PlatformConfig,
+    Site,
+)
+from repro.core.queryservice import GlobalAnswer, GlobalQueryService
+from repro.core.strategies import (
+    ExecutionReport,
+    compute_to_data,
+    data_to_compute,
+)
+
+__all__ = [
+    "ExecutionReport",
+    "FDA_NODE_NAME",
+    "GlobalAnswer",
+    "GlobalQueryService",
+    "MedicalBlockchainNetwork",
+    "ParamsDepot",
+    "PlatformConfig",
+    "Site",
+    "compute_to_data",
+    "data_to_compute",
+]

@@ -1,0 +1,340 @@
+"""Legacy EMR formats and bidirectional mappers to the canonical schema.
+
+Section V: "Explore mechanisms to integrate various legacy EMR formats."
+Three deliberately dissimilar formats are modelled on real-world families:
+
+- ``hl7v2``: segment-oriented, cryptic keys, everything stringly typed,
+  glucose in mmol/L (unit conversion required);
+- ``fhirjson``: deeply nested resource bundles, ISO-coded sex;
+- ``legacycsv``: flat abbreviated columns, birth date as MM/DD/YYYY string,
+  semicolon-joined lists.
+
+Each mapper is total over records produced by its exporter, and the
+round-trip ``canonical -> legacy -> canonical`` preserves all analytic
+fields (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.common.errors import DataFormatError
+from repro.datamgmt.schema import empty_record, validate_canonical
+
+MMOL_PER_MGDL_GLUCOSE = 0.0555
+
+
+# ---------------------------------------------------------------------------
+# hl7v2-like
+# ---------------------------------------------------------------------------
+
+def canonical_to_hl7v2(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Export a canonical record as an HL7v2-flavoured segment dict."""
+    sex_code = {"F": "F", "M": "M"}[record["sex"]]
+    obx: List[Dict[str, Any]] = []
+    for lab, value in sorted(record["labs"].items()):
+        if lab == "glucose":
+            obx.append(
+                {"code": "GLU^mmol/L", "value": round(value * MMOL_PER_MGDL_GLUCOSE, 4)}
+            )
+        else:
+            obx.append({"code": lab.upper(), "value": value})
+    for vital, value in sorted(record["vitals"].items()):
+        obx.append({"code": "VIT^" + vital.upper(), "value": value})
+    return {
+        "MSH": {"sending_facility": record["site"], "version": "2.5"},
+        "PID": {
+            "id": record["patient_id"],
+            "nid_hash": record["national_id_hash"],
+            "dob_year": str(record["birth_year"]),
+            "sex": sex_code,
+            "zip": record["zip3"],
+        },
+        "DG1": [{"code": code} for code in record["diagnoses"]],
+        "RXE": [{"drug": drug} for drug in record["medications"]],
+        "OBX": obx,
+        "ZGN": dict(record["genomics"]),
+        "ZLS": dict(record["lifestyle"]),
+        "ZOC": dict(record["outcomes"]),
+    }
+
+
+def hl7v2_to_canonical(message: Dict[str, Any]) -> Dict[str, Any]:
+    """Parse the HL7v2-flavoured dict back into a canonical record."""
+    try:
+        pid = message["PID"]
+        record = empty_record()
+        record["patient_id"] = pid["id"]
+        record["national_id_hash"] = pid.get("nid_hash", "")
+        record["birth_year"] = int(pid["dob_year"])
+        record["sex"] = pid["sex"]
+        record["zip3"] = pid.get("zip", "000")
+        record["site"] = message.get("MSH", {}).get("sending_facility", "")
+        record["diagnoses"] = [seg["code"] for seg in message.get("DG1", [])]
+        record["medications"] = [seg["drug"] for seg in message.get("RXE", [])]
+        for obs in message.get("OBX", []):
+            code, value = obs["code"], obs["value"]
+            if code == "GLU^mmol/L":
+                record["labs"]["glucose"] = float(value) / MMOL_PER_MGDL_GLUCOSE
+            elif code.startswith("VIT^"):
+                record["vitals"][code[4:].lower()] = float(value)
+            else:
+                record["labs"][code.lower()] = float(value)
+        record["genomics"] = {k: int(v) for k, v in message.get("ZGN", {}).items()}
+        record["lifestyle"] = dict(message.get("ZLS", {}))
+        record["outcomes"] = dict(message.get("ZOC", {}))
+        return record
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataFormatError(f"malformed hl7v2 message: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# FHIR-JSON-like
+# ---------------------------------------------------------------------------
+
+def canonical_to_fhirjson(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Export as a FHIR-flavoured bundle of nested resources."""
+    sex_word = {"F": "female", "M": "male"}[record["sex"]]
+    observations = []
+    for lab, value in sorted(record["labs"].items()):
+        observations.append(
+            {
+                "resourceType": "Observation",
+                "category": "laboratory",
+                "code": {"text": lab},
+                "valueQuantity": {"value": value, "unit": "canonical"},
+            }
+        )
+    for vital, value in sorted(record["vitals"].items()):
+        observations.append(
+            {
+                "resourceType": "Observation",
+                "category": "vital-signs",
+                "code": {"text": vital},
+                "valueQuantity": {"value": value, "unit": "canonical"},
+            }
+        )
+    return {
+        "resourceType": "Bundle",
+        "entry": [
+            {
+                "resource": {
+                    "resourceType": "Patient",
+                    "id": record["patient_id"],
+                    "identifier": [
+                        {"system": "nid-hash", "value": record["national_id_hash"]}
+                    ],
+                    "gender": sex_word,
+                    "birthDate": f"{record['birth_year']}-01-01",
+                    "address": [{"postalCode": record["zip3"]}],
+                    "managingOrganization": {"display": record["site"]},
+                }
+            },
+            *(
+                {
+                    "resource": {
+                        "resourceType": "Condition",
+                        "code": {"coding": [{"code": code}]},
+                    }
+                }
+                for code in record["diagnoses"]
+            ),
+            *(
+                {
+                    "resource": {
+                        "resourceType": "MedicationStatement",
+                        "medication": {"text": drug},
+                    }
+                }
+                for drug in record["medications"]
+            ),
+            *({"resource": obs} for obs in observations),
+            {
+                "resource": {
+                    "resourceType": "MolecularSequence",
+                    "variants": dict(record["genomics"]),
+                }
+            },
+            {
+                "resource": {
+                    "resourceType": "Observation",
+                    "category": "social-history",
+                    "components": dict(record["lifestyle"]),
+                }
+            },
+            {
+                "resource": {
+                    "resourceType": "Observation",
+                    "category": "outcome",
+                    "components": dict(record["outcomes"]),
+                }
+            },
+        ],
+    }
+
+
+def fhirjson_to_canonical(bundle: Dict[str, Any]) -> Dict[str, Any]:
+    """Parse the FHIR-flavoured bundle into a canonical record."""
+    try:
+        record = empty_record()
+        for entry in bundle["entry"]:
+            resource = entry["resource"]
+            rtype = resource["resourceType"]
+            if rtype == "Patient":
+                record["patient_id"] = resource["id"]
+                for identifier in resource.get("identifier", []):
+                    if identifier.get("system") == "nid-hash":
+                        record["national_id_hash"] = identifier["value"]
+                record["sex"] = {"female": "F", "male": "M"}[resource["gender"]]
+                record["birth_year"] = int(resource["birthDate"][:4])
+                addresses = resource.get("address", [])
+                record["zip3"] = addresses[0]["postalCode"] if addresses else "000"
+                record["site"] = resource.get("managingOrganization", {}).get(
+                    "display", ""
+                )
+            elif rtype == "Condition":
+                record["diagnoses"].append(resource["code"]["coding"][0]["code"])
+            elif rtype == "MedicationStatement":
+                record["medications"].append(resource["medication"]["text"])
+            elif rtype == "MolecularSequence":
+                record["genomics"] = {
+                    k: int(v) for k, v in resource["variants"].items()
+                }
+            elif rtype == "Observation":
+                category = resource.get("category", "")
+                if category == "laboratory":
+                    record["labs"][resource["code"]["text"]] = float(
+                        resource["valueQuantity"]["value"]
+                    )
+                elif category == "vital-signs":
+                    record["vitals"][resource["code"]["text"]] = float(
+                        resource["valueQuantity"]["value"]
+                    )
+                elif category == "social-history":
+                    record["lifestyle"] = dict(resource["components"])
+                elif category == "outcome":
+                    record["outcomes"] = dict(resource["components"])
+        return record
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise DataFormatError(f"malformed fhir bundle: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# legacy flat CSV-like
+# ---------------------------------------------------------------------------
+
+_CSV_LAB_COLUMNS = {
+    "glucose": "glu_mgdl",
+    "ldl": "ldl_mgdl",
+    "hdl": "hdl_mgdl",
+    "hba1c": "a1c_pct",
+    "creatinine": "creat_mgdl",
+}
+_CSV_VITAL_COLUMNS = {"sbp": "bp_sys", "dbp": "bp_dia", "bmi": "bmi", "heart_rate": "hr"}
+
+
+def canonical_to_legacycsv(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Export as one flat row with abbreviated column names."""
+    row: Dict[str, Any] = {
+        "pt_id": record["patient_id"],
+        "nid_h": record["national_id_hash"],
+        "dob": f"01/01/{record['birth_year']}",
+        "sx": {"F": "2", "M": "1"}[record["sex"]],  # old numeric coding
+        "zip": record["zip3"],
+        "fac": record["site"],
+        "dx_list": ";".join(record["diagnoses"]),
+        "rx_list": ";".join(record["medications"]),
+        "smoke_yn": "Y" if record["lifestyle"].get("smoker") else "N",
+        "etoh_wk": record["lifestyle"].get("alcohol_units_week", 0.0),
+        "exer_wk": record["lifestyle"].get("exercise_hours_week", 0.0),
+    }
+    for lab, column in _CSV_LAB_COLUMNS.items():
+        if lab in record["labs"]:
+            row[column] = record["labs"][lab]
+    for vital, column in _CSV_VITAL_COLUMNS.items():
+        if vital in record["vitals"]:
+            row[column] = record["vitals"][vital]
+    for rsid, dose in record["genomics"].items():
+        row[f"gen_{rsid}"] = dose
+    for outcome, value in record["outcomes"].items():
+        row[f"oc_{outcome}"] = value
+    return row
+
+
+def legacycsv_to_canonical(row: Dict[str, Any]) -> Dict[str, Any]:
+    """Parse a flat legacy row into a canonical record."""
+    try:
+        record = empty_record()
+        record["patient_id"] = row["pt_id"]
+        record["national_id_hash"] = row.get("nid_h", "")
+        record["birth_year"] = int(str(row["dob"]).rsplit("/", 1)[-1])
+        record["sex"] = {"2": "F", "1": "M"}[str(row["sx"])]
+        record["zip3"] = str(row.get("zip", "000"))
+        record["site"] = row.get("fac", "")
+        record["diagnoses"] = [c for c in str(row.get("dx_list", "")).split(";") if c]
+        record["medications"] = [c for c in str(row.get("rx_list", "")).split(";") if c]
+        record["lifestyle"] = {
+            "smoker": 1 if row.get("smoke_yn") == "Y" else 0,
+            "alcohol_units_week": float(row.get("etoh_wk", 0.0)),
+            "exercise_hours_week": float(row.get("exer_wk", 0.0)),
+        }
+        for lab, column in _CSV_LAB_COLUMNS.items():
+            if column in row:
+                record["labs"][lab] = float(row[column])
+        for vital, column in _CSV_VITAL_COLUMNS.items():
+            if column in row:
+                record["vitals"][vital] = float(row[column])
+        for key, value in row.items():
+            if key.startswith("gen_"):
+                record["genomics"][key[4:]] = int(value)
+            elif key.startswith("oc_"):
+                record["outcomes"][key[3:]] = value
+        return record
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataFormatError(f"malformed legacy csv row: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+FORMAT_EXPORTERS = {
+    "hl7v2": canonical_to_hl7v2,
+    "fhirjson": canonical_to_fhirjson,
+    "legacycsv": canonical_to_legacycsv,
+}
+
+FORMAT_PARSERS = {
+    "hl7v2": hl7v2_to_canonical,
+    "fhirjson": fhirjson_to_canonical,
+    "legacycsv": legacycsv_to_canonical,
+}
+
+KNOWN_FORMATS = tuple(sorted(FORMAT_EXPORTERS))
+
+
+def export_record(record: Dict[str, Any], fmt: str) -> Dict[str, Any]:
+    """Canonical record -> legacy format ``fmt``."""
+    if fmt == "canonical":
+        return record
+    exporter = FORMAT_EXPORTERS.get(fmt)
+    if exporter is None:
+        raise DataFormatError(f"unknown format {fmt!r}")
+    return exporter(record)
+
+
+def parse_record(raw: Dict[str, Any], fmt: str) -> Dict[str, Any]:
+    """Legacy record in format ``fmt`` -> canonical, schema-validated."""
+    if fmt == "canonical":
+        canonical = raw
+    else:
+        parser = FORMAT_PARSERS.get(fmt)
+        if parser is None:
+            raise DataFormatError(f"unknown format {fmt!r}")
+        canonical = parser(raw)
+    problems = validate_canonical(canonical)
+    if problems:
+        raise DataFormatError(
+            f"record failed canonical validation after {fmt} parse: {problems[:3]}"
+        )
+    return canonical

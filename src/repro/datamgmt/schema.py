@@ -1,0 +1,107 @@
+"""Canonical patient-record schema.
+
+The paper's section V lists "mechanisms to integrate various legacy EMR
+formats" as a core challenge; this module defines the canonical target
+schema all legacy formats map into (the "common data format" of section II).
+A canonical record is a plain dict so it can be hashed, anchored, shipped,
+and fed to analytics without a class dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: Top-level canonical fields, in schema order.
+CANONICAL_FIELDS = (
+    "patient_id",       # site-local pseudonymous id
+    "national_id_hash", # salted hash of a national id (may be "")
+    "birth_year",
+    "sex",              # "F" | "M"
+    "zip3",             # coarse geography, 3-digit string
+    "site",             # hosting site name
+    "diagnoses",        # list of ICD-10-ish code strings
+    "medications",      # list of drug name strings
+    "labs",             # dict name -> float (canonical units)
+    "vitals",           # dict: sbp, dbp, bmi, heart_rate
+    "genomics",         # dict rsid -> 0/1/2 risk-allele count
+    "lifestyle",        # dict: smoker(0/1), alcohol_units_week, exercise_hours_week
+    "outcomes",         # dict outcome_name -> 0/1 or float
+)
+
+#: Lab names and their canonical units.
+CANONICAL_LAB_UNITS = {
+    "glucose": "mg/dL",
+    "ldl": "mg/dL",
+    "hdl": "mg/dL",
+    "hba1c": "%",
+    "creatinine": "mg/dL",
+}
+
+#: Genomic variant panel used by the synthetic cohort (risk loci).
+VARIANT_PANEL = (
+    "rs4977574",  # CAD/stroke-associated (9p21)
+    "rs2200733",  # atrial fibrillation
+    "rs7903146",  # TCF7L2, type-2 diabetes
+    "rs429358",   # APOE e4
+    "rs1333049",  # CAD
+    "rs10757278", # stroke
+)
+
+#: Outcomes tracked by the reproduction's disease models.
+OUTCOME_NAMES = ("stroke", "diabetes", "cancer")
+
+REQUIRED_VITALS = ("sbp", "dbp", "bmi", "heart_rate")
+REQUIRED_LIFESTYLE = ("smoker", "alcohol_units_week", "exercise_hours_week")
+
+
+def empty_record() -> Dict[str, Any]:
+    """A canonical record skeleton with empty values."""
+    return {
+        "patient_id": "",
+        "national_id_hash": "",
+        "birth_year": 0,
+        "sex": "F",
+        "zip3": "000",
+        "site": "",
+        "diagnoses": [],
+        "medications": [],
+        "labs": {},
+        "vitals": {},
+        "genomics": {},
+        "lifestyle": {},
+        "outcomes": {},
+    }
+
+
+def validate_canonical(record: Dict[str, Any]) -> List[str]:
+    """Return a list of schema violations (empty = valid)."""
+    problems: List[str] = []
+    for field in CANONICAL_FIELDS:
+        if field not in record:
+            problems.append(f"missing field {field!r}")
+    if not problems:
+        if record["sex"] not in ("F", "M"):
+            problems.append(f"bad sex {record['sex']!r}")
+        if not isinstance(record["birth_year"], int) or not (
+            1900 <= record["birth_year"] <= 2030
+        ):
+            problems.append(f"bad birth_year {record['birth_year']!r}")
+        for vital in REQUIRED_VITALS:
+            if vital not in record["vitals"]:
+                problems.append(f"missing vital {vital!r}")
+        for item in REQUIRED_LIFESTYLE:
+            if item not in record["lifestyle"]:
+                problems.append(f"missing lifestyle item {item!r}")
+        for lab in record["labs"]:
+            if lab not in CANONICAL_LAB_UNITS:
+                problems.append(f"unknown lab {lab!r}")
+    return problems
+
+
+def is_canonical(record: Dict[str, Any]) -> bool:
+    return not validate_canonical(record)
+
+
+def age_in(record: Dict[str, Any], current_year: int = 2018) -> int:
+    """Patient age at the paper's publication year by default."""
+    return max(0, current_year - record["birth_year"])

@@ -1,0 +1,119 @@
+"""Hospital data store: locally hosted, legacy-formatted, anchor-able.
+
+Each hospital keeps its records in its own legacy format (the silo problem,
+section III.A).  The store exposes the :class:`DatasetHost` duck-type the
+control node expects — ``get_records`` parses legacy rows to canonical on
+the way out, so the schema mappers run on every real access path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.common.errors import DataFormatError, OracleError
+from repro.datamgmt.formats import KNOWN_FORMATS, export_record, parse_record
+from repro.offchain.anchoring import DatasetAnchor
+
+
+@dataclass
+class StoredDataset:
+    """One dataset held at a site, in its native legacy format."""
+
+    dataset_id: str
+    fmt: str
+    raw_records: List[Dict[str, Any]]
+    owner: str = ""
+    schema: str = "patient-canonical-v1"
+
+
+class HospitalDataStore:
+    """Per-site data silo.
+
+    Implements ``has_dataset`` / ``get_records`` so it can be plugged
+    directly into :class:`repro.offchain.control.ControlNode`.
+    """
+
+    def __init__(self, site: str):
+        self.site = site
+        self._datasets: Dict[str, StoredDataset] = {}
+
+    # -- ingestion -----------------------------------------------------------
+    def add_canonical(
+        self,
+        dataset_id: str,
+        canonical_records: List[Dict[str, Any]],
+        fmt: str = "canonical",
+        owner: str = "",
+    ) -> StoredDataset:
+        """Store canonical records, converting to the site's legacy format."""
+        if fmt != "canonical" and fmt not in KNOWN_FORMATS:
+            raise DataFormatError(f"unknown format {fmt!r}")
+        if dataset_id in self._datasets:
+            raise OracleError(f"dataset {dataset_id!r} already exists at {self.site}")
+        raw = [export_record(record, fmt) for record in canonical_records]
+        dataset = StoredDataset(
+            dataset_id=dataset_id, fmt=fmt, raw_records=raw, owner=owner
+        )
+        self._datasets[dataset_id] = dataset
+        return dataset
+
+    def add_raw(
+        self,
+        dataset_id: str,
+        raw_records: List[Dict[str, Any]],
+        fmt: str,
+        owner: str = "",
+    ) -> StoredDataset:
+        """Store already-legacy records (validated by a trial parse)."""
+        for raw in raw_records[:3]:
+            parse_record(raw, fmt)
+        dataset = StoredDataset(
+            dataset_id=dataset_id, fmt=fmt, raw_records=list(raw_records), owner=owner
+        )
+        if dataset_id in self._datasets:
+            raise OracleError(f"dataset {dataset_id!r} already exists at {self.site}")
+        self._datasets[dataset_id] = dataset
+        return dataset
+
+    # -- DatasetHost interface ------------------------------------------------
+    def has_dataset(self, dataset_id: str) -> bool:
+        return dataset_id in self._datasets
+
+    def get_records(self, dataset_id: str) -> List[Dict[str, Any]]:
+        """Canonical records (parsed from the native format on access)."""
+        dataset = self._require(dataset_id)
+        return [parse_record(raw, dataset.fmt) for raw in dataset.raw_records]
+
+    # -- management -----------------------------------------------------------
+    def get_raw(self, dataset_id: str) -> List[Dict[str, Any]]:
+        return list(self._require(dataset_id).raw_records)
+
+    def dataset_ids(self) -> List[str]:
+        return sorted(self._datasets)
+
+    def dataset_format(self, dataset_id: str) -> str:
+        return self._require(dataset_id).fmt
+
+    def record_count(self, dataset_id: str) -> int:
+        return len(self._require(dataset_id).raw_records)
+
+    def anchor(self, dataset_id: str) -> DatasetAnchor:
+        """Merkle anchor over the canonical view (what verifiers recompute)."""
+        return DatasetAnchor.build(self.get_records(dataset_id))
+
+    def tamper(
+        self, dataset_id: str, index: int, key: str, value: Any
+    ) -> None:
+        """Mutate a stored record in place — used by integrity experiments
+        (E7) to inject post-registration falsification."""
+        dataset = self._require(dataset_id)
+        if not 0 <= index < len(dataset.raw_records):
+            raise OracleError(f"record index {index} out of range")
+        dataset.raw_records[index][key] = value
+
+    def _require(self, dataset_id: str) -> StoredDataset:
+        dataset = self._datasets.get(dataset_id)
+        if dataset is None:
+            raise OracleError(f"dataset {dataset_id!r} is not hosted at {self.site}")
+        return dataset

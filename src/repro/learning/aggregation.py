@@ -1,0 +1,101 @@
+"""Secure-style aggregation via pairwise cancelling masks.
+
+Even parameter updates can leak information about a site's patients, so
+federated systems mask them: every pair of sites derives a shared mask from
+a common secret; one adds it, the other subtracts it, and the masks cancel
+exactly in the aggregate.  The server learns only the sum — the property
+tested in ``tests/learning``.
+
+(Genuine secure aggregation adds dropout recovery and key agreement; this
+reproduction keeps the cancellation math, which is the behaviour the
+architecture relies on.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analytics.models import Params
+from repro.common.errors import LearningError
+from repro.common.hashing import sha256
+
+
+def _pair_seed(site_a: str, site_b: str, round_index: int) -> int:
+    """Symmetric deterministic seed for a site pair and round."""
+    first, second = sorted((site_a, site_b))
+    digest = sha256(f"mask|{first}|{second}|{round_index}".encode())
+    return int.from_bytes(digest[:8], "big")
+
+
+def _mask_like(params: Params, seed: int, scale: float = 1.0) -> Params:
+    rng = np.random.default_rng(seed)
+    return [rng.normal(0, scale, size=array.shape) for array in params]
+
+
+def mask_update(
+    site: str,
+    all_sites: Sequence[str],
+    params: Params,
+    round_index: int,
+    mask_scale: float = 1.0,
+) -> Params:
+    """Add this site's pairwise masks to its parameter update.
+
+    For each peer, the lexicographically-smaller site *adds* the shared
+    mask and the larger one *subtracts* it, so the sum over all sites is
+    unchanged while each individual update is indistinguishable from noise.
+    """
+    if site not in all_sites:
+        raise LearningError(f"site {site!r} not in the aggregation group")
+    masked = [array.copy() for array in params]
+    for peer in all_sites:
+        if peer == site:
+            continue
+        mask = _mask_like(params, _pair_seed(site, peer, round_index), mask_scale)
+        sign = 1.0 if site < peer else -1.0
+        for index in range(len(masked)):
+            masked[index] = masked[index] + sign * mask[index]
+    return masked
+
+
+def aggregate_masked(
+    updates: Dict[str, Params], weights: Dict[str, float]
+) -> Params:
+    """Weighted mean of masked updates.
+
+    NOTE: exact mask cancellation holds for the *unweighted sum*; weighted
+    FedAvg therefore masks the already-weighted contribution.  Callers must
+    pass the same weights used at masking time.
+    """
+    if not updates:
+        raise LearningError("no updates to aggregate")
+    sites = sorted(updates)
+    total_weight = sum(weights[site] for site in sites)
+    if total_weight <= 0:
+        raise LearningError("weights must sum to a positive value")
+    shapes = [array.shape for array in updates[sites[0]]]
+    out: Params = [np.zeros(shape) for shape in shapes]
+    for site in sites:
+        for index in range(len(out)):
+            out[index] += updates[site][index]
+    return [array / float(len(sites)) for array in out]
+
+
+def masked_round(
+    site_params: Dict[str, Params], round_index: int, mask_scale: float = 1.0
+) -> Tuple[Params, Dict[str, Params]]:
+    """Convenience: mask every site's update and aggregate (equal weights).
+
+    Returns ``(aggregate, masked_updates)`` so tests can check that (a) the
+    aggregate equals the plain mean and (b) each masked update differs
+    substantially from the raw one.
+    """
+    sites = sorted(site_params)
+    masked = {
+        site: mask_update(site, sites, params, round_index, mask_scale)
+        for site, params in site_params.items()
+    }
+    aggregate = aggregate_masked(masked, {site: 1.0 for site in sites})
+    return aggregate, masked

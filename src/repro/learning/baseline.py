@@ -1,0 +1,93 @@
+"""Centralized learning baseline (the approach the paper argues against).
+
+"Standard machine learning approaches require centralizing the training
+data on a location where the computing engine [is] co-located" (section
+III.C).  This baseline copies every record to one place, trains there, and
+accounts the bytes moved — the comparison target for federated training
+(E8) and for move-compute-to-data (E5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analytics.models import SupervisedModel
+from repro.common.errors import LearningError
+from repro.common.serialize import canonical_bytes
+from repro.learning.federated import ModelFactory, SiteData
+
+#: Conservative wire-size estimate of one canonical patient record.
+EST_RECORD_BYTES = 900
+
+
+def estimate_record_bytes(record: Dict) -> int:
+    """Exact canonical wire size of one record."""
+    return len(canonical_bytes(record))
+
+
+@dataclass
+class CentralizedResult:
+    """Outcome of a pooled training run."""
+
+    model: SupervisedModel
+    bytes_moved: int
+    total_flops: float
+    eval_metrics: Dict[str, float]
+
+
+def train_centralized(
+    model_factory: ModelFactory,
+    site_data: SiteData,
+    eval_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    epochs: int = 20,
+    lr: float = 0.1,
+    batch_size: int = 32,
+    seed: int = 0,
+    bytes_per_record: int = EST_RECORD_BYTES,
+) -> CentralizedResult:
+    """Pool all shards centrally and train one model.
+
+    ``bytes_moved`` counts every record crossing the wire once — the cost
+    federated training avoids entirely.
+    """
+    if not site_data:
+        raise LearningError("no sites to pool")
+    X = np.concatenate([x for x, __ in site_data.values()])
+    y = np.concatenate([labels for __, labels in site_data.values()])
+    model = model_factory()
+    model.train_epochs(X, y, epochs=epochs, lr=lr, batch_size=batch_size, seed=seed)
+    metrics = model.evaluate(*eval_data) if eval_data is not None else {}
+    return CentralizedResult(
+        model=model,
+        bytes_moved=int(len(X)) * bytes_per_record,
+        total_flops=model.flops,
+        eval_metrics=metrics,
+    )
+
+
+def local_only_baselines(
+    model_factory: ModelFactory,
+    site_data: SiteData,
+    eval_data: Tuple[np.ndarray, np.ndarray],
+    epochs: int = 20,
+    lr: float = 0.1,
+    batch_size: int = 32,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Each site trains alone on its own shard (no collaboration at all).
+
+    The lower bound federated learning must beat to justify itself.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for site in sorted(site_data):
+        X, y = site_data[site]
+        model = model_factory()
+        if len(X):
+            model.train_epochs(
+                X, y, epochs=epochs, lr=lr, batch_size=batch_size, seed=seed
+            )
+        out[site] = model.evaluate(*eval_data)
+    return out

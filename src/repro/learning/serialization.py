@@ -1,0 +1,74 @@
+"""Model (de)serialization for sharing learned models across sites.
+
+Section III's platform goal includes sharing *learned models*, not just
+data: a site (or the global data service) trains a model, anchors its hash
+on chain via ``post_result``, and ships the serialized form off chain to
+whoever holds a grant.  The wire format is canonical JSON, so the on-chain
+hash is reproducible by every verifier.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.analytics.features import FEATURE_DIM
+from repro.analytics.models import LogisticModel, MLPModel, MultiTaskMLP, SupervisedModel
+from repro.common.errors import LearningError
+from repro.common.hashing import hash_value_hex
+
+
+def model_to_dict(model: SupervisedModel) -> Dict[str, Any]:
+    """Serialize a supported model into a canonical-JSON-safe dict."""
+    if isinstance(model, LogisticModel):
+        return {
+            "kind": "logistic",
+            "dim": model.dim,
+            "params": [p.tolist() for p in model.get_params()],
+        }
+    if isinstance(model, MultiTaskMLP):
+        return {
+            "kind": "multitask_mlp",
+            "dim": model.dim,
+            "hidden": model.hidden,
+            "outcomes": list(model.outcomes),
+            "params": [p.tolist() for p in model.get_params()],
+        }
+    if isinstance(model, MLPModel):
+        return {
+            "kind": "mlp",
+            "dim": model.dim,
+            "hidden": model.hidden,
+            "params": [p.tolist() for p in model.get_params()],
+        }
+    raise LearningError(f"cannot serialize model type {type(model).__name__}")
+
+
+def model_from_dict(payload: Dict[str, Any]) -> SupervisedModel:
+    """Reconstruct a model from :func:`model_to_dict` output."""
+    kind = payload.get("kind")
+    dim = int(payload.get("dim", FEATURE_DIM))
+    params = [np.asarray(p, dtype=float) for p in payload["params"]]
+    if kind == "logistic":
+        model: SupervisedModel = LogisticModel(dim)
+    elif kind == "mlp":
+        model = MLPModel(dim, hidden=int(payload["hidden"]))
+    elif kind == "multitask_mlp":
+        model = MultiTaskMLP(
+            dim, payload["outcomes"], hidden=int(payload["hidden"])
+        )
+    else:
+        raise LearningError(f"unknown serialized model kind {kind!r}")
+    model.set_params(params)
+    return model
+
+
+def model_hash(model: SupervisedModel) -> str:
+    """Content hash of a model — what ``post_result`` anchors on chain."""
+    return hash_value_hex(model_to_dict(model))
+
+
+def verify_model(model: SupervisedModel, anchored_hash: str) -> bool:
+    """True when a received model matches its on-chain anchor."""
+    return model_hash(model) == anchored_hash

@@ -1,0 +1,192 @@
+"""Distributed transfer learning.
+
+Section III.C: the medical domain lacks an ImageNet-style core data set; the
+paper's plan is (1) use the blockchain platform to compose a large virtual
+cohort, (2) learn core features on it — possibly federated, since the cohort
+is distributed — and (3) transfer those features to jump-start small-data
+disease tasks.  This module implements exactly that recipe with the MLP:
+
+- :func:`pretrain_core_model` learns hidden features on a source outcome,
+  either centralized or via FedAvg across sites;
+- :func:`transfer_fine_tune` re-heads the pretrained network and fine-tunes
+  on a (small) target task;
+- :func:`transfer_learning_curve` compares transfer vs from-scratch across
+  target-set sizes (experiment E9's series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analytics.features import FEATURE_DIM
+from repro.analytics.models import MLPModel, MultiTaskMLP, average_params
+from repro.common.errors import LearningError
+from repro.learning.federated import FederatedConfig, FederatedTrainer, SiteData
+
+#: ``{site: (X, {outcome: y})}`` — shards for multi-task core pretraining.
+MultiTaskSiteData = Dict[str, Tuple[np.ndarray, Dict[str, np.ndarray]]]
+
+
+@dataclass
+class TransferResult:
+    """Transfer vs scratch metrics at one target-set size."""
+
+    target_size: int
+    transfer_metrics: Dict[str, float]
+    scratch_metrics: Dict[str, float]
+
+    @property
+    def auc_gain(self) -> float:
+        return self.transfer_metrics["auc"] - self.scratch_metrics["auc"]
+
+
+def pretrain_core_model(
+    site_data: SiteData,
+    hidden: int = 16,
+    federated: bool = True,
+    rounds: int = 15,
+    local_epochs: int = 2,
+    lr: float = 0.2,
+    seed: int = 0,
+) -> MLPModel:
+    """Learn core features on the (distributed) source task.
+
+    ``federated=True`` runs FedAvg so the pretraining itself respects data
+    locality; ``False`` pools the shards (an upper-bound comparison only).
+    """
+    factory = lambda: MLPModel(FEATURE_DIM, hidden=hidden, seed=seed)
+    if federated:
+        trainer = FederatedTrainer(
+            factory,
+            FederatedConfig(
+                rounds=rounds, local_epochs=local_epochs, lr=lr, seed=seed
+            ),
+        )
+        result = trainer.train(site_data)
+        model = result.model
+        if not isinstance(model, MLPModel):
+            raise LearningError("pretraining factory must produce an MLPModel")
+        return model
+    X = np.concatenate([x for x, __ in site_data.values()])
+    y = np.concatenate([labels for __, labels in site_data.values()])
+    model = factory()
+    model.train_epochs(X, y, epochs=rounds * local_epochs, lr=lr, seed=seed)
+    return model
+
+
+def pretrain_core_multitask(
+    site_data: MultiTaskSiteData,
+    outcomes: Sequence[str],
+    hidden: int = 24,
+    rounds: int = 20,
+    local_epochs: int = 2,
+    lr: float = 0.2,
+    seed: int = 0,
+) -> MultiTaskMLP:
+    """Federated multi-task pretraining of the core medical model.
+
+    Each round, every site trains the shared-hidden-layer model on *all*
+    its outcomes locally; parameter sets are FedAvg-averaged.  The result's
+    hidden layer encodes features shared across diseases — the medical
+    "ImageNet moment" the paper wants the platform to enable.
+    """
+    if not site_data:
+        raise LearningError("no sites to pretrain on")
+    outcomes = sorted(outcomes)
+    global_model = MultiTaskMLP(FEATURE_DIM, outcomes, hidden=hidden, seed=seed)
+    global_params = global_model.get_params()
+    for round_index in range(rounds):
+        collected = []
+        weights = []
+        for site in sorted(site_data):
+            X, labels = site_data[site]
+            if len(X) == 0:
+                continue
+            local = MultiTaskMLP(FEATURE_DIM, outcomes, hidden=hidden, seed=seed)
+            local.set_params(global_params)
+            local.train_multitask(
+                X,
+                labels,
+                epochs=local_epochs,
+                lr=lr,
+                seed=seed * 1000 + round_index,
+            )
+            collected.append(local.get_params())
+            weights.append(float(len(X)))
+        if collected:
+            global_params = average_params(collected, weights)
+    global_model.set_params(global_params)
+    return global_model
+
+
+def transfer_fine_tune(
+    core_model: MLPModel,
+    X_target: np.ndarray,
+    y_target: np.ndarray,
+    epochs: int = 30,
+    lr: float = 0.1,
+    head_only: bool = True,
+    seed: int = 0,
+) -> MLPModel:
+    """Clone the pretrained model, reset its head, fine-tune on the target."""
+    model = core_model.clone()
+    model.reset_head(seed=seed)
+    if head_only:
+        model.train_head_only(X_target, y_target, epochs=epochs, lr=lr, seed=seed)
+    else:
+        model.train_epochs(X_target, y_target, epochs=epochs, lr=lr, seed=seed)
+    return model
+
+
+def train_from_scratch(
+    X_target: np.ndarray,
+    y_target: np.ndarray,
+    hidden: int = 16,
+    epochs: int = 30,
+    lr: float = 0.1,
+    seed: int = 0,
+) -> MLPModel:
+    """Baseline: random initialization, trained only on the target data."""
+    model = MLPModel(FEATURE_DIM, hidden=hidden, seed=seed)
+    model.train_epochs(X_target, y_target, epochs=epochs, lr=lr, seed=seed)
+    return model
+
+
+def transfer_learning_curve(
+    core_model: MLPModel,
+    X_pool: np.ndarray,
+    y_pool: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    sizes: Sequence[int],
+    epochs: int = 30,
+    lr: float = 0.1,
+    seed: int = 0,
+) -> List[TransferResult]:
+    """Transfer vs scratch AUC across target-training-set sizes."""
+    rng = np.random.default_rng(seed)
+    results: List[TransferResult] = []
+    for size in sizes:
+        if size > len(X_pool):
+            raise LearningError(
+                f"target size {size} exceeds pool of {len(X_pool)} samples"
+            )
+        chosen = rng.choice(len(X_pool), size=size, replace=False)
+        X_small, y_small = X_pool[chosen], y_pool[chosen]
+        transferred = transfer_fine_tune(
+            core_model, X_small, y_small, epochs=epochs, lr=lr, seed=seed
+        )
+        scratch = train_from_scratch(
+            X_small, y_small, hidden=core_model.hidden, epochs=epochs, lr=lr, seed=seed
+        )
+        results.append(
+            TransferResult(
+                target_size=size,
+                transfer_metrics=transferred.evaluate(X_test, y_test),
+                scratch_metrics=scratch.evaluate(X_test, y_test),
+            )
+        )
+    return results

@@ -1,0 +1,36 @@
+"""Off-chain layer: control nodes, monitor/oracle, task running, anchoring."""
+
+from repro.offchain.anchoring import (
+    DatasetAnchor,
+    record_leaf,
+    require_dataset_integrity,
+    verify_dataset,
+    verify_record_proof,
+)
+from repro.offchain.control import (
+    ControlNode,
+    DatasetHost,
+    NonceTracker,
+    PlatformContracts,
+)
+from repro.offchain.oracle import DataOracle, MonitorNode, RpcCallRecord
+from repro.offchain.tasks import TaskResult, TaskRunner, ToolRegistry, ToolSpec
+
+__all__ = [
+    "ControlNode",
+    "DataOracle",
+    "DatasetAnchor",
+    "DatasetHost",
+    "MonitorNode",
+    "NonceTracker",
+    "PlatformContracts",
+    "RpcCallRecord",
+    "TaskResult",
+    "TaskRunner",
+    "ToolRegistry",
+    "ToolSpec",
+    "record_leaf",
+    "require_dataset_integrity",
+    "verify_dataset",
+    "verify_record_proof",
+]

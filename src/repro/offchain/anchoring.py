@@ -1,0 +1,71 @@
+"""Hash-anchoring of off-chain data sets (Irving & Holden, section III.A).
+
+A data set stays at its owner's premise; only the Merkle root of its records
+goes on chain (in the data-registry contract).  Any peer can later verify a
+record (or the whole set) against the anchored root, so tampering with
+off-chain data after registration is always detectable — the integrity
+mechanism experiment E7 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+from repro.common.errors import IntegrityError
+from repro.common.hashing import hash_value
+from repro.common.merkle import MerkleProof, MerkleTree
+
+
+def record_leaf(record: Dict[str, Any]) -> bytes:
+    """Canonical digest of one record (floats allowed in medical values)."""
+    return hash_value(record, allow_float=True)
+
+
+@dataclass
+class DatasetAnchor:
+    """Merkle commitment over an ordered record list."""
+
+    root_hex: str
+    record_count: int
+    tree: MerkleTree
+
+    @classmethod
+    def build(cls, records: Sequence[Dict[str, Any]]) -> "DatasetAnchor":
+        tree = MerkleTree([record_leaf(record) for record in records])
+        return cls(root_hex=tree.root.hex(), record_count=len(records), tree=tree)
+
+    def proof_for(self, index: int) -> MerkleProof:
+        return self.tree.proof(index)
+
+    def verify_record(self, record: Dict[str, Any], index: int) -> bool:
+        """Check one record against the anchor without the full data set."""
+        proof = self.tree.proof(index)
+        return proof.leaf == record_leaf(record) and proof.verify(self.tree.root)
+
+
+def verify_dataset(
+    records: Sequence[Dict[str, Any]], anchored_root_hex: str
+) -> bool:
+    """Recompute the Merkle root of ``records`` and compare to the anchor."""
+    tree = MerkleTree([record_leaf(record) for record in records])
+    return tree.root.hex() == anchored_root_hex
+
+
+def require_dataset_integrity(
+    records: Sequence[Dict[str, Any]], anchored_root_hex: str, dataset_id: str = ""
+) -> None:
+    """Raise :class:`IntegrityError` when the data does not match its anchor."""
+    if not verify_dataset(records, anchored_root_hex):
+        raise IntegrityError(
+            f"dataset {dataset_id or '<unnamed>'} does not match its on-chain anchor"
+        )
+
+
+def verify_record_proof(
+    record: Dict[str, Any], proof: MerkleProof, anchored_root_hex: str
+) -> bool:
+    """Verify a single record with a proof shipped alongside it."""
+    if proof.leaf != record_leaf(record):
+        return False
+    return proof.root().hex() == anchored_root_hex

@@ -1,0 +1,15 @@
+"""Query services: NLP-lite parsing, query vectors, decompose/compose."""
+
+from repro.query.compose import SiteTask, compose, decompose
+from repro.query.parser import parse_query
+from repro.query.vector import INTENTS, MERGEABLE_INTENTS, QueryVector
+
+__all__ = [
+    "INTENTS",
+    "MERGEABLE_INTENTS",
+    "QueryVector",
+    "SiteTask",
+    "compose",
+    "decompose",
+    "parse_query",
+]

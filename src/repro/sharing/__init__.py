@@ -1,0 +1,20 @@
+"""Distributed data sharing: encryption, audit trail, HIE exchange."""
+
+from repro.sharing.audit import AuditEntry, AuditLog
+from repro.sharing.encryption import Envelope, decrypt, encrypt_for
+from repro.sharing.exchange import (
+    ExchangeReceipt,
+    ExchangeService,
+    TrustedThirdParty,
+)
+
+__all__ = [
+    "AuditEntry",
+    "AuditLog",
+    "Envelope",
+    "ExchangeReceipt",
+    "ExchangeService",
+    "TrustedThirdParty",
+    "decrypt",
+    "encrypt_for",
+]

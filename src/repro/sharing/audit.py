@@ -1,0 +1,104 @@
+"""Hash-chained, append-only audit log.
+
+The paper's indictment of current HIE systems is that they are "opaque and
+un-auditable" (section III.B) — the US government could not even assign
+blame for data-blocking violations.  Every exchange action here lands in a
+hash chain: entry N commits to entry N-1, so any retroactive edit breaks
+verification from that point on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.common.errors import IntegrityError
+from repro.common.hashing import ZERO_HASH, hash_value
+
+
+@dataclass
+class AuditEntry:
+    """One audited action."""
+
+    sequence: int
+    actor: str
+    action: str
+    resource: str
+    detail: Dict[str, Any]
+    timestamp_ms: int
+    prev_hash: bytes
+    entry_hash: bytes = b""
+
+    def compute_hash(self) -> bytes:
+        return hash_value(
+            {
+                "sequence": self.sequence,
+                "actor": self.actor,
+                "action": self.action,
+                "resource": self.resource,
+                "detail": self.detail,
+                "timestamp_ms": self.timestamp_ms,
+                "prev_hash": self.prev_hash,
+            },
+            allow_float=False,
+        )
+
+
+class AuditLog:
+    """Append-only chain of :class:`AuditEntry` records."""
+
+    def __init__(self, name: str = "hie-audit"):
+        self.name = name
+        self._entries: List[AuditEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def head_hash(self) -> bytes:
+        return self._entries[-1].entry_hash if self._entries else ZERO_HASH
+
+    def append(
+        self,
+        actor: str,
+        action: str,
+        resource: str,
+        detail: Optional[Dict[str, Any]] = None,
+        timestamp_ms: int = 0,
+    ) -> AuditEntry:
+        entry = AuditEntry(
+            sequence=len(self._entries),
+            actor=actor,
+            action=action,
+            resource=resource,
+            detail=dict(detail or {}),
+            timestamp_ms=timestamp_ms,
+            prev_hash=self.head_hash,
+        )
+        entry.entry_hash = entry.compute_hash()
+        self._entries.append(entry)
+        return entry
+
+    def entries(self) -> List[AuditEntry]:
+        return list(self._entries)
+
+    def entries_for(self, resource: str) -> List[AuditEntry]:
+        return [entry for entry in self._entries if entry.resource == resource]
+
+    def entries_by(self, actor: str) -> List[AuditEntry]:
+        return [entry for entry in self._entries if entry.actor == actor]
+
+    def verify(self) -> bool:
+        """Recheck the whole chain; False on any edit, insertion, deletion."""
+        prev = ZERO_HASH
+        for index, entry in enumerate(self._entries):
+            if entry.sequence != index or entry.prev_hash != prev:
+                return False
+            if entry.compute_hash() != entry.entry_hash:
+                return False
+            prev = entry.entry_hash
+        return True
+
+    def require_valid(self) -> None:
+        if not self.verify():
+            raise IntegrityError(f"audit log {self.name!r} failed verification")

@@ -1,0 +1,18 @@
+"""Discrete-event simulation substrate: kernel, network, metrics."""
+
+from repro.sim.kernel import EventHandle, Kernel, Process, run_to_completion
+from repro.sim.metrics import EnergyModel, Histogram, MetricsRegistry
+from repro.sim.network import LinkSpec, Message, Network
+
+__all__ = [
+    "EnergyModel",
+    "EventHandle",
+    "Histogram",
+    "Kernel",
+    "LinkSpec",
+    "Message",
+    "MetricsRegistry",
+    "Network",
+    "Process",
+    "run_to_completion",
+]

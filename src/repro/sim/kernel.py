@@ -1,0 +1,174 @@
+"""Discrete-event simulation kernel.
+
+Every distributed experiment in this reproduction (consensus scaling,
+federated training rounds, query fan-out) runs on this kernel so results are
+deterministic for a given seed and independent of host speed.
+
+Events are ``(time, sequence, callback)`` triples in a binary heap; the
+sequence number breaks ties so simultaneous events run in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.common.clock import SimClock
+from repro.common.errors import SimulationError
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Kernel.schedule`; allows cancellation."""
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it."""
+        self._event.cancelled = True
+
+
+class Kernel:
+    """Deterministic discrete-event scheduler with its own clock and RNG."""
+
+    def __init__(self, seed: int = 0):
+        self.clock = SimClock()
+        self.rng = random.Random(seed)
+        self._queue: List[_ScheduledEvent] = []
+        self._sequence = 0
+        self._events_run = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        return self.clock.now()
+
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], label: str = ""
+    ) -> EventHandle:
+        """Run ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        event = _ScheduledEvent(
+            time=self.now + delay,
+            sequence=self._sequence,
+            callback=callback,
+            label=label,
+        )
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self, timestamp: float, callback: Callable[[], None], label: str = ""
+    ) -> EventHandle:
+        """Run ``callback`` at an absolute simulation time."""
+        return self.schedule(timestamp - self.now, callback, label)
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self._events_run += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Drain the event queue.
+
+        Stops when the queue empties, the clock would pass ``until``, more
+        than ``max_events`` have run in this call, or ``stop_when()`` turns
+        true (checked after each event).  Returns the number of events run.
+        """
+        if self._running:
+            raise SimulationError("kernel.run() is not reentrant")
+        self._running = True
+        ran = 0
+        try:
+            while self._queue:
+                if max_events is not None and ran >= max_events:
+                    break
+                next_event = self._peek()
+                if next_event is None:
+                    break
+                if until is not None and next_event.time > until:
+                    self.clock.advance_to(until)
+                    break
+                if not self.step():
+                    break
+                ran += 1
+                if stop_when is not None and stop_when():
+                    break
+        finally:
+            self._running = False
+        return ran
+
+    def _peek(self) -> Optional[_ScheduledEvent]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+
+class Process:
+    """Base class for simulated actors owning a kernel reference."""
+
+    def __init__(self, kernel: Kernel, name: str):
+        self.kernel = kernel
+        self.name = name
+
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    def after(self, delay: float, callback: Callable[[], None], label: str = "") -> EventHandle:
+        """Schedule a callback relative to now, labelled with this actor."""
+        return self.kernel.schedule(delay, callback, label or self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+def run_to_completion(kernel: Kernel, max_events: int = 10_000_000) -> int:
+    """Drain every event; guard against runaway loops with ``max_events``."""
+    ran = kernel.run(max_events=max_events)
+    if kernel.pending:
+        raise SimulationError(
+            f"simulation did not converge within {max_events} events"
+        )
+    return ran

@@ -1,0 +1,28 @@
+"""Clinical trials: protocols, simulation, RWE monitoring, auditing."""
+
+from repro.trial.auditor import AuditFinding, PublishedReport, TrialAuditor
+from repro.trial.chainfeed import ChainTrialFeed
+from repro.trial.monitor import RWEMonitor, Signal
+from repro.trial.protocol import TrialProtocol
+from repro.trial.simulation import (
+    SubjectOutcome,
+    TrialEffect,
+    assign_arms,
+    simulate_follow_up,
+    true_effect_summary,
+)
+
+__all__ = [
+    "AuditFinding",
+    "ChainTrialFeed",
+    "PublishedReport",
+    "RWEMonitor",
+    "Signal",
+    "SubjectOutcome",
+    "TrialAuditor",
+    "TrialEffect",
+    "TrialProtocol",
+    "assign_arms",
+    "simulate_follow_up",
+    "true_effect_summary",
+]

@@ -1,0 +1,100 @@
+"""COMPare-style outcome-switching auditor and tamper detection.
+
+Section III.B cites COMPare's finding that only 9 of 67 monitored trials
+reported their pre-registered outcomes correctly, and China's report that
+~80% of domestic trial data was falsified.  With outcomes and raw-data
+hashes anchored on chain, both failure modes become mechanically detectable:
+
+- *outcome switching*: a published report claims outcomes that differ from
+  the registered set (added, dropped, or swapped);
+- *data falsification*: the data behind a report no longer matches the
+  Merkle root anchored at collection time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.offchain.anchoring import verify_dataset
+
+
+@dataclass
+class PublishedReport:
+    """What a sponsor ultimately publishes for one trial."""
+
+    trial_id: str
+    claimed_outcomes: List[str]
+    raw_records: List[Dict[str, Any]] = field(default_factory=list)
+
+
+@dataclass
+class AuditFinding:
+    """Result of auditing one trial's report against its registration."""
+
+    trial_id: str
+    reported_correctly: bool
+    switched_in: List[str]    # reported but never registered
+    silently_dropped: List[str]  # registered primary outcomes missing from report
+    data_intact: bool
+
+    @property
+    def clean(self) -> bool:
+        return self.reported_correctly and self.data_intact
+
+
+class TrialAuditor:
+    """Audits published reports against on-chain registrations."""
+
+    def audit(
+        self,
+        registered_outcomes: Sequence[str],
+        report: PublishedReport,
+        anchored_root_hex: str = "",
+    ) -> AuditFinding:
+        """Compare a published report against the registered protocol.
+
+        ``anchored_root_hex`` is the Merkle root committed when the raw data
+        was collected; empty means no data-integrity check is possible.
+        """
+        registered = set(registered_outcomes)
+        claimed = set(report.claimed_outcomes)
+        switched_in = sorted(claimed - registered)
+        dropped = sorted(registered - claimed)
+        data_intact = True
+        if anchored_root_hex:
+            data_intact = verify_dataset(report.raw_records, anchored_root_hex)
+        return AuditFinding(
+            trial_id=report.trial_id,
+            reported_correctly=not switched_in and not dropped,
+            switched_in=switched_in,
+            silently_dropped=dropped,
+            data_intact=data_intact,
+        )
+
+    def audit_many(
+        self,
+        registrations: Dict[str, Sequence[str]],
+        reports: Sequence[PublishedReport],
+        anchors: Dict[str, str],
+    ) -> Dict[str, Any]:
+        """Audit a whole registry; returns COMPare-style aggregates."""
+        findings = []
+        for report in reports:
+            findings.append(
+                self.audit(
+                    registrations.get(report.trial_id, []),
+                    report,
+                    anchors.get(report.trial_id, ""),
+                )
+            )
+        total = len(findings)
+        correct = sum(1 for finding in findings if finding.reported_correctly)
+        tampered = sum(1 for finding in findings if not finding.data_intact)
+        return {
+            "total": total,
+            "reported_correctly": correct,
+            "outcome_switching": total - correct,
+            "data_tampering_detected": tampered,
+            "findings": findings,
+        }

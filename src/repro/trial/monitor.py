@@ -1,0 +1,179 @@
+"""Real-world-evidence trial monitor.
+
+The FDA vision the paper targets (section II): access trial data "directly
+from various hospitals and service providers as the trial goes on, and keep
+on monitoring the efficacy and possible side effects".  The monitor ingests
+subject observations in report-day order and, after every report, re-tests:
+
+- overall efficacy (two-proportion z-test, treatment vs control),
+- subgroup efficacy (carriers vs non-carriers of the protocol's subgroups),
+- safety (adverse-event rate difference).
+
+Signals fire the first day significance is crossed with a minimum sample
+size — so E11 can compare *continuous* detection day against the classic
+end-of-trial batch analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analytics.stats import TestResult, two_proportion_test
+from repro.trial.simulation import SubjectOutcome
+
+
+@dataclass
+class Signal:
+    """A monitoring alarm."""
+
+    kind: str          # "efficacy" | "subgroup_efficacy" | "safety"
+    day: int
+    p_value: float
+    detail: str = ""
+
+
+@dataclass
+class ArmCounts:
+    n: int = 0
+    events: int = 0
+    adverse: int = 0
+
+    def add(self, outcome: SubjectOutcome) -> None:
+        self.n += 1
+        self.events += outcome.event
+        self.adverse += outcome.adverse_event
+
+
+class RWEMonitor:
+    """Sequential monitoring over streaming subject reports."""
+
+    def __init__(
+        self,
+        alpha: float = 0.01,
+        min_per_arm: int = 20,
+        subgroup_min_per_arm: int = 10,
+    ):
+        self.alpha = alpha
+        self.min_per_arm = min_per_arm
+        self.subgroup_min_per_arm = subgroup_min_per_arm
+        self.signals: List[Signal] = []
+        self._fired: set = set()
+        self._overall: Dict[str, ArmCounts] = {}
+        self._carriers: Dict[str, ArmCounts] = {}
+        self._noncarriers: Dict[str, ArmCounts] = {}
+        self.reports_seen = 0
+
+    # -- ingestion ----------------------------------------------------------
+    def ingest(self, outcome: SubjectOutcome) -> List[Signal]:
+        """Feed one report; returns any *new* signals fired by it."""
+        self.reports_seen += 1
+        self._overall.setdefault(outcome.arm, ArmCounts()).add(outcome)
+        bucket = self._carriers if outcome.is_carrier else self._noncarriers
+        bucket.setdefault(outcome.arm, ArmCounts()).add(outcome)
+        return self._check(outcome.report_day)
+
+    def run_stream(self, outcomes: Sequence[SubjectOutcome]) -> List[Signal]:
+        """Ingest a full trial in report-day order; returns all signals."""
+        for outcome in sorted(outcomes, key=lambda o: (o.report_day, o.patient_pseudo_id)):
+            self.ingest(outcome)
+        return list(self.signals)
+
+    # -- testing ------------------------------------------------------------
+    def _check(self, day: int) -> List[Signal]:
+        new: List[Signal] = []
+        new += self._test_pair(
+            "efficacy", day, self._overall, self.min_per_arm, use_events=True
+        )
+        new += self._test_pair(
+            "subgroup_efficacy_carriers",
+            day,
+            self._carriers,
+            self.subgroup_min_per_arm,
+            use_events=True,
+        )
+        new += self._test_pair(
+            "subgroup_efficacy_noncarriers",
+            day,
+            self._noncarriers,
+            self.subgroup_min_per_arm,
+            use_events=True,
+        )
+        new += self._test_pair(
+            "safety", day, self._overall, self.min_per_arm, use_events=False
+        )
+        return new
+
+    def _test_pair(
+        self,
+        kind: str,
+        day: int,
+        counts: Dict[str, ArmCounts],
+        min_n: int,
+        use_events: bool,
+    ) -> List[Signal]:
+        if kind in self._fired:
+            return []
+        treatment = counts.get("treatment")
+        control = counts.get("control")
+        if treatment is None or control is None:
+            return []
+        if treatment.n < min_n or control.n < min_n:
+            return []
+        a = treatment.events if use_events else treatment.adverse
+        b = control.events if use_events else control.adverse
+        result = two_proportion_test(a, treatment.n, b, control.n)
+        if result.p_value < self.alpha:
+            signal = Signal(
+                kind=kind,
+                day=day,
+                p_value=result.p_value,
+                detail=(
+                    f"treatment {a}/{treatment.n} vs control {b}/{control.n}"
+                ),
+            )
+            self._fired.add(kind)
+            self.signals.append(signal)
+            return [signal]
+        return []
+
+    # -- batch comparison ------------------------------------------------
+    @staticmethod
+    def batch_analysis(outcomes: Sequence[SubjectOutcome]) -> Dict[str, TestResult]:
+        """Classic end-of-trial analysis over the complete data set."""
+        def split(group: Sequence[SubjectOutcome], use_events: bool):
+            treatment = [o for o in group if o.arm == "treatment"]
+            control = [o for o in group if o.arm == "control"]
+            attr = "event" if use_events else "adverse_event"
+            return (
+                sum(getattr(o, attr) for o in treatment),
+                len(treatment),
+                sum(getattr(o, attr) for o in control),
+                len(control),
+            )
+
+        results = {}
+        a, na, b, nb = split(outcomes, True)
+        results["efficacy"] = two_proportion_test(a, na, b, nb)
+        carriers = [o for o in outcomes if o.is_carrier]
+        if carriers:
+            a, na, b, nb = split(carriers, True)
+            if na and nb:
+                results["subgroup_efficacy_carriers"] = two_proportion_test(a, na, b, nb)
+        noncarriers = [o for o in outcomes if not o.is_carrier]
+        if noncarriers:
+            a, na, b, nb = split(noncarriers, True)
+            if na and nb:
+                results["subgroup_efficacy_noncarriers"] = two_proportion_test(
+                    a, na, b, nb
+                )
+        a, na, b, nb = split(outcomes, False)
+        results["safety"] = two_proportion_test(a, na, b, nb)
+        return results
+
+    def detection_day(self, kind: str) -> Optional[int]:
+        """Day a signal kind fired, or None."""
+        for signal in self.signals:
+            if signal.kind == kind:
+                return signal.day
+        return None

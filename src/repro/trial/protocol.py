@@ -1,0 +1,74 @@
+"""Trial protocols and their on-chain commitments.
+
+Since 2007 US regulators require pre-registration of trials; the paper adds
+blockchain so the registration itself is tamper-evident (section III.B).
+A :class:`TrialProtocol` canonicalizes everything that must be fixed before
+data collection — arms, pre-registered outcomes, analysis subgroups — and
+hashes it; the hash goes into the clinical-trial contract at registration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.common.errors import TrialError
+from repro.common.hashing import hash_value_hex
+
+
+@dataclass
+class TrialProtocol:
+    """Everything fixed at registration time."""
+
+    trial_id: str
+    title: str
+    drug: str
+    arms: List[str] = field(default_factory=lambda: ["treatment", "control"])
+    primary_outcomes: List[str] = field(default_factory=list)
+    secondary_outcomes: List[str] = field(default_factory=list)
+    subgroups: List[str] = field(default_factory=list)  # e.g. variant rsids
+    target_enrollment: int = 100
+    follow_up_days: int = 365
+
+    def validate(self) -> None:
+        if not self.trial_id:
+            raise TrialError("trial_id is required")
+        if len(self.arms) < 2:
+            raise TrialError("a trial needs at least two arms")
+        if not self.primary_outcomes:
+            raise TrialError("at least one primary outcome must be pre-registered")
+        overlap = set(self.primary_outcomes) & set(self.secondary_outcomes)
+        if overlap:
+            raise TrialError(f"outcomes registered twice: {sorted(overlap)}")
+        if self.target_enrollment <= 0:
+            raise TrialError("target enrollment must be positive")
+
+    @property
+    def registered_outcomes(self) -> List[str]:
+        return list(self.primary_outcomes) + list(self.secondary_outcomes)
+
+    def protocol_hash(self) -> str:
+        """Canonical content hash committed on chain."""
+        self.validate()
+        return hash_value_hex(
+            {
+                "trial_id": self.trial_id,
+                "title": self.title,
+                "drug": self.drug,
+                "arms": self.arms,
+                "primary_outcomes": self.primary_outcomes,
+                "secondary_outcomes": self.secondary_outcomes,
+                "subgroups": self.subgroups,
+                "target_enrollment": self.target_enrollment,
+                "follow_up_days": self.follow_up_days,
+            }
+        )
+
+    def to_registration_args(self) -> Dict[str, Any]:
+        """Arguments for the clinical-trial contract's ``register_trial``."""
+        return {
+            "trial_id": self.trial_id,
+            "protocol_hash": self.protocol_hash(),
+            "outcomes": self.registered_outcomes,
+            "target_enrollment": self.target_enrollment,
+        }

@@ -1,0 +1,200 @@
+"""Model tests: logistic, MLP, metrics, parameter averaging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.models import (
+    LogisticModel,
+    MLPModel,
+    accuracy,
+    auc_score,
+    average_params,
+    log_loss,
+    params_size_bytes,
+    sigmoid,
+)
+from repro.common.errors import LearningError
+
+
+def _separable(n=400, dim=4, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, (n, dim))
+    w = np.arange(1, dim + 1, dtype=float)
+    y = (X @ w + rng.normal(0, 0.5, n) > 0).astype(float)
+    return X, y
+
+
+class TestMetrics:
+    def test_sigmoid_bounds_and_midpoint(self):
+        z = np.array([-100.0, 0.0, 100.0])
+        out = sigmoid(z)
+        assert out[0] < 1e-20
+        assert out[1] == pytest.approx(0.5)
+        assert out[2] >= 1 - 1e-15
+
+    def test_log_loss_perfect_prediction(self):
+        y = np.array([0.0, 1.0])
+        assert log_loss(y, np.array([0.0, 1.0])) < 1e-10
+
+    def test_log_loss_penalizes_confident_errors(self):
+        y = np.array([1.0])
+        assert log_loss(y, np.array([0.01])) > log_loss(y, np.array([0.4]))
+
+    def test_accuracy(self):
+        y = np.array([1.0, 0.0, 1.0, 0.0])
+        probs = np.array([0.9, 0.2, 0.4, 0.6])
+        assert accuracy(y, probs) == 0.5
+
+    def test_auc_perfect_ranking(self):
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        assert auc_score(y, np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+    def test_auc_random_is_half(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 2000).astype(float)
+        probs = rng.random(2000)
+        assert auc_score(y, probs) == pytest.approx(0.5, abs=0.05)
+
+    def test_auc_with_ties(self):
+        y = np.array([0.0, 1.0, 0.0, 1.0])
+        assert auc_score(y, np.array([0.5, 0.5, 0.5, 0.5])) == pytest.approx(0.5)
+
+    def test_auc_degenerate_classes(self):
+        assert auc_score(np.array([1.0, 1.0]), np.array([0.2, 0.3])) == 0.5
+
+
+class TestLogisticModel:
+    def test_learns_separable_data(self):
+        X, y = _separable()
+        model = LogisticModel(X.shape[1], seed=0)
+        model.train_epochs(X, y, epochs=20, lr=0.5)
+        assert model.evaluate(X, y)["auc"] > 0.95
+
+    def test_training_reduces_loss(self):
+        X, y = _separable()
+        model = LogisticModel(X.shape[1], seed=0)
+        before = model.evaluate(X, y)["loss"]
+        model.train_epochs(X, y, epochs=10, lr=0.5)
+        assert model.evaluate(X, y)["loss"] < before
+
+    def test_params_round_trip(self):
+        model = LogisticModel(4, seed=1)
+        clone = LogisticModel(4, seed=2)
+        clone.set_params(model.get_params())
+        X = np.random.default_rng(0).normal(0, 1, (10, 4))
+        assert np.allclose(model.predict_proba(X), clone.predict_proba(X))
+
+    def test_param_shape_validated(self):
+        model = LogisticModel(4)
+        with pytest.raises(LearningError):
+            model.set_params([np.zeros(5), np.zeros(1)])
+
+    def test_clone_is_independent(self):
+        model = LogisticModel(3, seed=0)
+        clone = model.clone()
+        clone.weights[0] = 99.0
+        assert model.weights[0] != 99.0
+
+    def test_training_is_deterministic(self):
+        X, y = _separable()
+        runs = []
+        for __ in range(2):
+            model = LogisticModel(X.shape[1], seed=3)
+            model.train_epochs(X, y, epochs=3, lr=0.2, seed=7)
+            runs.append(model.get_params())
+        assert np.allclose(runs[0][0], runs[1][0])
+
+    def test_flops_accumulate(self):
+        X, y = _separable(100)
+        model = LogisticModel(X.shape[1])
+        model.train_epochs(X, y, epochs=1)
+        assert model.flops > 0
+
+    def test_empty_data_is_noop(self):
+        model = LogisticModel(4)
+        assert model.train_epochs(np.zeros((0, 4)), np.zeros(0)) == 0.0
+
+
+class TestMLPModel:
+    def test_learns_nonlinear_boundary(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(0, 1, (600, 2))
+        y = ((X[:, 0] * X[:, 1]) > 0).astype(float)  # XOR-ish
+        model = MLPModel(2, hidden=12, seed=0)
+        model.train_epochs(X, y, epochs=150, lr=0.5, seed=0)
+        assert model.evaluate(X, y)["auc"] > 0.9
+
+    def test_params_round_trip(self):
+        model = MLPModel(4, hidden=8, seed=1)
+        clone = MLPModel(4, hidden=8, seed=9)
+        clone.set_params(model.get_params())
+        X = np.random.default_rng(0).normal(0, 1, (5, 4))
+        assert np.allclose(model.predict_proba(X), clone.predict_proba(X))
+
+    def test_param_shape_validated(self):
+        model = MLPModel(4, hidden=8)
+        with pytest.raises(LearningError):
+            model.set_params([np.zeros((4, 9)), np.zeros(8), np.zeros(8), np.zeros(1)])
+
+    def test_reset_head_keeps_features(self):
+        model = MLPModel(4, hidden=8, seed=0)
+        w1_before = model.w1.copy()
+        model.reset_head(seed=5)
+        assert np.allclose(model.w1, w1_before)
+
+    def test_head_only_training_freezes_features(self):
+        X, y = _separable()
+        model = MLPModel(X.shape[1], hidden=8, seed=0)
+        w1_before = model.w1.copy()
+        model.train_head_only(X, y, epochs=5, lr=0.3)
+        assert np.allclose(model.w1, w1_before)
+
+    def test_clone_preserves_architecture(self):
+        model = MLPModel(4, hidden=6)
+        clone = model.clone()
+        assert clone.hidden == 6
+        assert np.allclose(clone.w1, model.w1)
+
+
+class TestAverageParams:
+    def test_equal_weights_is_mean(self):
+        a = [np.array([1.0, 3.0])]
+        b = [np.array([3.0, 5.0])]
+        merged = average_params([a, b], [1.0, 1.0])
+        assert np.allclose(merged[0], [2.0, 4.0])
+
+    def test_weighted_average(self):
+        a = [np.array([0.0])]
+        b = [np.array([10.0])]
+        merged = average_params([a, b], [3.0, 1.0])
+        assert merged[0][0] == pytest.approx(2.5)
+
+    def test_single_set_identity(self):
+        a = [np.array([1.0, 2.0]), np.array([3.0])]
+        merged = average_params([a], [5.0])
+        assert np.allclose(merged[0], a[0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(LearningError):
+            average_params([[np.zeros(2)], [np.zeros(3)]], [1.0, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(LearningError):
+            average_params([], [])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(LearningError):
+            average_params([[np.zeros(2)]], [0.0])
+
+    def test_params_size_counts_floats(self):
+        params = [np.zeros((2, 3)), np.zeros(4)]
+        assert params_size_bytes(params) == 10 * 8 + 2 * 64
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=1, max_value=5))
+    def test_property_averaging_identical_params_is_identity(self, copies):
+        params = [np.array([1.5, -2.5, 0.25])]
+        merged = average_params([params] * copies, [1.0] * copies)
+        assert np.allclose(merged[0], params[0])

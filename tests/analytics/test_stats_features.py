@@ -1,0 +1,159 @@
+"""Stats toolkit and feature extraction tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analytics.features import FEATURE_DIM, FEATURE_NAMES, dataset_for, featurize
+from repro.analytics.stats import (
+    KaplanMeier,
+    chi_square_2x2,
+    describe,
+    log_rank_test,
+    normal_sf,
+    two_proportion_test,
+    welch_t_test,
+)
+from repro.common.errors import LearningError, MedchainError
+
+
+class TestFeatures:
+    def test_matrix_shape(self, small_cohort):
+        X = featurize(small_cohort)
+        assert X.shape == (len(small_cohort), FEATURE_DIM)
+
+    def test_empty_records(self):
+        assert featurize([]).shape == (0, FEATURE_DIM)
+
+    def test_standardization_centers_values(self, multi_site_cohorts):
+        records = [r for cohort in multi_site_cohorts.values() for r in cohort]
+        X = featurize(records)
+        assert np.all(np.abs(X.mean(axis=0)) < 3.0)
+
+    def test_feature_names_match_dim(self):
+        assert len(FEATURE_NAMES) == FEATURE_DIM
+
+    def test_deterministic(self, small_cohort):
+        assert np.array_equal(featurize(small_cohort), featurize(small_cohort))
+
+    def test_labels_extracted(self, small_cohort):
+        X, y = dataset_for(small_cohort, "stroke")
+        assert set(np.unique(y)) <= {0.0, 1.0}
+        assert len(y) == len(X)
+
+    def test_missing_outcome_rejected(self, small_cohort):
+        with pytest.raises(LearningError):
+            dataset_for(small_cohort, "alzheimers")
+
+
+class TestDescribe:
+    def test_basic_statistics(self):
+        stats = describe([1.0, 2.0, 3.0, 4.0])
+        assert stats["n"] == 4
+        assert stats["mean"] == 2.5
+        assert stats["median"] == 2.5
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+
+    def test_empty_sample(self):
+        assert describe([])["n"] == 0
+
+
+class TestNormal:
+    def test_sf_symmetry(self):
+        assert normal_sf(0.0) == pytest.approx(0.5)
+        assert normal_sf(1.96) == pytest.approx(0.025, abs=1e-3)
+
+
+class TestWelch:
+    def test_identical_groups_not_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 200)
+        b = rng.normal(0, 1, 200)
+        assert welch_t_test(a, b).p_value > 0.01
+
+    def test_shifted_groups_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 200)
+        b = rng.normal(1.0, 1, 200)
+        result = welch_t_test(a, b)
+        assert result.p_value < 1e-6
+        assert result.significant_05
+
+    def test_too_small_sample_rejected(self):
+        with pytest.raises(MedchainError):
+            welch_t_test([1.0], [2.0, 3.0])
+
+    def test_zero_variance_degenerate(self):
+        assert welch_t_test([1.0, 1.0], [1.0, 1.0]).p_value == 1.0
+
+
+class TestProportions:
+    def test_clear_difference_detected(self):
+        result = two_proportion_test(80, 100, 40, 100)
+        assert result.p_value < 1e-6
+
+    def test_no_difference(self):
+        result = two_proportion_test(50, 100, 50, 100)
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(MedchainError):
+            two_proportion_test(1, 0, 1, 10)
+
+    def test_chi_square_matches_z_squared(self):
+        z = two_proportion_test(30, 100, 20, 100).statistic
+        chi = chi_square_2x2([[30, 70], [20, 80]]).statistic
+        assert chi == pytest.approx(z * z, rel=1e-6)
+
+    def test_chi_square_shape_enforced(self):
+        with pytest.raises(MedchainError):
+            chi_square_2x2([[1, 2, 3], [4, 5, 6]])
+
+    def test_chi_square_degenerate_table(self):
+        assert chi_square_2x2([[0, 0], [0, 0]]).p_value == 1.0
+
+
+class TestSurvival:
+    def test_km_no_events_flat(self):
+        km = KaplanMeier.fit([10, 20, 30], [0, 0, 0])
+        assert km.at(25) == 1.0
+
+    def test_km_all_events_reaches_zero(self):
+        km = KaplanMeier.fit([1, 2, 3], [1, 1, 1])
+        assert km.at(3) == pytest.approx(0.0)
+
+    def test_km_monotone_decreasing(self):
+        rng = np.random.default_rng(3)
+        durations = rng.integers(1, 100, 50)
+        events = rng.integers(0, 2, 50)
+        km = KaplanMeier.fit(durations, events)
+        assert all(
+            earlier >= later
+            for earlier, later in zip(km.survival, km.survival[1:])
+        )
+
+    def test_km_known_value(self):
+        # 4 subjects, event at t=1 (4 at risk) then t=2 (3 at risk)
+        km = KaplanMeier.fit([1, 2, 3, 4], [1, 1, 0, 0])
+        assert km.at(1) == pytest.approx(0.75)
+        assert km.at(2) == pytest.approx(0.75 * (1 - 1 / 3))
+
+    def test_log_rank_same_distribution(self):
+        rng = np.random.default_rng(5)
+        d1 = rng.exponential(50, 150)
+        d2 = rng.exponential(50, 150)
+        result = log_rank_test(d1, [1] * 150, d2, [1] * 150)
+        assert result.p_value > 0.01
+
+    def test_log_rank_different_hazards(self):
+        rng = np.random.default_rng(5)
+        d1 = rng.exponential(20, 150)
+        d2 = rng.exponential(80, 150)
+        result = log_rank_test(d1, [1] * 150, d2, [1] * 150)
+        assert result.p_value < 1e-4
+
+    def test_log_rank_no_events(self):
+        result = log_rank_test([1, 2], [0, 0], [3, 4], [0, 0])
+        assert result.p_value == 1.0

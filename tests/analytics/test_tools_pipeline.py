@@ -1,0 +1,196 @@
+"""Site-tool and pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.clustering import kmeans
+from repro.analytics.features import FEATURE_DIM, featurize
+from repro.analytics.pipeline import AnalyticsPipeline
+from repro.analytics.tools import (
+    standard_registry,
+    tool_count,
+    tool_evaluate_model,
+    tool_histogram,
+    tool_local_train,
+    tool_numeric_summary,
+    tool_prevalence,
+)
+from repro.common.errors import MedchainError, OracleError
+
+
+class TestFilters:
+    def test_count_no_filters(self, small_cohort):
+        assert tool_count(small_cohort, {})["count"] == len(small_cohort)
+
+    def test_age_filter(self, small_cohort):
+        count = tool_count(small_cohort, {"filters": {"age_min": 60}})["count"]
+        expected = sum(1 for r in small_cohort if 2018 - r["birth_year"] >= 60)
+        assert count == expected
+
+    def test_sex_filter(self, small_cohort):
+        count = tool_count(small_cohort, {"filters": {"sex": "F"}})["count"]
+        assert count == sum(1 for r in small_cohort if r["sex"] == "F")
+
+    def test_nested_field_filter(self, small_cohort):
+        count = tool_count(small_cohort, {"filters": {"lifestyle.smoker": 1}})["count"]
+        assert count == sum(1 for r in small_cohort if r["lifestyle"]["smoker"] == 1)
+
+    def test_outcome_filter(self, small_cohort):
+        count = tool_count(small_cohort, {"filters": {"has_outcome_stroke": 1}})["count"]
+        assert count == sum(1 for r in small_cohort if r["outcomes"]["stroke"])
+
+    def test_diagnosis_filter(self, small_cohort):
+        count = tool_count(small_cohort, {"filters": {"diagnosis": "I10"}})["count"]
+        assert count == sum(1 for r in small_cohort if "I10" in r["diagnoses"])
+
+
+class TestTools:
+    def test_prevalence_counts(self, small_cohort):
+        out = tool_prevalence(small_cohort, {"outcome": "stroke"})
+        assert out["n"] == len(small_cohort)
+        assert out["positives"] == sum(r["outcomes"]["stroke"] for r in small_cohort)
+
+    def test_prevalence_requires_outcome(self, small_cohort):
+        with pytest.raises(OracleError):
+            tool_prevalence(small_cohort, {})
+
+    def test_numeric_summary_matches_numpy(self, small_cohort):
+        out = tool_numeric_summary(small_cohort, {"field": "vitals.bmi"})
+        values = [r["vitals"]["bmi"] for r in small_cohort]
+        assert out["summary"]["mean"] == pytest.approx(np.mean(values))
+        assert out["summary"]["count"] == len(values)
+
+    def test_histogram_totals(self, small_cohort):
+        out = tool_histogram(
+            small_cohort, {"field": "vitals.sbp", "low": 90, "high": 220, "bins": 13}
+        )
+        assert sum(out["counts"]) == len(small_cohort)
+        assert len(out["counts"]) == 13
+
+    def test_histogram_validates_range(self, small_cohort):
+        with pytest.raises(OracleError):
+            tool_histogram(small_cohort, {"field": "vitals.sbp", "low": 10, "high": 5})
+
+    def test_local_train_returns_params(self, small_cohort):
+        out = tool_local_train(small_cohort, {"outcome": "stroke", "epochs": 2})
+        assert out["n"] == len(small_cohort)
+        assert len(out["params"]) == 2  # weights + bias
+        assert len(out["params"][0]) == FEATURE_DIM
+        assert out["flops"] > 0
+
+    def test_local_train_continues_from_global(self, small_cohort):
+        first = tool_local_train(small_cohort, {"outcome": "stroke", "epochs": 1})
+        second = tool_local_train(
+            small_cohort,
+            {"outcome": "stroke", "epochs": 1, "global_params": first["params"]},
+        )
+        assert second["loss"] <= first["loss"] + 0.05
+
+    def test_local_train_mlp(self, small_cohort):
+        out = tool_local_train(
+            small_cohort, {"outcome": "stroke", "model": "mlp", "hidden": 4, "epochs": 1}
+        )
+        assert len(out["params"]) == 4
+
+    def test_local_train_unknown_model(self, small_cohort):
+        with pytest.raises(OracleError):
+            tool_local_train(small_cohort, {"model": "transformer"})
+
+    def test_evaluate_model(self, small_cohort):
+        trained = tool_local_train(small_cohort, {"outcome": "stroke", "epochs": 3})
+        out = tool_evaluate_model(
+            small_cohort, {"outcome": "stroke", "global_params": trained["params"]}
+        )
+        assert 0.0 <= out["auc"] <= 1.0
+        assert out["n"] == len(small_cohort)
+
+    def test_standard_registry_complete(self):
+        registry = standard_registry()
+        assert set(registry.tool_ids()) == {
+            "cluster", "compare_groups", "count", "describe", "evaluate_model",
+            "histogram", "local_train", "numeric_summary", "prevalence",
+        }
+
+
+class TestKMeans:
+    def test_separated_clusters_found(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack(
+            [rng.normal(center, 0.3, (50, 2)) for center in [(0, 0), (5, 5), (-5, 5)]]
+        )
+        result = kmeans(X, 3, seed=1)
+        assert sorted(result.cluster_sizes) == [50, 50, 50]
+
+    def test_too_few_points_rejected(self):
+        from repro.common.errors import LearningError
+
+        with pytest.raises(LearningError):
+            kmeans(np.zeros((2, 2)), 3)
+
+    def test_deterministic_with_seed(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(0, 1, (60, 3))
+        a = kmeans(X, 4, seed=2)
+        b = kmeans(X, 4, seed=2)
+        assert np.allclose(a.centroids, b.centroids)
+
+
+class TestPipeline:
+    def test_steps_run_in_order(self):
+        pipeline = AnalyticsPipeline("p")
+        pipeline.add_step("one", lambda ctx: 1)
+        pipeline.add_step("two", lambda ctx: ctx["one"] + 1)
+        context = pipeline.run()
+        assert context["two"] == 2
+
+    def test_guard_skips_steps(self):
+        pipeline = AnalyticsPipeline("p")
+        pipeline.add_step("screen", lambda ctx: {"positives": 0})
+        pipeline.add_step(
+            "deep_dive",
+            lambda ctx: "ran",
+            guard=lambda ctx: ctx["screen"]["positives"] > 0,
+        )
+        context = pipeline.run()
+        assert "deep_dive" not in context
+        trace = {outcome.name: outcome.ran for outcome in context["__trace__"]}
+        assert trace == {"screen": True, "deep_dive": False}
+
+    def test_dynamic_branching_on_results(self):
+        """The paper's 'analytics decision tree': later tools depend on
+        earlier results."""
+        pipeline = AnalyticsPipeline("p")
+        pipeline.add_step("prevalence", lambda ctx: 0.4)
+        pipeline.add_step(
+            "high_prev_path", lambda ctx: "subtype",
+            guard=lambda ctx: ctx["prevalence"] > 0.2,
+        )
+        pipeline.add_step(
+            "low_prev_path", lambda ctx: "expand cohort",
+            guard=lambda ctx: ctx["prevalence"] <= 0.2,
+        )
+        context = pipeline.run()
+        assert context["high_prev_path"] == "subtype"
+        assert "low_prev_path" not in context
+
+    def test_error_stops_pipeline(self):
+        def boom(ctx):
+            raise MedchainError("bad step")
+
+        pipeline = AnalyticsPipeline("p")
+        pipeline.add_step("boom", boom)
+        pipeline.add_step("after", lambda ctx: 1)
+        context = pipeline.run()
+        assert "__error__" in context
+        assert "after" not in context
+
+    def test_duplicate_step_names_rejected(self):
+        pipeline = AnalyticsPipeline("p")
+        pipeline.add_step("x", lambda ctx: 1)
+        with pytest.raises(MedchainError):
+            pipeline.add_step("x", lambda ctx: 2)
+
+    def test_initial_context_passed_through(self):
+        pipeline = AnalyticsPipeline("p")
+        pipeline.add_step("use", lambda ctx: ctx["seedval"] * 2)
+        assert pipeline.run({"seedval": 21})["use"] == 42

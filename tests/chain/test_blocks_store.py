@@ -1,0 +1,149 @@
+"""Block structure and chain-store tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.chain.blocks import Block, build_block, make_genesis
+from repro.chain.state import StateDB
+from repro.chain.store import ChainStore
+from repro.chain.transactions import make_transfer
+from repro.common.errors import ChainError, ValidationError
+from repro.common.hashing import ZERO_HASH
+
+
+@pytest.fixture()
+def genesis():
+    state = StateDB()
+    return make_genesis(state.state_root())
+
+
+def _child(parent, alice, txs=None, ts=1000):
+    return build_block(
+        parent=parent,
+        transactions=txs or [],
+        state_root=parent.header.state_root,
+        proposer="tester",
+        timestamp_ms=ts,
+    )
+
+
+class TestBlocks:
+    def test_genesis_has_zero_parent(self, genesis):
+        assert genesis.header.parent_hash == ZERO_HASH
+        assert genesis.height == 0
+
+    def test_block_hash_deterministic(self, genesis):
+        assert genesis.block_hash == genesis.block_hash
+
+    def test_tx_root_matches_transactions(self, genesis, alice):
+        txs = [make_transfer(alice, "r", 1, nonce=0)]
+        block = _child(genesis, alice, txs)
+        block.validate_structure()
+
+    def test_tx_root_mismatch_detected(self, genesis, alice):
+        txs = [make_transfer(alice, "r", 1, nonce=0)]
+        block = _child(genesis, alice, txs)
+        forged = Block(header=block.header, transactions=[])
+        with pytest.raises(ValidationError):
+            forged.validate_structure()
+
+    def test_duplicate_tx_in_block_rejected(self, genesis, alice):
+        tx = make_transfer(alice, "r", 1, nonce=0)
+        block = _child(genesis, alice, [tx, tx])
+        with pytest.raises(ValidationError):
+            block.validate_structure()
+
+    def test_with_consensus_changes_hash(self, genesis):
+        sealed = genesis.with_consensus({"type": "x"})
+        assert sealed.block_hash != genesis.block_hash
+
+    def test_mining_digest_ignores_consensus(self, genesis):
+        sealed = genesis.with_consensus({"nonce": 42})
+        assert sealed.header.mining_digest() == genesis.header.mining_digest()
+
+
+class TestChainStore:
+    def test_starts_at_genesis(self, genesis):
+        store = ChainStore(genesis)
+        assert store.head is genesis
+        assert store.height == 0
+
+    def test_add_extends_head(self, genesis, alice):
+        store = ChainStore(genesis)
+        child = _child(genesis, alice)
+        assert store.add(child)
+        assert store.head.block_id == child.block_id
+
+    def test_non_genesis_start_rejected(self, genesis, alice):
+        child = _child(genesis, alice)
+        with pytest.raises(ChainError):
+            ChainStore(child)
+
+    def test_duplicate_add_is_noop(self, genesis, alice):
+        store = ChainStore(genesis)
+        child = _child(genesis, alice)
+        store.add(child)
+        assert not store.add(child)
+
+    def test_orphans_connected_when_parent_arrives(self, genesis, alice):
+        store = ChainStore(genesis)
+        child = _child(genesis, alice)
+        grandchild = _child(child, alice, ts=2000)
+        store.add(grandchild)  # parent unknown -> orphan
+        assert store.orphan_count() == 1
+        assert store.head.height == 0
+        store.add(child)
+        assert store.orphan_count() == 0
+        assert store.head.height == 2
+
+    def test_longest_chain_wins(self, genesis, alice):
+        store = ChainStore(genesis)
+        short = _child(genesis, alice, ts=1)
+        long1 = _child(genesis, alice, ts=2)
+        long2 = _child(long1, alice, ts=3)
+        store.add(short)
+        store.add(long1)
+        store.add(long2)
+        assert store.head.block_id == long2.block_id
+
+    def test_tie_broken_by_lowest_hash(self, genesis, alice):
+        store = ChainStore(genesis)
+        a = _child(genesis, alice, ts=1)
+        b = _child(genesis, alice, ts=2)
+        store.add(a)
+        store.add(b)
+        assert store.head.block_id == min(a.block_id, b.block_id)
+
+    def test_canonical_chain_order(self, genesis, alice):
+        store = ChainStore(genesis)
+        child = _child(genesis, alice)
+        grandchild = _child(child, alice, ts=2000)
+        store.add(child)
+        store.add(grandchild)
+        chain = store.canonical_chain()
+        assert [block.height for block in chain] == [0, 1, 2]
+
+    def test_block_at_height(self, genesis, alice):
+        store = ChainStore(genesis)
+        child = _child(genesis, alice)
+        store.add(child)
+        assert store.block_at_height(1).block_id == child.block_id
+        assert store.block_at_height(5) is None
+
+    def test_canonical_tx_ids(self, genesis, alice):
+        tx = make_transfer(alice, "r", 1, nonce=0)
+        store = ChainStore(genesis)
+        store.add(_child(genesis, alice, [tx]))
+        assert store.canonical_tx_ids() == [tx.tx_id]
+        assert store.contains_tx(tx.tx_id)
+
+    def test_verify_chain_integrity_clean(self, genesis, alice):
+        store = ChainStore(genesis)
+        store.add(_child(genesis, alice))
+        assert store.verify_chain_integrity()
+
+    def test_unknown_block_lookup_raises(self, genesis):
+        store = ChainStore(genesis)
+        with pytest.raises(ChainError):
+            store.get("ff" * 32)

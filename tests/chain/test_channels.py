@@ -1,0 +1,153 @@
+"""State-channel tests: updates, settlement, disputes, fraud."""
+
+import pytest
+
+from repro.chain.channels import ChannelState, StateChannel
+from repro.common.errors import ChainError, CryptoError, ValidationError
+from repro.common.signatures import KeyPair
+
+
+@pytest.fixture()
+def channel(alice, bob):
+    return StateChannel("chan-1", alice, bob, deposit_a=1000, deposit_b=500)
+
+
+class TestUpdates:
+    def test_initial_balances(self, channel, alice, bob):
+        assert channel.balance_of(alice.address) == 1000
+        assert channel.balance_of(bob.address) == 500
+
+    def test_payment_moves_balance(self, channel, alice, bob):
+        channel.propose_update(alice, 300)
+        assert channel.balance_of(alice.address) == 700
+        assert channel.balance_of(bob.address) == 800
+
+    def test_versions_increase(self, channel, alice):
+        channel.propose_update(alice, 10)
+        channel.propose_update(alice, 10)
+        assert channel.latest.version == 2
+
+    def test_capacity_conserved(self, channel, alice, bob):
+        for __ in range(5):
+            channel.propose_update(alice, 50)
+        assert sum(channel.latest.balances.values()) == channel.capacity
+
+    def test_overdraft_rejected(self, channel, bob):
+        with pytest.raises(ChainError):
+            channel.propose_update(bob, 501)
+
+    def test_non_member_rejected(self, channel):
+        carol = KeyPair.generate("carol-channel")
+        with pytest.raises(ValidationError):
+            channel.propose_update(carol, 1)
+
+    def test_non_positive_amount_rejected(self, channel, alice):
+        with pytest.raises(ValidationError):
+            channel.propose_update(alice, 0)
+
+    def test_states_fully_signed(self, channel, alice, bob):
+        state = channel.propose_update(alice, 5)
+        assert state.verify(alice.public, bob.public)
+
+    def test_identical_parties_rejected(self, alice):
+        with pytest.raises(ValidationError):
+            StateChannel("x", alice, alice, 1, 1)
+
+
+class TestCooperativeClose:
+    def test_final_state_settles(self, channel, alice, bob):
+        channel.propose_update(alice, 200)
+        record = channel.close_cooperative()
+        assert record.cooperative
+        assert record.final_balances[bob.address] == 700
+        assert record.onchain_txs == 2
+
+    def test_no_updates_after_close(self, channel, alice):
+        channel.close_cooperative()
+        with pytest.raises(ChainError):
+            channel.propose_update(alice, 1)
+
+    def test_double_close_rejected(self, channel):
+        channel.close_cooperative()
+        with pytest.raises(ChainError):
+            channel.close_cooperative()
+
+    def test_ledger_footprint_compression(self, channel, alice):
+        """The Lightning claim: many updates, two on-chain txs."""
+        for __ in range(100):
+            channel.propose_update(alice, 1)
+        channel.close_cooperative()
+        footprint = channel.ledger_footprint()
+        assert footprint["offchain_updates"] == 100
+        assert footprint["onchain_txs"] == 2
+
+
+class TestUnilateralCloseAndDisputes:
+    def test_honest_unilateral_close(self, channel, alice, bob):
+        latest = channel.propose_update(alice, 100)
+        channel.start_unilateral_close(latest, now_s=0.0)
+        record = channel.finalize_close(now_s=StateChannel.DISPUTE_WINDOW_S + 1)
+        assert record.final_balances[bob.address] == 600
+        assert not record.cooperative
+
+    def test_stale_state_fraud_punished_by_dispute(self, channel, alice, bob):
+        stale = channel.latest  # version 0: alice still has everything
+        channel.propose_update(alice, 400)
+        fresh = channel.latest
+        # Alice tries to close with the stale state...
+        channel.start_unilateral_close(stale, now_s=0.0)
+        # ...Bob disputes with the newer one inside the window.
+        channel.dispute(fresh, now_s=10.0)
+        record = channel.finalize_close(now_s=StateChannel.DISPUTE_WINDOW_S + 1)
+        assert record.final_balances[bob.address] == 900
+        assert record.disputed or record.final_version == fresh.version
+
+    def test_dispute_after_window_rejected(self, channel, alice):
+        stale = channel.latest
+        channel.propose_update(alice, 400)
+        fresh = channel.latest
+        channel.start_unilateral_close(stale, now_s=0.0)
+        with pytest.raises(ChainError):
+            channel.dispute(fresh, now_s=StateChannel.DISPUTE_WINDOW_S + 5)
+
+    def test_dispute_requires_newer_version(self, channel, alice):
+        channel.propose_update(alice, 100)
+        fresh = channel.latest
+        channel.start_unilateral_close(fresh, now_s=0.0)
+        with pytest.raises(ValidationError):
+            channel.dispute(fresh, now_s=1.0)
+
+    def test_finalize_before_window_rejected(self, channel):
+        channel.start_unilateral_close(channel.latest, now_s=0.0)
+        with pytest.raises(ChainError):
+            channel.finalize_close(now_s=1.0)
+
+    def test_unsigned_state_rejected(self, channel, alice, bob):
+        forged = ChannelState(
+            channel_id="chan-1",
+            version=99,
+            balances={alice.address: 0, bob.address: 1500},
+        )
+        with pytest.raises(CryptoError):
+            channel.start_unilateral_close(forged, now_s=0.0)
+
+    def test_capacity_violation_rejected(self, channel, alice, bob):
+        inflated = ChannelState(
+            channel_id="chan-1",
+            version=1,
+            balances={alice.address: 1000, bob.address: 10_000},
+        )
+        inflated = inflated.signed_by(alice, True).signed_by(bob, False)
+        with pytest.raises(ValidationError):
+            channel.start_unilateral_close(inflated, now_s=0.0)
+
+    def test_wrong_channel_state_rejected(self, alice, bob):
+        other = StateChannel("chan-2", alice, bob, 10, 10)
+        mine = StateChannel("chan-1", alice, bob, 10, 10)
+        with pytest.raises(ValidationError):
+            mine.start_unilateral_close(other.latest, now_s=0.0)
+
+    def test_no_updates_while_close_pending(self, channel, alice):
+        channel.start_unilateral_close(channel.latest, now_s=0.0)
+        with pytest.raises(ChainError):
+            channel.propose_update(alice, 1)

@@ -1,0 +1,124 @@
+"""Mempool selection and transfer-executor tests."""
+
+import pytest
+
+from repro.chain.executor import (
+    BASE_TX_GAS,
+    ExecutionContext,
+    TransferExecutor,
+    apply_block_transactions,
+)
+from repro.chain.mempool import Mempool
+from repro.chain.state import StateDB
+from repro.chain.transactions import make_transfer
+from repro.common.signatures import KeyPair
+
+
+class TestMempool:
+    def test_add_and_contains(self, alice):
+        pool = Mempool()
+        tx = make_transfer(alice, "r", 1, nonce=0)
+        assert pool.add(tx)
+        assert tx.tx_id in pool
+        assert len(pool) == 1
+
+    def test_duplicates_rejected(self, alice):
+        pool = Mempool()
+        tx = make_transfer(alice, "r", 1, nonce=0)
+        pool.add(tx)
+        assert not pool.add(tx)
+
+    def test_capacity_enforced(self, alice):
+        pool = Mempool(max_size=2)
+        for nonce in range(3):
+            pool.add(make_transfer(alice, "r", 1, nonce=nonce))
+        assert len(pool) == 2
+
+    def test_fifo_selection_without_nonces(self, alice, bob):
+        pool = Mempool()
+        first = make_transfer(alice, "r", 1, nonce=0)
+        second = make_transfer(bob, "r", 1, nonce=0)
+        pool.add(first)
+        pool.add(second)
+        assert [tx.tx_id for tx in pool.select(10)] == [first.tx_id, second.tx_id]
+
+    def test_selection_respects_limit(self, alice):
+        pool = Mempool()
+        for nonce in range(5):
+            pool.add(make_transfer(alice, "r", 1, nonce=nonce))
+        assert len(pool.select(3)) == 3
+
+    def test_nonce_gaps_deferred(self, alice):
+        pool = Mempool()
+        pool.add(make_transfer(alice, "r", 1, nonce=2))
+        selected = pool.select(10, nonces={alice.address: 0})
+        assert selected == []
+
+    def test_out_of_order_arrival_reordered(self, alice):
+        pool = Mempool()
+        later = make_transfer(alice, "r", 1, nonce=1)
+        earlier = make_transfer(alice, "r", 1, nonce=0)
+        pool.add(later)
+        pool.add(earlier)
+        selected = pool.select(10, nonces={alice.address: 0})
+        assert [tx.nonce for tx in selected] == [0, 1]
+
+    def test_remove_all(self, alice):
+        pool = Mempool()
+        txs = [make_transfer(alice, "r", 1, nonce=n) for n in range(3)]
+        for tx in txs:
+            pool.add(tx)
+        pool.remove_all([tx.tx_id for tx in txs[:2]])
+        assert len(pool) == 1
+
+
+class TestTransferExecutor:
+    def _setup(self, alice):
+        state = StateDB()
+        state.credit(alice.address, 1000)
+        return state, TransferExecutor(), ExecutionContext(block_height=1)
+
+    def test_successful_transfer(self, alice):
+        state, executor, ctx = self._setup(alice)
+        tx = make_transfer(alice, "dest", 300, nonce=0)
+        receipt = executor.apply(state, tx, ctx)
+        assert receipt.success
+        assert receipt.gas_used == BASE_TX_GAS
+        assert state.balance("dest") == 300
+        assert state.balance(alice.address) == 700
+
+    def test_nonce_enforced(self, alice):
+        state, executor, ctx = self._setup(alice)
+        tx = make_transfer(alice, "dest", 10, nonce=5)
+        receipt = executor.apply(state, tx, ctx)
+        assert not receipt.success
+        assert "nonce" in receipt.error
+
+    def test_failed_transfer_still_consumes_nonce(self, alice):
+        state, executor, ctx = self._setup(alice)
+        tx = make_transfer(alice, "dest", 99999, nonce=0)
+        receipt = executor.apply(state, tx, ctx)
+        assert not receipt.success
+        assert state.nonce(alice.address) == 1
+        assert state.balance("dest") == 0
+
+    def test_malformed_payload_rejected(self, alice):
+        state, executor, ctx = self._setup(alice)
+        tx = make_transfer(alice, "dest", 10, nonce=0)
+        import dataclasses
+
+        bad = dataclasses.replace(
+            tx, payload={"to": "dest", "amount": "ten"}
+        ).signed_by(alice)
+        receipt = executor.apply(state, bad, ctx)
+        assert not receipt.success
+
+    def test_apply_block_transactions_in_order(self, alice):
+        state, executor, ctx = self._setup(alice)
+        txs = [
+            make_transfer(alice, "d1", 100, nonce=0),
+            make_transfer(alice, "d2", 100, nonce=1),
+        ]
+        receipts = apply_block_transactions(executor, state, txs, ctx)
+        assert all(receipt.success for receipt in receipts)
+        assert state.balance("d1") == state.balance("d2") == 100

@@ -1,0 +1,147 @@
+"""Property-based tests on chain data structures (DESIGN.md invariants)."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.mempool import Mempool
+from repro.chain.state import StateDB
+from repro.chain.transactions import make_transfer
+from repro.common.signatures import KeyPair
+from repro.sharing.audit import AuditLog
+
+_KEYS = st.text(alphabet="abcdef/", min_size=1, max_size=8)
+_VALUES = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.text(max_size=12),
+    st.lists(st.integers(min_value=0, max_value=9), max_size=4),
+)
+
+_ALICE = KeyPair.generate("prop-alice")
+_BOB = KeyPair.generate("prop-bob")
+
+
+class TestStateProperties:
+    @settings(max_examples=40)
+    @given(st.dictionaries(_KEYS, _VALUES, max_size=12))
+    def test_root_is_order_independent(self, mapping):
+        items = list(mapping.items())
+        a, b = StateDB(), StateDB()
+        for key, value in items:
+            a.set(key, value)
+        for key, value in reversed(items):
+            b.set(key, value)
+        assert a.state_root() == b.state_root()
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(st.tuples(_KEYS, _VALUES), min_size=1, max_size=8),
+        st.lists(st.tuples(_KEYS, _VALUES), min_size=1, max_size=8),
+    )
+    def test_snapshot_rollback_is_exact(self, before, after):
+        state = StateDB()
+        for key, value in before:
+            state.set(key, value)
+        root_before = state.state_root()
+        state.snapshot()
+        for key, value in after:
+            state.set(key, value)
+        state.delete(before[0][0])
+        state.rollback()
+        assert state.state_root() == root_before
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=10))
+    def test_credits_conserve_total(self, amounts):
+        state = StateDB()
+        for index, amount in enumerate(amounts):
+            state.credit(f"acct-{index % 3}", amount)
+        total = sum(state.balance(f"acct-{i}") for i in range(3))
+        assert total == sum(amounts)
+
+
+class TestMempoolProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.permutations(list(range(6))))
+    def test_selection_always_in_nonce_order(self, arrival_order):
+        txs = {n: make_transfer(_ALICE, "sink", 1, nonce=n) for n in range(6)}
+        pool = Mempool()
+        for nonce in arrival_order:
+            pool.add(txs[nonce])
+        selected = pool.select(10, nonces={_ALICE.address: 0})
+        assert [tx.nonce for tx in selected] == sorted(tx.nonce for tx in selected)
+        # The selection must be a contiguous prefix starting at 0.
+        assert [tx.nonce for tx in selected] == list(range(len(selected)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_limit_respected(self, start_nonce, limit):
+        pool = Mempool()
+        for nonce in range(start_nonce, start_nonce + 8):
+            pool.add(make_transfer(_BOB, "sink", 1, nonce=nonce))
+        selected = pool.select(limit, nonces={_BOB.address: start_nonce})
+        assert len(selected) <= limit
+
+
+class TestAuditLogProperties:
+    @settings(max_examples=25)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["alice", "bob", "site"]),
+                st.sampled_from(["request", "release", "deny"]),
+                st.sampled_from(["ds1", "ds2"]),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        st.data(),
+    )
+    def test_any_single_edit_detected(self, entries, data):
+        log = AuditLog()
+        for actor, action, resource in entries:
+            log.append(actor, action, resource)
+        assert log.verify()
+        victim = data.draw(st.integers(min_value=0, max_value=len(entries) - 1))
+        field_name = data.draw(st.sampled_from(["actor", "action", "resource"]))
+        setattr(log._entries[victim], field_name, "TAMPERED")
+        assert not log.verify()
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=2, max_value=10), st.data())
+    def test_any_deletion_detected(self, count, data):
+        """Interior deletions break the chain; deleting the tail is only
+        detectable against the externally-known head hash — exactly the
+        hash-chain guarantee, so check both ways."""
+        log = AuditLog()
+        for index in range(count):
+            log.append("actor", "action", f"r{index}")
+        expected_head = log.head_hash
+        victim = data.draw(st.integers(min_value=0, max_value=count - 1))
+        del log._entries[victim]
+        assert not log.verify() or log.head_hash != expected_head
+
+
+class TestTransactionProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_signed_transfers_always_validate(self, nonce, amount):
+        tx = make_transfer(_ALICE, "dest", amount, nonce=nonce)
+        tx.validate()  # must not raise
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_payload_tamper_always_detected(self, amount):
+        tx = make_transfer(_ALICE, "dest", amount, nonce=0)
+        tampered = dataclasses.replace(
+            tx, payload={"to": "mallory", "amount": amount}
+        )
+        assert not tampered.verify_signature()

@@ -1,0 +1,159 @@
+"""StateDB tests: accounts, contract slots, snapshots, roots."""
+
+import pytest
+
+from repro.chain.state import StateDB
+from repro.common.errors import ChainError
+
+
+def test_get_set_round_trip():
+    state = StateDB()
+    state.set("k", {"nested": [1, 2]})
+    assert state.get("k") == {"nested": [1, 2]}
+
+
+def test_get_returns_copies():
+    state = StateDB()
+    state.set("k", {"list": [1]})
+    state.get("k")["list"].append(2)
+    assert state.get("k") == {"list": [1]}
+
+
+def test_missing_key_default():
+    assert StateDB().get("nope", 42) == 42
+
+
+def test_delete_and_contains():
+    state = StateDB()
+    state.set("k", 1)
+    assert state.contains("k")
+    state.delete("k")
+    assert not state.contains("k")
+
+
+def test_keys_with_prefix_sorted():
+    state = StateDB()
+    for key in ["b/2", "a/1", "b/1"]:
+        state.set(key, 0)
+    assert state.keys_with_prefix("b/") == ["b/1", "b/2"]
+
+
+class TestAccounts:
+    def test_balance_starts_zero(self):
+        assert StateDB().balance("addr") == 0
+
+    def test_credit_debit(self):
+        state = StateDB()
+        state.credit("a", 100)
+        state.debit("a", 30)
+        assert state.balance("a") == 70
+
+    def test_overdraft_rejected(self):
+        state = StateDB()
+        state.credit("a", 10)
+        with pytest.raises(ChainError):
+            state.debit("a", 11)
+
+    def test_debit_unknown_account_rejected(self):
+        with pytest.raises(ChainError):
+            StateDB().debit("ghost", 1)
+
+    def test_negative_amounts_rejected(self):
+        state = StateDB()
+        with pytest.raises(ChainError):
+            state.credit("a", -1)
+        with pytest.raises(ChainError):
+            state.debit("a", -1)
+
+    def test_nonce_bumping(self):
+        state = StateDB()
+        assert state.nonce("a") == 0
+        assert state.bump_nonce("a") == 1
+        assert state.nonce("a") == 1
+
+
+class TestContractSlots:
+    def test_slot_round_trip(self):
+        state = StateDB()
+        state.set_slot("c1", "counter", 5)
+        assert state.get_slot("c1", "counter") == 5
+
+    def test_slots_namespaced_by_contract(self):
+        state = StateDB()
+        state.set_slot("c1", "x", 1)
+        state.set_slot("c2", "x", 2)
+        assert state.get_slot("c1", "x") == 1
+        assert state.get_slot("c2", "x") == 2
+
+    def test_contract_slots_listing(self):
+        state = StateDB()
+        state.set_slot("c1", "a", 1)
+        state.set_slot("c1", "b", 2)
+        assert state.contract_slots("c1") == {"a": 1, "b": 2}
+
+
+class TestSnapshots:
+    def test_rollback_restores(self):
+        state = StateDB()
+        state.set("k", 1)
+        state.snapshot()
+        state.set("k", 2)
+        state.rollback()
+        assert state.get("k") == 1
+
+    def test_commit_keeps_changes(self):
+        state = StateDB()
+        state.snapshot()
+        state.set("k", 9)
+        state.commit()
+        assert state.get("k") == 9
+
+    def test_nested_snapshots(self):
+        state = StateDB()
+        state.set("k", 1)
+        state.snapshot()
+        state.set("k", 2)
+        state.snapshot()
+        state.set("k", 3)
+        state.rollback()
+        assert state.get("k") == 2
+        state.rollback()
+        assert state.get("k") == 1
+
+    def test_rollback_without_snapshot_rejected(self):
+        with pytest.raises(ChainError):
+            StateDB().rollback()
+
+    def test_commit_without_snapshot_rejected(self):
+        with pytest.raises(ChainError):
+            StateDB().commit()
+
+
+class TestRoots:
+    def test_equal_states_equal_roots(self):
+        a, b = StateDB(), StateDB()
+        a.set("x", 1)
+        b.set("x", 1)
+        assert a.state_root() == b.state_root()
+
+    def test_any_difference_changes_root(self):
+        a, b = StateDB(), StateDB()
+        a.set("x", 1)
+        b.set("x", 2)
+        assert a.state_root() != b.state_root()
+
+    def test_insertion_order_irrelevant(self):
+        a, b = StateDB(), StateDB()
+        a.set("x", 1)
+        a.set("y", 2)
+        b.set("y", 2)
+        b.set("x", 1)
+        assert a.state_root() == b.state_root()
+
+    def test_copy_is_independent(self):
+        a = StateDB()
+        a.set("x", 1)
+        b = a.copy()
+        b.set("x", 2)
+        assert a.get("x") == 1
+        assert a.state_root() != b.state_root()

@@ -1,0 +1,99 @@
+"""Transaction signing, validation, and builder tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.chain.transactions import (
+    Transaction,
+    make_call,
+    make_deploy,
+    make_transfer,
+)
+from repro.common.errors import ValidationError
+
+
+def test_transfer_builder_signs_validly(alice):
+    tx = make_transfer(alice, "recipient", 100, nonce=0)
+    tx.validate()  # does not raise
+    assert tx.sender == alice.address
+
+
+def test_tx_id_excludes_signature(alice):
+    tx = make_transfer(alice, "r", 5, nonce=0)
+    stripped = dataclasses.replace(tx, signature=b"")
+    assert tx.tx_id == stripped.tx_id
+
+
+def test_tx_id_changes_with_payload(alice):
+    a = make_transfer(alice, "r", 5, nonce=0)
+    b = make_transfer(alice, "r", 6, nonce=0)
+    assert a.tx_id != b.tx_id
+
+
+def test_unsigned_tx_fails_validation(alice):
+    tx = Transaction(sender=alice.address, nonce=0, kind="transfer", payload={})
+    with pytest.raises(ValidationError):
+        tx.validate()
+
+
+def test_tampered_payload_breaks_signature(alice):
+    tx = make_transfer(alice, "r", 5, nonce=0)
+    tampered = dataclasses.replace(tx, payload={"to": "attacker", "amount": 5})
+    assert not tampered.verify_signature()
+
+
+def test_signature_from_other_key_rejected(alice, bob):
+    tx = make_transfer(alice, "r", 5, nonce=0)
+    stolen = dataclasses.replace(
+        tx, sender=bob.address, public_key=bob.public.data
+    )
+    assert not stolen.verify_signature()
+
+
+def test_unknown_kind_rejected(alice):
+    tx = make_transfer(alice, "r", 5, nonce=0)
+    bad = dataclasses.replace(tx, kind="mystery")
+    with pytest.raises(ValidationError):
+        bad.validate()
+
+
+def test_negative_nonce_rejected(alice):
+    tx = make_transfer(alice, "r", 5, nonce=0)
+    bad = dataclasses.replace(tx, nonce=-1)
+    with pytest.raises(ValidationError):
+        bad.validate()
+
+
+def test_zero_gas_limit_rejected(alice):
+    tx = make_transfer(alice, "r", 5, nonce=0)
+    bad = dataclasses.replace(tx, gas_limit=0)
+    with pytest.raises(ValidationError):
+        bad.validate()
+
+
+def test_deploy_builder_payload(alice):
+    tx = make_deploy(alice, "counter", "def get():\n    return 1\n", nonce=2)
+    assert tx.kind == "deploy"
+    assert tx.payload["contract"] == "counter"
+    tx.validate()
+
+
+def test_call_builder_payload(alice):
+    tx = make_call(alice, "cid123", "method", {"x": 1}, nonce=3)
+    assert tx.kind == "call"
+    assert tx.payload["args"] == {"x": 1}
+    tx.validate()
+
+
+def test_estimated_size_positive_and_stable(alice):
+    tx = make_transfer(alice, "r", 5, nonce=0)
+    assert tx.estimated_size_bytes() > 100
+    assert tx.estimated_size_bytes() == tx.estimated_size_bytes()
+
+
+def test_signing_digest_memo_not_stale(alice):
+    tx = make_transfer(alice, "r", 5, nonce=0)
+    first = tx.signing_digest()
+    copied = dataclasses.replace(tx, nonce=1)
+    assert copied.signing_digest() != first

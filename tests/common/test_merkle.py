@@ -1,0 +1,102 @@
+"""Merkle tree and inclusion proof tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ValidationError
+from repro.common.hashing import ZERO_HASH, sha256
+from repro.common.merkle import MerkleProof, MerkleTree, merkle_root
+
+
+def _leaves(count):
+    return [sha256(f"leaf-{i}".encode()) for i in range(count)]
+
+
+def test_empty_tree_root_is_zero_hash():
+    assert MerkleTree([]).root == ZERO_HASH
+
+
+def test_single_leaf_root_is_leaf():
+    leaf = sha256(b"only")
+    assert MerkleTree([leaf]).root == leaf
+
+
+def test_root_changes_with_any_leaf():
+    base = _leaves(4)
+    mutated = list(base)
+    mutated[2] = sha256(b"tampered")
+    assert MerkleTree(base).root != MerkleTree(mutated).root
+
+
+def test_root_depends_on_leaf_order():
+    leaves = _leaves(4)
+    swapped = [leaves[1], leaves[0]] + leaves[2:]
+    assert MerkleTree(leaves).root != MerkleTree(swapped).root
+
+
+def test_odd_leaf_count_handled():
+    tree = MerkleTree(_leaves(5))
+    assert len(tree.root) == 32
+
+
+def test_rejects_non_digest_leaves():
+    with pytest.raises(ValidationError):
+        MerkleTree([b"short"])
+
+
+def test_proof_verifies_for_every_leaf():
+    leaves = _leaves(7)
+    tree = MerkleTree(leaves)
+    for index in range(7):
+        proof = tree.proof(index)
+        assert proof.verify(tree.root)
+
+
+def test_proof_fails_against_wrong_root():
+    tree = MerkleTree(_leaves(4))
+    other = MerkleTree(_leaves(5))
+    assert not tree.proof(0).verify(other.root)
+
+
+def test_proof_fails_for_tampered_leaf():
+    tree = MerkleTree(_leaves(4))
+    proof = tree.proof(1)
+    forged = MerkleProof(leaf=sha256(b"fake"), index=1, path=proof.path)
+    assert not forged.verify(tree.root)
+
+
+def test_proof_index_out_of_range():
+    tree = MerkleTree(_leaves(3))
+    with pytest.raises(ValidationError):
+        tree.proof(3)
+
+
+def test_from_items_hashes_raw_bytes():
+    tree = MerkleTree.from_items([b"a", b"b"])
+    assert tree.root == MerkleTree([sha256(b"a"), sha256(b"b")]).root
+
+
+def test_merkle_root_helper_matches_tree():
+    leaves = _leaves(6)
+    assert merkle_root(leaves) == MerkleTree(leaves).root
+
+
+@settings(max_examples=40)
+@given(st.integers(min_value=1, max_value=33))
+def test_property_all_proofs_verify(count):
+    leaves = _leaves(count)
+    tree = MerkleTree(leaves)
+    for index in range(count):
+        assert tree.proof(index).verify(tree.root)
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=2, max_value=20), st.data())
+def test_property_mutating_any_leaf_breaks_its_proof(count, data):
+    leaves = _leaves(count)
+    tree = MerkleTree(leaves)
+    victim = data.draw(st.integers(min_value=0, max_value=count - 1))
+    proof = tree.proof(victim)
+    forged = MerkleProof(leaf=sha256(b"evil"), index=victim, path=proof.path)
+    assert not forged.verify(tree.root)

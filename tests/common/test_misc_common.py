@@ -1,0 +1,94 @@
+"""Clock, id, and hashing helper tests."""
+
+import pytest
+
+from repro.common.clock import SimClock, WallClock
+from repro.common.errors import SimulationError
+from repro.common.hashing import (
+    ZERO_HASH,
+    hash_pair,
+    hash_value,
+    hash_value_hex,
+    sha256,
+    short_hash,
+)
+from repro.common.ids import content_id, next_id, reset_ids
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(5.0)
+        assert clock.now() == 5.0
+
+    def test_advance_by(self):
+        clock = SimClock(10.0)
+        clock.advance_by(2.5)
+        assert clock.now() == 12.5
+
+    def test_time_never_flows_backwards(self):
+        clock = SimClock(10.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(9.0)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance_by(-1.0)
+
+
+class TestWallClock:
+    def test_monotonically_non_decreasing(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first >= 0.0
+
+
+class TestIds:
+    def test_sequential_within_namespace(self):
+        reset_ids()
+        assert next_id("tx") == "tx-000001"
+        assert next_id("tx") == "tx-000002"
+
+    def test_namespaces_independent(self):
+        reset_ids()
+        next_id("a")
+        assert next_id("b") == "b-000001"
+
+    def test_reset_restarts_counters(self):
+        next_id("x")
+        reset_ids()
+        assert next_id("x") == "x-000001"
+
+    def test_content_id_stable(self):
+        assert content_id("ds", {"a": 1}) == content_id("ds", {"a": 1})
+
+    def test_content_id_distinguishes_values(self):
+        assert content_id("ds", {"a": 1}) != content_id("ds", {"a": 2})
+
+
+class TestHashing:
+    def test_sha256_known_vector(self):
+        assert (
+            sha256(b"abc").hex()
+            == "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_zero_hash_is_32_zero_bytes(self):
+        assert ZERO_HASH == b"\x00" * 32
+
+    def test_hash_value_deterministic(self):
+        assert hash_value({"k": [1, 2]}) == hash_value({"k": [1, 2]})
+
+    def test_hash_value_hex_matches(self):
+        assert hash_value_hex({"x": 1}) == hash_value({"x": 1}).hex()
+
+    def test_hash_pair_is_order_sensitive(self):
+        a, b = sha256(b"a"), sha256(b"b")
+        assert hash_pair(a, b) != hash_pair(b, a)
+
+    def test_short_hash_length(self):
+        assert len(short_hash(b"data", 12)) == 12

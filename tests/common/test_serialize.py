@@ -1,0 +1,109 @@
+"""Canonical serialization tests."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SerializationError
+from repro.common.serialize import (
+    canonical_bytes,
+    canonical_json,
+    decode_decimal,
+    decode_hex_fields,
+    encode_decimal,
+    from_json,
+    to_jsonable,
+)
+
+
+def test_sorted_keys_and_no_whitespace():
+    assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+
+def test_key_order_does_not_change_encoding():
+    assert canonical_json({"x": 1, "y": 2}) == canonical_json({"y": 2, "x": 1})
+
+
+def test_bytes_encode_as_hex():
+    assert canonical_json({"k": b"\x01\xff"}) == '{"k":"0x01ff"}'
+
+
+def test_dataclass_encoding():
+    @dataclasses.dataclass
+    class Point:
+        x: int
+        y: int
+
+    assert canonical_json(Point(1, 2)) == '{"x":1,"y":2}'
+
+
+def test_nested_structures():
+    value = {"list": [1, {"deep": (2, 3)}], "none": None, "flag": True}
+    parsed = from_json(canonical_json(value))
+    assert parsed == {"list": [1, {"deep": [2, 3]}], "none": None, "flag": True}
+
+
+def test_floats_rejected_when_disallowed():
+    with pytest.raises(SerializationError):
+        canonical_json({"x": 1.5}, allow_float=False)
+
+
+def test_floats_allowed_by_default():
+    assert from_json(canonical_json({"x": 1.5})) == {"x": 1.5}
+
+
+def test_non_string_dict_keys_rejected():
+    with pytest.raises(SerializationError):
+        canonical_json({1: "a"})
+
+
+def test_unserializable_type_rejected():
+    with pytest.raises(SerializationError):
+        canonical_json(object())
+
+
+def test_sets_are_sorted():
+    assert to_jsonable({3, 1, 2}) == [1, 2, 3]
+
+
+def test_decode_hex_fields_round_trip():
+    encoded = to_jsonable({"inner": {"blob": b"\xab\xcd"}})
+    decoded = decode_hex_fields(encoded)
+    assert decoded["inner"]["blob"] == b"\xab\xcd"
+
+
+def test_decimal_round_trip():
+    value = 3.14159
+    assert abs(decode_decimal(encode_decimal(value)) - value) < 1e-9
+
+
+def test_from_json_rejects_garbage():
+    with pytest.raises(SerializationError):
+        from_json("{not json")
+
+
+@given(
+    st.recursive(
+        st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(min_value=-(2**53), max_value=2**53),
+            st.text(max_size=20),
+        ),
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=8), children, max_size=4),
+        ),
+        max_leaves=20,
+    )
+)
+def test_property_round_trip(value):
+    """Any JSON-ish value survives encode/parse unchanged."""
+    assert from_json(canonical_json(value)) == to_jsonable(value)
+
+
+@given(st.dictionaries(st.text(max_size=8), st.integers(), max_size=6))
+def test_property_encoding_is_deterministic(value):
+    assert canonical_bytes(value) == canonical_bytes(dict(reversed(list(value.items()))))

@@ -1,0 +1,106 @@
+"""Schnorr signature and ECDH tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CryptoError
+from repro.common.signatures import (
+    KeyPair,
+    PrivateKey,
+    PublicKey,
+    Signature,
+    shared_secret,
+)
+
+
+def test_sign_verify_round_trip(alice):
+    signature = alice.sign(b"message")
+    assert alice.public.verify(b"message", signature)
+
+
+def test_verify_rejects_different_message(alice):
+    signature = alice.sign(b"message")
+    assert not alice.public.verify(b"other", signature)
+
+
+def test_verify_rejects_wrong_key(alice, bob):
+    signature = alice.sign(b"message")
+    assert not bob.public.verify(b"message", signature)
+
+
+def test_signing_is_deterministic(alice):
+    assert alice.sign(b"m") == alice.sign(b"m")
+
+
+def test_different_messages_different_signatures(alice):
+    assert alice.sign(b"m1") != alice.sign(b"m2")
+
+
+def test_keypair_from_label_is_deterministic():
+    assert KeyPair.generate("label").address == KeyPair.generate("label").address
+
+
+def test_different_labels_different_addresses():
+    assert KeyPair.generate("a").address != KeyPair.generate("b").address
+
+
+def test_address_is_40_hex_chars(alice):
+    address = alice.address
+    assert len(address) == 40
+    int(address, 16)  # parses as hex
+
+
+def test_signature_bytes_round_trip(alice):
+    signature = alice.sign(b"x")
+    assert Signature.from_bytes(signature.to_bytes()) == signature
+
+
+def test_signature_from_bad_length_rejected():
+    with pytest.raises(CryptoError):
+        Signature.from_bytes(b"\x00" * 10)
+
+
+def test_tampered_signature_fails(alice):
+    signature = alice.sign(b"msg")
+    tampered = Signature(r=signature.r, s=(signature.s + 1))
+    assert not alice.public.verify(b"msg", tampered)
+
+
+def test_public_key_rejects_invalid_encoding():
+    with pytest.raises(CryptoError):
+        PublicKey(b"\x05" + b"\x00" * 32)
+
+
+def test_private_key_range_enforced():
+    with pytest.raises(CryptoError):
+        PrivateKey(0)
+
+
+def test_ecdh_is_symmetric(alice, bob):
+    assert shared_secret(alice.private, bob.public) == shared_secret(
+        bob.private, alice.public
+    )
+
+
+def test_ecdh_differs_per_pair(alice, bob):
+    carol = KeyPair.generate("carol")
+    assert shared_secret(alice.private, bob.public) != shared_secret(
+        alice.private, carol.public
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.binary(min_size=0, max_size=64), st.text(min_size=1, max_size=10))
+def test_property_sign_verify(message, label):
+    keypair = KeyPair.generate(label)
+    assert keypair.public.verify(message, keypair.sign(message))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.binary(min_size=1, max_size=32))
+def test_property_bitflip_breaks_verification(message):
+    keypair = KeyPair.generate("flipper")
+    signature = keypair.sign(message)
+    flipped = bytes([message[0] ^ 0x01]) + message[1:]
+    assert not keypair.public.verify(flipped, signature)

@@ -1,0 +1,46 @@
+"""Shared fixtures.
+
+The full platform is expensive to boot, so integration-oriented fixtures
+are module-scoped; tests that mutate platform state build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.ids import reset_ids
+from repro.common.signatures import KeyPair
+from repro.datamgmt.cohort import CohortGenerator, default_site_profiles
+
+
+@pytest.fixture(autouse=True)
+def _fresh_id_namespaces():
+    reset_ids()
+    yield
+    reset_ids()
+
+
+@pytest.fixture(scope="session")
+def alice() -> KeyPair:
+    return KeyPair.generate("alice")
+
+
+@pytest.fixture(scope="session")
+def bob() -> KeyPair:
+    return KeyPair.generate("bob")
+
+
+@pytest.fixture(scope="session")
+def small_cohort():
+    """60 canonical records from one site (session-wide, read-only)."""
+    generator = CohortGenerator(seed=101)
+    profile = default_site_profiles(1)[0]
+    return generator.generate_cohort(profile, 60)
+
+
+@pytest.fixture(scope="session")
+def multi_site_cohorts():
+    """3 sites x 120 records (session-wide, read-only)."""
+    generator = CohortGenerator(seed=202)
+    profiles = default_site_profiles(3)
+    return generator.generate_multi_site(profiles, 120)

@@ -1,0 +1,92 @@
+"""Difficulty retargeting tests."""
+
+import pytest
+
+from repro.chain.blocks import build_block, make_genesis
+from repro.chain.state import StateDB
+from repro.common.errors import ConsensusError
+from repro.consensus.difficulty import (
+    DifficultySchedule,
+    RetargetConfig,
+    next_difficulty_bits,
+)
+
+CONFIG = RetargetConfig(target_block_time_s=10.0, window=4, min_bits=4, max_bits=20)
+
+
+def _timestamps(interval_s: float, count: int = 5):
+    return [int(i * interval_s * 1000) for i in range(count)]
+
+
+class TestNextDifficulty:
+    def test_on_target_unchanged(self):
+        assert next_difficulty_bits(10, _timestamps(10.0), CONFIG) == 10
+
+    def test_too_fast_raises_difficulty(self):
+        assert next_difficulty_bits(10, _timestamps(2.0), CONFIG) == 11
+
+    def test_too_slow_lowers_difficulty(self):
+        assert next_difficulty_bits(10, _timestamps(50.0), CONFIG) == 9
+
+    def test_adjustment_clamped_to_one_bit(self):
+        assert next_difficulty_bits(10, _timestamps(0.001), CONFIG) == 11
+        assert next_difficulty_bits(10, _timestamps(10000.0), CONFIG) == 9
+
+    def test_bounds_respected(self):
+        assert next_difficulty_bits(CONFIG.max_bits, _timestamps(0.1), CONFIG) == CONFIG.max_bits
+        assert next_difficulty_bits(CONFIG.min_bits, _timestamps(1000.0), CONFIG) == CONFIG.min_bits
+
+    def test_mild_deviation_tolerated(self):
+        assert next_difficulty_bits(10, _timestamps(14.0), CONFIG) == 10
+        assert next_difficulty_bits(10, _timestamps(6.0), CONFIG) == 10
+
+    def test_out_of_range_current_rejected(self):
+        with pytest.raises(ConsensusError):
+            next_difficulty_bits(50, _timestamps(10.0), CONFIG)
+
+    def test_short_window_unchanged(self):
+        assert next_difficulty_bits(10, [0], CONFIG) == 10
+
+    def test_zero_elapsed_raises_difficulty(self):
+        assert next_difficulty_bits(10, [0, 0, 0, 0, 0], CONFIG) == 11
+
+
+class TestSchedule:
+    def _chain(self, interval_s: float, length: int):
+        state = StateDB()
+        blocks = [make_genesis(state.state_root())]
+        for height in range(1, length):
+            blocks.append(
+                build_block(
+                    parent=blocks[-1],
+                    transactions=[],
+                    state_root=state.state_root(),
+                    proposer="p",
+                    timestamp_ms=int(height * interval_s * 1000),
+                )
+            )
+        return blocks
+
+    def test_stable_chain_keeps_bits(self):
+        schedule = DifficultySchedule(10, CONFIG)
+        chain = self._chain(10.0, 20)
+        assert schedule.bits_at_height(19, chain) == 10
+
+    def test_fast_chain_ratchets_up(self):
+        schedule = DifficultySchedule(10, CONFIG)
+        chain = self._chain(1.0, 20)
+        assert schedule.bits_at_height(19, chain) > 10
+
+    def test_slow_chain_ratchets_down(self):
+        schedule = DifficultySchedule(10, CONFIG)
+        chain = self._chain(100.0, 20)
+        assert schedule.bits_at_height(19, chain) < 10
+
+    def test_genesis_period_uses_initial(self):
+        schedule = DifficultySchedule(12, CONFIG)
+        chain = self._chain(1.0, 3)
+        assert schedule.bits_at_height(2, chain) == 12
+
+    def test_initial_out_of_range_rejected(self):
+        with pytest.raises(ConsensusError):
+            DifficultySchedule(2, CONFIG)

@@ -1,0 +1,191 @@
+"""Consensus engine tests: PoW puzzle, PoA signatures, PoS lottery."""
+
+import pytest
+
+from repro.chain.blocks import build_block, make_genesis
+from repro.chain.state import StateDB
+from repro.common.errors import ConsensusError
+from repro.common.signatures import KeyPair
+from repro.consensus.poa import ProofOfAuthority
+from repro.consensus.pos import ProofOfStake
+from repro.consensus.pow import ProofOfWork, check_pow, grind, pow_target
+
+
+@pytest.fixture()
+def genesis():
+    return make_genesis(StateDB().state_root())
+
+
+def _block(parent):
+    return build_block(
+        parent=parent,
+        transactions=[],
+        state_root=parent.header.state_root,
+        proposer="p",
+        timestamp_ms=1,
+    )
+
+
+class TestPoW:
+    def test_grind_finds_valid_nonce(self):
+        digest = b"\x01" * 32
+        nonce, attempts = grind(digest, bits=8)
+        assert check_pow(digest, nonce, bits=8)
+        assert attempts >= 1
+
+    def test_target_halves_per_bit(self):
+        assert pow_target(9) * 2 == pow_target(8)
+
+    def test_seal_and_verify(self, genesis):
+        engine = ProofOfWork(difficulty_bits=8)
+        sealed = engine.seal("miner", _block(genesis))
+        assert engine.verify(sealed, genesis)
+
+    def test_wrong_nonce_rejected(self, genesis):
+        engine = ProofOfWork(difficulty_bits=8)
+        sealed = engine.seal("miner", _block(genesis))
+        bad_consensus = dict(sealed.header.consensus)
+        bad_consensus["nonce"] = sealed.header.consensus["nonce"] + 10**6
+        forged = sealed.with_consensus(bad_consensus)
+        # Forged block *might* accidentally satisfy PoW; overwhelmingly not at 8 bits.
+        assert not engine.verify(forged, genesis) or check_pow(
+            forged.header.mining_digest(), bad_consensus["nonce"], 8
+        )
+
+    def test_difficulty_mismatch_rejected(self, genesis):
+        low = ProofOfWork(difficulty_bits=8)
+        high = ProofOfWork(difficulty_bits=12)
+        sealed = low.seal("miner", _block(genesis))
+        assert not high.verify(sealed, genesis)
+
+    def test_plan_delay_scales_with_hash_rate(self, genesis):
+        engine = ProofOfWork(difficulty_bits=16, hash_rates={"fast": 1e6, "slow": 1e3})
+        fast = engine.plan_proposal("fast", genesis, 0.5)
+        slow = engine.plan_proposal("slow", genesis, 0.5)
+        assert fast.delay_s < slow.delay_s
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            ProofOfWork(difficulty_bits=0)
+
+    def test_work_per_second_reports_hash_rate(self):
+        engine = ProofOfWork(difficulty_bits=8, default_hash_rate=123.0)
+        assert engine.work_per_second("anyone") == 123.0
+
+
+class TestPoA:
+    def _engine(self, names=("v0", "v1", "v2")):
+        keypairs = {name: KeyPair.generate(name) for name in names}
+        return ProofOfAuthority(list(names), keypairs), keypairs
+
+    def test_round_robin_schedule(self, genesis):
+        engine, __ = self._engine()
+        assert engine.proposer_at(1) == "v1"
+        assert engine.proposer_at(3) == "v0"
+
+    def test_primary_plans_soonest(self, genesis):
+        engine, __ = self._engine()
+        primary = engine.plan_proposal("v1", genesis, 0.5)   # in-turn at height 1
+        backup = engine.plan_proposal("v0", genesis, 0.5)
+        assert primary.delay_s is not None and backup.delay_s is not None
+        assert primary.delay_s < backup.delay_s
+
+    def test_backup_ranks_ordered(self, genesis):
+        engine, __ = self._engine()
+        delays = {
+            name: engine.plan_proposal(name, genesis, 0.5).delay_s
+            for name in ("v0", "v1", "v2")
+        }
+        # height 1: in-turn v1, then v2, then v0.
+        assert delays["v1"] < delays["v2"] < delays["v0"]
+
+    def test_non_validator_never_plans(self, genesis):
+        engine, __ = self._engine()
+        assert engine.plan_proposal("stranger", genesis, 0.5).delay_s is None
+
+    def test_seal_verify_round_trip(self, genesis):
+        engine, __ = self._engine()
+        sealed = engine.seal("v1", _block(genesis))
+        assert engine.verify(sealed, genesis)
+        assert sealed.header.consensus["in_turn"] is True
+
+    def test_backup_seal_verifies_out_of_turn(self, genesis):
+        engine, __ = self._engine()
+        sealed = engine.seal("v0", _block(genesis))  # backup for height 1
+        assert engine.verify(sealed, genesis)
+        assert sealed.header.consensus["in_turn"] is False
+
+    def test_non_validator_cannot_seal(self, genesis):
+        engine, __ = self._engine()
+        with pytest.raises(ConsensusError):
+            engine.seal("stranger", _block(genesis))
+
+    def test_forged_signature_rejected(self, genesis):
+        engine, __ = self._engine()
+        sealed = engine.seal("v1", _block(genesis))
+        consensus = dict(sealed.header.consensus)
+        signature = bytearray(consensus["signature"])
+        signature[-1] ^= 0xFF
+        consensus["signature"] = bytes(signature)
+        assert not engine.verify(sealed.with_consensus(consensus), genesis)
+
+    def test_impersonation_rejected(self, genesis):
+        engine, keypairs = self._engine()
+        block = _block(genesis)
+        forged_sig = keypairs["v0"].sign(block.header.mining_digest())
+        forged = block.with_consensus(
+            {"type": "poa", "validator": "v1", "signature": forged_sig.to_bytes()}
+        )
+        assert not engine.verify(forged, genesis)
+
+    def test_empty_validator_set_rejected(self):
+        with pytest.raises(ConsensusError):
+            ProofOfAuthority([], {})
+
+
+class TestPoS:
+    def _engine(self):
+        return ProofOfStake({"a": 100, "b": 100, "c": 100})
+
+    def test_winner_is_deterministic(self, genesis):
+        engine = self._engine()
+        assert engine.winner_at(genesis, 1) == engine.winner_at(genesis, 1)
+
+    def test_only_winner_plans(self, genesis):
+        engine = self._engine()
+        winner = engine.winner_at(genesis, 1)
+        for staker in ("a", "b", "c"):
+            plan = engine.plan_proposal(staker, genesis, 0.5)
+            assert (plan.delay_s is not None) == (staker == winner)
+
+    def test_seal_verify_round_trip(self, genesis):
+        engine = self._engine()
+        winner = engine.winner_at(genesis, 1)
+        sealed = engine.seal(winner, _block(genesis))
+        assert engine.verify(sealed, genesis)
+
+    def test_non_winner_seal_rejected_on_verify(self, genesis):
+        engine = self._engine()
+        losers = [s for s in ("a", "b", "c") if s != engine.winner_at(genesis, 1)]
+        sealed = engine.seal(losers[0], _block(genesis))
+        assert not engine.verify(sealed, genesis)
+
+    def test_stake_weighting_statistical(self, genesis):
+        """A staker with 10x stake should win the large majority of heights."""
+        engine = ProofOfStake({"whale": 1000, "minnow": 100})
+        wins = sum(
+            1 for height in range(1, 201) if engine.winner_at(genesis, height) == "whale"
+        )
+        assert wins > 140  # expectation ~182 of 200
+
+    def test_non_staker_cannot_seal(self, genesis):
+        engine = self._engine()
+        with pytest.raises(ConsensusError):
+            engine.seal("outsider", _block(genesis))
+
+    def test_zero_stake_rejected(self):
+        with pytest.raises(ConsensusError):
+            ProofOfStake({"a": 0})
+
+    def test_no_hash_work(self):
+        assert self._engine().work_per_second("a") == 0.0

@@ -1,0 +1,171 @@
+"""Blockchain node tests: gossip, consensus convergence, duplicated work."""
+
+import pytest
+
+from repro.chain.state import StateDB
+from repro.chain.blocks import make_genesis
+from repro.chain.transactions import make_deploy, make_call, make_transfer
+from repro.common.signatures import KeyPair
+from repro.consensus.node import NodeConfig, make_network_nodes
+from repro.consensus.poa import ProofOfAuthority
+from repro.consensus.pow import ProofOfWork
+from repro.contracts.library import COUNTER_SOURCE
+from repro.sim.kernel import Kernel
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import Network
+
+
+def build_network(n_nodes=3, consensus="poa", seed=0, funder=None):
+    kernel = Kernel(seed=seed)
+    metrics = MetricsRegistry()
+    network = Network(kernel, metrics)
+    state = StateDB()
+    if funder is not None:
+        state.credit(funder.address, 10**9)
+    genesis = make_genesis(state.state_root())
+    names = [f"n{i}" for i in range(n_nodes)]
+    if consensus == "poa":
+        keypairs = {name: KeyPair.generate(name) for name in names}
+        engine = ProofOfAuthority(names, keypairs, block_interval_s=0.5)
+    else:
+        engine = ProofOfWork(difficulty_bits=8, default_hash_rate=1e4)
+    nodes = make_network_nodes(
+        kernel, network, names, genesis, state, lambda: engine, metrics=metrics
+    )
+    for node in nodes.values():
+        node.start()
+    return kernel, network, metrics, nodes
+
+
+def commit(kernel, nodes, tx, timeout=120.0):
+    deadline = kernel.now + timeout
+    kernel.run(
+        until=deadline,
+        stop_when=lambda: all(n.receipt(tx.tx_id) for n in nodes.values()),
+    )
+
+
+class TestConvergence:
+    def test_all_nodes_agree_on_state_root(self, alice):
+        kernel, __, ___, nodes = build_network(4, funder=alice)
+        tx = make_transfer(alice, "dest", 100, nonce=0)
+        nodes["n0"].submit_tx(tx)
+        commit(kernel, nodes, tx)
+        roots = {node.state.state_root() for node in nodes.values()}
+        assert len(roots) == 1
+        assert nodes["n3"].state.balance("dest") == 100
+
+    def test_receipt_available_on_every_node(self, alice):
+        kernel, __, ___, nodes = build_network(3, funder=alice)
+        tx = make_transfer(alice, "dest", 1, nonce=0)
+        nodes["n2"].submit_tx(tx)
+        commit(kernel, nodes, tx)
+        for node in nodes.values():
+            receipt = node.receipt(tx.tx_id)
+            assert receipt is not None and receipt.success
+
+    def test_pow_network_converges(self, alice):
+        kernel, __, ___, nodes = build_network(3, consensus="pow", funder=alice)
+        tx = make_transfer(alice, "dest", 5, nonce=0)
+        nodes["n0"].submit_tx(tx)
+        commit(kernel, nodes, tx, timeout=600.0)
+        kernel.run(until=kernel.now + 30.0)  # drain in-flight blocks
+        assert len({node.head.block_id for node in nodes.values()}) == 1
+
+    def test_sequence_of_txs_applied_in_nonce_order(self, alice):
+        kernel, __, ___, nodes = build_network(3, funder=alice)
+        txs = [make_transfer(alice, "dest", 10, nonce=n) for n in range(5)]
+        for tx in reversed(txs):  # submit out of order
+            nodes["n0"].submit_tx(tx)
+        commit(kernel, nodes, txs[-1], timeout=300.0)
+        assert nodes["n1"].state.balance("dest") == 50
+
+
+class TestContractsOnChain:
+    def test_deploy_and_call_across_nodes(self, alice):
+        kernel, __, ___, nodes = build_network(3, funder=alice)
+        deploy = make_deploy(alice, "counter", COUNTER_SOURCE, init={"start": 0}, nonce=0)
+        nodes["n0"].submit_tx(deploy)
+        commit(kernel, nodes, deploy)
+        contract_id = nodes["n1"].receipt(deploy.tx_id).output
+        call = make_call(alice, contract_id, "increment", {"by": 2}, nonce=1)
+        nodes["n2"].submit_tx(call)
+        commit(kernel, nodes, call)
+        for node in nodes.values():
+            assert node.call_view(contract_id, "get") == 2
+
+    def test_events_reach_subscribers_on_every_node(self, alice):
+        kernel, __, ___, nodes = build_network(3, funder=alice)
+        seen = {name: [] for name in nodes}
+        for name, node in nodes.items():
+            node.subscribe_events(lambda e, n=name: seen[n].append(e.name))
+        deploy = make_deploy(alice, "counter", COUNTER_SOURCE, nonce=0)
+        nodes["n0"].submit_tx(deploy)
+        commit(kernel, nodes, deploy)
+        contract_id = nodes["n0"].receipt(deploy.tx_id).output
+        call = make_call(alice, contract_id, "increment", nonce=1)
+        nodes["n0"].submit_tx(call)
+        commit(kernel, nodes, call)
+        assert all(names == ["Incremented"] for names in seen.values())
+
+
+class TestDuplicatedWork:
+    def test_every_node_burns_the_same_gas(self, alice):
+        """The paper's core complaint: contract gas is duplicated N times."""
+        kernel, __, metrics, nodes = build_network(4, funder=alice)
+        deploy = make_deploy(alice, "counter", COUNTER_SOURCE, nonce=0)
+        nodes["n0"].submit_tx(deploy)
+        commit(kernel, nodes, deploy)
+        contract_id = nodes["n0"].receipt(deploy.tx_id).output
+        call = make_call(alice, contract_id, "increment", nonce=1)
+        nodes["n0"].submit_tx(call)
+        commit(kernel, nodes, call)
+        per_node = metrics.scopes("gas")
+        assert len(per_node) == 4
+        assert len(set(per_node.values())) == 1  # identical duplicated work
+        assert metrics.counter_total("gas") == 4 * next(iter(per_node.values()))
+
+    def test_pow_burns_hashes_on_losers_too(self, alice):
+        kernel, __, metrics, nodes = build_network(3, consensus="pow", funder=alice)
+        tx = make_transfer(alice, "d", 1, nonce=0)
+        nodes["n0"].submit_tx(tx)
+        commit(kernel, nodes, tx, timeout=600.0)
+        assert metrics.counter_total("hashes") > 0
+
+
+class TestRobustness:
+    def test_invalid_tx_not_propagated(self, alice):
+        import dataclasses
+
+        kernel, network, __, nodes = build_network(2, funder=alice)
+        tx = make_transfer(alice, "d", 1, nonce=0)
+        bad = dataclasses.replace(tx, payload={"to": "evil", "amount": 1})
+        # inject the tampered tx directly through the network layer
+        network.send("n0", "n1", "tx", bad)
+        kernel.run(until=5.0)
+        assert len(nodes["n1"].mempool) == 0
+
+    def test_partition_stalls_then_heals(self, alice):
+        kernel, network, __, nodes = build_network(2, funder=alice)
+        network.partition({"n0"}, {"n1"})
+        tx = make_transfer(alice, "d", 1, nonce=0)
+        nodes["n0"].submit_tx(tx)
+        kernel.run(until=kernel.now + 10.0)
+        # n1 is the proposer for some heights but never saw the tx
+        assert nodes["n1"].receipt(tx.tx_id) is None
+        network.heal()
+        # n0 rebroadcasts nothing automatically; resubmit through n1's side
+        nodes["n1"]._handle_gossip_tx(tx)
+        commit(kernel, nodes, tx)
+        assert nodes["n1"].receipt(tx.tx_id).success
+
+    def test_node_config_block_size_respected(self, alice):
+        kernel, __, ___, nodes = build_network(2, funder=alice)
+        for node in nodes.values():
+            node.config.max_txs_per_block = 2
+        txs = [make_transfer(alice, "d", 1, nonce=n) for n in range(6)]
+        for tx in txs:
+            nodes["n0"].submit_tx(tx)
+        commit(kernel, nodes, txs[-1], timeout=300.0)
+        for block in nodes["n0"].store.canonical_chain():
+            assert len(block.transactions) <= 2

@@ -1,0 +1,321 @@
+"""Tests of the three built-in platform contracts (Figure 4 categories)."""
+
+import pytest
+
+from repro.chain.executor import ExecutionContext
+from repro.chain.state import StateDB
+from repro.chain.transactions import make_call, make_deploy
+from repro.common.signatures import KeyPair
+from repro.contracts.library import (
+    ANALYTICS_SOURCE,
+    CLINICAL_TRIAL_SOURCE,
+    COMPUTE_CONTRACT_SOURCE,
+    DATA_REGISTRY_SOURCE,
+)
+from repro.contracts.runtime import ContractExecutor
+
+
+@pytest.fixture()
+def world(alice):
+    state = StateDB()
+    state.credit(alice.address, 10**9)
+    executor = ContractExecutor()
+    ctx = ExecutionContext(block_height=3, timestamp_ms=5000)
+    return state, executor, ctx
+
+
+def deploy(world, alice, source, name, nonce):
+    state, executor, ctx = world
+    tx = make_deploy(alice, name, source, nonce=nonce, gas_limit=10**8)
+    receipt = executor.apply(state, tx, ctx)
+    assert receipt.success, receipt.error
+    return receipt.output
+
+
+def call(world, signer, contract_id, method, args, nonce, gas=10**8):
+    state, executor, ctx = world
+    tx = make_call(signer, contract_id, method, args, nonce=nonce, gas_limit=gas)
+    return executor.apply(state, tx, ctx)
+
+
+class TestDataRegistry:
+    def test_register_and_get(self, world, alice):
+        cid = deploy(world, alice, DATA_REGISTRY_SOURCE, "data", 0)
+        receipt = call(
+            world, alice, cid, "register_dataset",
+            {"dataset_id": "ds1", "site": "h0", "schema": "v1",
+             "record_count": 10, "merkle_root": "ab" * 32}, 1,
+        )
+        assert receipt.success
+        state, executor, __ = world
+        entry = executor.execute_view(state, cid, "get_dataset", {"dataset_id": "ds1"})
+        assert entry["owner"] == alice.address
+        assert entry["record_count"] == 10
+
+    def test_double_registration_rejected(self, world, alice):
+        cid = deploy(world, alice, DATA_REGISTRY_SOURCE, "data", 0)
+        args = {"dataset_id": "ds1", "site": "h0", "schema": "v1",
+                "record_count": 1, "merkle_root": "00" * 32}
+        assert call(world, alice, cid, "register_dataset", args, 1).success
+        assert not call(world, alice, cid, "register_dataset", args, 2).success
+
+    def test_owner_access_implicit(self, world, alice):
+        cid = deploy(world, alice, DATA_REGISTRY_SOURCE, "data", 0)
+        call(world, alice, cid, "register_dataset",
+             {"dataset_id": "ds1", "site": "h0", "schema": "v1",
+              "record_count": 1, "merkle_root": "00" * 32}, 1)
+        state, executor, __ = world
+        assert executor.execute_view(
+            state, cid, "check_access",
+            {"dataset_id": "ds1", "grantee": alice.address,
+             "purpose": "anything", "now_ms": 0},
+        )
+
+    def test_grant_and_check_access(self, world, alice, bob):
+        cid = deploy(world, alice, DATA_REGISTRY_SOURCE, "data", 0)
+        call(world, alice, cid, "register_dataset",
+             {"dataset_id": "ds1", "site": "h0", "schema": "v1",
+              "record_count": 1, "merkle_root": "00" * 32}, 1)
+        state, executor, __ = world
+        check = {"dataset_id": "ds1", "grantee": bob.address,
+                 "purpose": "research", "now_ms": 10}
+        assert not executor.execute_view(state, cid, "check_access", check)
+        assert call(world, alice, cid, "grant_access",
+                    {"dataset_id": "ds1", "grantee": bob.address,
+                     "purpose": "research", "expires_ms": -1}, 2).success
+        assert executor.execute_view(state, cid, "check_access", check)
+
+    def test_purpose_is_fine_grained(self, world, alice, bob):
+        cid = deploy(world, alice, DATA_REGISTRY_SOURCE, "data", 0)
+        call(world, alice, cid, "register_dataset",
+             {"dataset_id": "ds1", "site": "h0", "schema": "v1",
+              "record_count": 1, "merkle_root": "00" * 32}, 1)
+        call(world, alice, cid, "grant_access",
+             {"dataset_id": "ds1", "grantee": bob.address,
+              "purpose": "research", "expires_ms": -1}, 2)
+        state, executor, __ = world
+        assert not executor.execute_view(
+            state, cid, "check_access",
+            {"dataset_id": "ds1", "grantee": bob.address,
+             "purpose": "marketing", "now_ms": 0},
+        )
+
+    def test_grant_expiry(self, world, alice, bob):
+        cid = deploy(world, alice, DATA_REGISTRY_SOURCE, "data", 0)
+        call(world, alice, cid, "register_dataset",
+             {"dataset_id": "ds1", "site": "h0", "schema": "v1",
+              "record_count": 1, "merkle_root": "00" * 32}, 1)
+        call(world, alice, cid, "grant_access",
+             {"dataset_id": "ds1", "grantee": bob.address,
+              "purpose": "research", "expires_ms": 1000}, 2)
+        state, executor, __ = world
+        base = {"dataset_id": "ds1", "grantee": bob.address, "purpose": "research"}
+        assert executor.execute_view(state, cid, "check_access", {**base, "now_ms": 999})
+        assert not executor.execute_view(state, cid, "check_access", {**base, "now_ms": 1001})
+
+    def test_only_owner_grants(self, world, alice, bob):
+        cid = deploy(world, alice, DATA_REGISTRY_SOURCE, "data", 0)
+        call(world, alice, cid, "register_dataset",
+             {"dataset_id": "ds1", "site": "h0", "schema": "v1",
+              "record_count": 1, "merkle_root": "00" * 32}, 1)
+        receipt = call(world, bob, cid, "grant_access",
+                       {"dataset_id": "ds1", "grantee": bob.address,
+                        "purpose": "research", "expires_ms": -1}, 0)
+        assert not receipt.success
+
+    def test_revocation(self, world, alice, bob):
+        cid = deploy(world, alice, DATA_REGISTRY_SOURCE, "data", 0)
+        call(world, alice, cid, "register_dataset",
+             {"dataset_id": "ds1", "site": "h0", "schema": "v1",
+              "record_count": 1, "merkle_root": "00" * 32}, 1)
+        call(world, alice, cid, "grant_access",
+             {"dataset_id": "ds1", "grantee": bob.address,
+              "purpose": "research", "expires_ms": -1}, 2)
+        call(world, alice, cid, "revoke_access",
+             {"dataset_id": "ds1", "grantee": bob.address, "purpose": "research"}, 3)
+        state, executor, __ = world
+        assert not executor.execute_view(
+            state, cid, "check_access",
+            {"dataset_id": "ds1", "grantee": bob.address,
+             "purpose": "research", "now_ms": 0},
+        )
+
+    def test_list_datasets(self, world, alice):
+        cid = deploy(world, alice, DATA_REGISTRY_SOURCE, "data", 0)
+        for index in range(3):
+            call(world, alice, cid, "register_dataset",
+                 {"dataset_id": f"ds{index}", "site": "h0", "schema": "v1",
+                  "record_count": index, "merkle_root": "00" * 32}, index + 1)
+        state, executor, __ = world
+        listed = executor.execute_view(state, cid, "list_datasets")
+        assert [d["dataset_id"] for d in listed] == ["ds0", "ds1", "ds2"]
+
+
+class TestAnalyticsContract:
+    def _with_tool(self, world, alice):
+        cid = deploy(world, alice, ANALYTICS_SOURCE, "analytics", 0)
+        call(world, alice, cid, "register_tool",
+             {"tool_id": "prevalence", "code_hash": "cc" * 32,
+              "description": "outcome prevalence"}, 1)
+        return cid
+
+    def test_task_lifecycle(self, world, alice, bob):
+        cid = self._with_tool(world, alice)
+        receipt = call(world, bob, cid, "request_task",
+                       {"task_id": "t1", "tool_id": "prevalence",
+                        "dataset_ids": ["ds1"], "params": {}, "purpose": "research"}, 0)
+        assert receipt.success
+        assert any(event.name == "TaskRequested" for event in receipt.events)
+        done = call(world, alice, cid, "post_result",
+                    {"task_id": "t1", "result_hash": "dd" * 32, "summary": {"n": 5}}, 2)
+        assert done.success
+        state, executor, __ = world
+        task = executor.execute_view(state, cid, "get_task", {"task_id": "t1"})
+        assert task["status"] == "completed"
+        assert task["executor"] == alice.address
+
+    def test_unknown_tool_rejected(self, world, alice, bob):
+        cid = self._with_tool(world, alice)
+        receipt = call(world, bob, cid, "request_task",
+                       {"task_id": "t1", "tool_id": "ghost", "dataset_ids": [],
+                        "params": {}, "purpose": "x"}, 0)
+        assert not receipt.success
+
+    def test_duplicate_task_id_rejected(self, world, alice, bob):
+        cid = self._with_tool(world, alice)
+        args = {"task_id": "t1", "tool_id": "prevalence", "dataset_ids": [],
+                "params": {}, "purpose": "x"}
+        assert call(world, bob, cid, "request_task", args, 0).success
+        assert not call(world, bob, cid, "request_task", args, 1).success
+
+    def test_fail_task(self, world, alice, bob):
+        cid = self._with_tool(world, alice)
+        call(world, bob, cid, "request_task",
+             {"task_id": "t1", "tool_id": "prevalence", "dataset_ids": [],
+              "params": {}, "purpose": "x"}, 0)
+        receipt = call(world, alice, cid, "fail_task",
+                       {"task_id": "t1", "reason": "access denied"}, 2)
+        assert receipt.success
+        state, executor, __ = world
+        assert executor.execute_view(state, cid, "get_task", {"task_id": "t1"})["status"] == "failed"
+
+    def test_post_result_requires_pending(self, world, alice, bob):
+        cid = self._with_tool(world, alice)
+        call(world, bob, cid, "request_task",
+             {"task_id": "t1", "tool_id": "prevalence", "dataset_ids": [],
+              "params": {}, "purpose": "x"}, 0)
+        call(world, alice, cid, "post_result",
+             {"task_id": "t1", "result_hash": "aa" * 32, "summary": {}}, 2)
+        again = call(world, alice, cid, "post_result",
+                     {"task_id": "t1", "result_hash": "bb" * 32, "summary": {}}, 3)
+        assert not again.success
+
+
+class TestClinicalTrialContract:
+    def _registered(self, world, alice):
+        cid = deploy(world, alice, CLINICAL_TRIAL_SOURCE, "trial", 0)
+        receipt = call(world, alice, cid, "register_trial",
+                       {"trial_id": "T1", "protocol_hash": "ee" * 32,
+                        "outcomes": ["stroke", "mortality"], "target_enrollment": 2}, 1)
+        assert receipt.success
+        return cid
+
+    def test_enrollment_flow(self, world, alice, bob):
+        cid = self._registered(world, alice)
+        first = call(world, bob, cid, "enroll",
+                     {"trial_id": "T1", "patient_pseudo_id": "p1",
+                      "site": "h0", "arm": "treatment"}, 0)
+        assert first.success and first.output == 1
+        second = call(world, bob, cid, "enroll",
+                      {"trial_id": "T1", "patient_pseudo_id": "p2",
+                       "site": "h1", "arm": "control"}, 1)
+        assert any(e.name == "RecruitmentComplete" for e in second.events)
+        state, executor, __ = world
+        assert executor.execute_view(state, cid, "get_trial", {"trial_id": "T1"})["status"] == "active"
+
+    def test_double_enrollment_rejected(self, world, alice, bob):
+        cid = self._registered(world, alice)
+        args = {"trial_id": "T1", "patient_pseudo_id": "p1", "site": "h0", "arm": "treatment"}
+        assert call(world, bob, cid, "enroll", args, 0).success
+        assert not call(world, bob, cid, "enroll", args, 1).success
+
+    def test_registered_outcome_reporting(self, world, alice, bob):
+        cid = self._registered(world, alice)
+        call(world, bob, cid, "enroll",
+             {"trial_id": "T1", "patient_pseudo_id": "p1", "site": "h0",
+              "arm": "treatment"}, 0)
+        receipt = call(world, bob, cid, "report_outcome",
+                       {"trial_id": "T1", "patient_pseudo_id": "p1",
+                        "outcome": "stroke", "value_milli": 1000, "data_hash": "aa" * 32}, 1)
+        assert receipt.success
+
+    def test_outcome_switching_detected_and_rejected(self, world, alice, bob):
+        cid = self._registered(world, alice)
+        call(world, bob, cid, "enroll",
+             {"trial_id": "T1", "patient_pseudo_id": "p1", "site": "h0",
+              "arm": "treatment"}, 0)
+        receipt = call(world, bob, cid, "report_outcome",
+                       {"trial_id": "T1", "patient_pseudo_id": "p1",
+                        "outcome": "surrogate_marker", "value_milli": 1,
+                        "data_hash": "aa" * 32}, 1)
+        assert not receipt.success  # rejected on chain
+
+    def test_adverse_event_counting(self, world, alice, bob):
+        cid = self._registered(world, alice)
+        call(world, bob, cid, "enroll",
+             {"trial_id": "T1", "patient_pseudo_id": "p1", "site": "h0",
+              "arm": "treatment"}, 0)
+        for index in range(3):
+            receipt = call(world, bob, cid, "report_adverse_event",
+                           {"trial_id": "T1", "patient_pseudo_id": "p1",
+                            "severity": 2, "description_hash": "bb" * 32}, index + 1)
+            assert receipt.success
+        state, executor, __ = world
+        assert executor.execute_view(state, cid, "adverse_event_count", {"trial_id": "T1"}) == 3
+
+    def test_severity_bounds(self, world, alice, bob):
+        cid = self._registered(world, alice)
+        call(world, bob, cid, "enroll",
+             {"trial_id": "T1", "patient_pseudo_id": "p1", "site": "h0",
+              "arm": "treatment"}, 0)
+        receipt = call(world, bob, cid, "report_adverse_event",
+                       {"trial_id": "T1", "patient_pseudo_id": "p1",
+                        "severity": 9, "description_hash": "bb" * 32}, 1)
+        assert not receipt.success
+
+    def test_only_sponsor_finalizes(self, world, alice, bob):
+        cid = self._registered(world, alice)
+        assert not call(world, bob, cid, "finalize",
+                        {"trial_id": "T1", "results_hash": "ff" * 32}, 0).success
+        assert call(world, alice, cid, "finalize",
+                    {"trial_id": "T1", "results_hash": "ff" * 32}, 2).success
+
+
+class TestComputeContract:
+    def test_matmul_on_chain(self, world, alice):
+        cid = deploy(world, alice, COMPUTE_CONTRACT_SOURCE, "compute", 0)
+        a = [[1, 2], [3, 4]]
+        b = [[5, 6], [7, 8]]
+        receipt = call(world, alice, cid, "matmul", {"a": a, "b": b, "n": 2}, 1)
+        assert receipt.success
+        assert receipt.output == [[19, 22], [43, 50]]
+
+    def test_train_step_updates_weights(self, world, alice):
+        cid = deploy(world, alice, COMPUTE_CONTRACT_SOURCE, "compute", 0)
+        receipt = call(world, alice, cid, "train_step",
+                       {"features": [[1000, 2000], [3000, 1000]],
+                        "labels": [1, 0], "weights": [0, 0], "lr_milli": 100}, 1)
+        assert receipt.success
+        assert len(receipt.output) == 2
+        state, executor, __ = world
+        assert executor.execute_view(state, cid, "get_weights") == receipt.output
+
+    def test_compute_gas_scales_with_n(self, world, alice):
+        cid = deploy(world, alice, COMPUTE_CONTRACT_SOURCE, "compute", 0)
+        small = call(world, alice, cid, "matmul",
+                     {"a": [[1] * 3] * 3, "b": [[1] * 3] * 3, "n": 3}, 1)
+        big = call(world, alice, cid, "matmul",
+                   {"a": [[1] * 6] * 6, "b": [[1] * 6] * 6, "n": 6}, 2)
+        from repro.contracts.gas import GAS_CALL_BASE
+
+        assert (big.gas_used - GAS_CALL_BASE) > 4 * (small.gas_used - GAS_CALL_BASE)

@@ -1,0 +1,94 @@
+"""Patient consent: on-chain opt-out enforced in the off-chain control path."""
+
+import pytest
+
+from repro.common.signatures import KeyPair
+from repro.core.platform import MedicalBlockchainNetwork, PlatformConfig
+from repro.core.queryservice import GlobalQueryService
+from repro.query.vector import QueryVector
+
+
+@pytest.fixture(scope="module")
+def consent_world(multi_site_cohorts):
+    platform = MedicalBlockchainNetwork(
+        PlatformConfig(site_count=2, consensus="poa", include_fda=False, seed=61)
+    )
+    cohorts = {
+        site: multi_site_cohorts[f"hospital-{index}"]
+        for index, site in enumerate(platform.site_names)
+    }
+    for site, records in cohorts.items():
+        platform.register_dataset(site, f"emr-{site}", records)
+    researcher = KeyPair.generate("consent-researcher")
+    for site in platform.site_names:
+        platform.grant_access(site, f"emr-{site}", researcher.address, "research")
+    service = GlobalQueryService(platform, researcher)
+    return platform, service, cohorts
+
+
+def _count(service):
+    return service.execute(QueryVector(intent="count", purpose="research")).result["count"]
+
+
+def test_consent_contract_deployed(consent_world):
+    platform, __, ___ = consent_world
+    assert platform.contracts.consent_contract_id
+    node = platform.nodes["hospital-0"]
+    assert node.call_view(
+        platform.contracts.consent_contract_id,
+        "check_consent",
+        {"patient_pseudo_id": "anyone", "scope": "research"},
+    ) is True  # opt-in by default
+
+
+def test_optout_removes_records_from_analytics(consent_world):
+    platform, service, cohorts = consent_world
+    baseline = _count(service)
+    victims = [record["patient_id"] for record in cohorts["hospital-0"][:5]]
+    for patient in victims:
+        platform.set_patient_consent("hospital-0", patient, "research", allow=False)
+    assert _count(service) == baseline - 5
+
+
+def test_optout_is_scope_specific(consent_world):
+    platform, service, cohorts = consent_world
+    node = platform.nodes["hospital-0"]
+    patient = cohorts["hospital-0"][0]["patient_id"]
+    # Opted out of "research" above, but a different scope is unaffected.
+    assert node.call_view(
+        platform.contracts.consent_contract_id,
+        "check_consent",
+        {"patient_pseudo_id": patient, "scope": "billing"},
+    ) is True
+    assert node.call_view(
+        platform.contracts.consent_contract_id,
+        "check_consent",
+        {"patient_pseudo_id": patient, "scope": "research"},
+    ) is False
+
+
+def test_optback_in_restores_records(consent_world):
+    platform, service, cohorts = consent_world
+    before = _count(service)
+    patient = cohorts["hospital-0"][0]["patient_id"]
+    platform.set_patient_consent("hospital-0", patient, "research", allow=True)
+    assert _count(service) == before + 1
+
+
+def test_optout_count_on_chain(consent_world):
+    platform, __, ___ = consent_world
+    node = platform.nodes["hospital-1"]
+    count = node.call_view(
+        platform.contracts.consent_contract_id,
+        "optout_count",
+        {"scope": "research"},
+    )
+    assert count == 4  # 5 opted out, 1 opted back in
+
+
+def test_consent_changes_emit_events(consent_world):
+    platform, __, ___ = consent_world
+    monitor = platform.sites["hospital-1"].monitor
+    events = monitor.events_named("ConsentChanged")
+    assert len(events) >= 6
+    assert {"patient", "scope", "allow"} <= set(events[0].data)

@@ -1,0 +1,75 @@
+"""Federated evaluation: score a model on distributed data, no movement."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.features import FEATURE_DIM, dataset_for
+from repro.analytics.models import LogisticModel
+from repro.common.errors import QueryError
+from repro.common.signatures import KeyPair
+from repro.core.platform import MedicalBlockchainNetwork, PlatformConfig
+from repro.core.queryservice import GlobalQueryService
+from repro.query.vector import QueryVector
+
+
+@pytest.fixture(scope="module")
+def eval_world(multi_site_cohorts):
+    platform = MedicalBlockchainNetwork(
+        PlatformConfig(site_count=3, consensus="poa", include_fda=False, seed=71)
+    )
+    for site, records in sorted(multi_site_cohorts.items()):
+        platform.register_dataset(site, f"emr-{site}", records)
+    researcher = KeyPair.generate("eval-researcher")
+    for site in platform.site_names:
+        platform.grant_access(site, f"emr-{site}", researcher.address, "research")
+    service = GlobalQueryService(platform, researcher)
+    # Train a model locally on pooled data (the thing we want to validate).
+    pooled = [record for records in multi_site_cohorts.values() for record in records]
+    X, y = dataset_for(pooled, "stroke")
+    model = LogisticModel(FEATURE_DIM, seed=0)
+    model.train_epochs(X, y, epochs=10, lr=0.3)
+    return platform, service, model, (X, y)
+
+
+def test_distributed_metrics_match_pooled_weighting(eval_world, multi_site_cohorts):
+    """Sample-weighted composition of per-site accuracy equals pooled
+    accuracy (accuracy is a mean over samples, so weighting is exact)."""
+    __, service, model, (X, y) = eval_world
+    vector = QueryVector(intent="evaluate", outcome="stroke")
+    answer = service.evaluate_model(model, vector)
+    pooled_accuracy = model.evaluate(X, y)["accuracy"]
+    assert answer.result["n"] == len(y)
+    assert answer.result["accuracy"] == pytest.approx(pooled_accuracy, abs=1e-9)
+    assert 0.0 <= answer.result["auc"] <= 1.0
+
+
+def test_per_site_sample_counts_reported(eval_world, multi_site_cohorts):
+    __, service, model, __unused = eval_world
+    vector = QueryVector(intent="evaluate", outcome="stroke")
+    answer = service.evaluate_model(model, vector)
+    expected = sorted(len(records) for records in multi_site_cohorts.values())
+    assert sorted(answer.result["per_site_n"]) == expected
+
+
+def test_filters_push_down_to_evaluation(eval_world):
+    __, service, model, __unused = eval_world
+    full = service.evaluate_model(
+        model, QueryVector(intent="evaluate", outcome="stroke")
+    )
+    filtered = service.evaluate_model(
+        model, QueryVector(intent="evaluate", outcome="stroke", filters={"sex": "F"})
+    )
+    # The filtered evaluation uses strictly fewer samples.
+    assert 0 < filtered.result["n"] < full.result["n"]
+
+
+def test_execute_rejects_bare_evaluate(eval_world):
+    __, service, __model, __unused = eval_world
+    with pytest.raises(QueryError):
+        service.execute(QueryVector(intent="evaluate", outcome="stroke"))
+
+
+def test_evaluate_model_rejects_other_intents(eval_world):
+    __, service, model, __unused = eval_world
+    with pytest.raises(QueryError):
+        service.evaluate_model(model, QueryVector(intent="count"))

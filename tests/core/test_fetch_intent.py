@@ -1,0 +1,75 @@
+"""HIE fetch intent through the query service (encrypted, schema-projected)."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.common.signatures import KeyPair
+from repro.core.platform import MedicalBlockchainNetwork, PlatformConfig
+from repro.core.queryservice import GlobalQueryService
+from repro.query.vector import QueryVector
+
+
+@pytest.fixture(scope="module")
+def world(multi_site_cohorts):
+    platform = MedicalBlockchainNetwork(
+        PlatformConfig(site_count=3, consensus="poa", include_fda=False, seed=23)
+    )
+    for site, records in sorted(multi_site_cohorts.items()):
+        platform.register_dataset(site, f"emr-{site}", records)
+    researcher = KeyPair.generate("fetch-researcher")
+    for site in platform.site_names:
+        platform.grant_access(site, f"emr-{site}", researcher.address, "rwe-review")
+    return platform, researcher
+
+
+def test_fetch_returns_all_records(world, multi_site_cohorts):
+    platform, researcher = world
+    service = GlobalQueryService(platform, researcher)
+    vector = QueryVector(intent="fetch", purpose="rwe-review")
+    answer = service.execute(vector)
+    expected = sum(len(records) for records in multi_site_cohorts.values())
+    assert answer.result["count"] == expected
+    assert answer.bytes_on_wire > 0
+
+
+def test_fetch_projects_requested_schema(world):
+    platform, researcher = world
+    service = GlobalQueryService(platform, researcher)
+    vector = QueryVector(
+        intent="fetch",
+        purpose="rwe-review",
+        requested_schema=["patient_id", "vitals", "outcomes"],
+    )
+    answer = service.execute(vector)
+    record = answer.result["records"][0]
+    assert set(record) == {"patient_id", "vitals", "outcomes"}
+
+
+def test_fetch_denied_without_grant(world):
+    platform, __ = world
+    stranger = KeyPair.generate("fetch-stranger")
+    service = GlobalQueryService(platform, stranger)
+    vector = QueryVector(intent="fetch", purpose="rwe-review")
+    with pytest.raises(QueryError):
+        service.execute(vector)
+
+
+def test_fetch_partial_grants_partial_results(world):
+    platform, __ = world
+    partial_user = KeyPair.generate("fetch-partial")
+    platform.grant_access(
+        "hospital-0", "emr-hospital-0", partial_user.address, "rwe-review"
+    )
+    service = GlobalQueryService(platform, partial_user)
+    vector = QueryVector(intent="fetch", purpose="rwe-review")
+    answer = service.execute(vector)
+    assert set(answer.site_partials) == {"hospital-0"}
+    assert set(answer.failed_sites) == {"hospital-1", "hospital-2"}
+
+
+def test_fetch_is_audited(world):
+    platform, __ = world
+    audit = platform.sites["hospital-0"].exchange.audit
+    assert audit.verify()
+    actions = {entry.action for entry in audit.entries()}
+    assert {"request", "release"} <= actions

@@ -1,0 +1,139 @@
+"""Global query service tests (Figure 5 end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import QueryError
+from repro.common.signatures import KeyPair
+from repro.core.platform import MedicalBlockchainNetwork, PlatformConfig
+from repro.core.queryservice import GlobalQueryService
+from repro.core.strategies import compute_to_data, data_to_compute
+from repro.query.vector import QueryVector
+
+
+@pytest.fixture(scope="module")
+def world(multi_site_cohorts):
+    platform = MedicalBlockchainNetwork(
+        PlatformConfig(site_count=3, consensus="poa", include_fda=False, seed=9)
+    )
+    for site, records in sorted(multi_site_cohorts.items()):
+        platform.register_dataset(site, f"emr-{site}", records)
+    researcher = KeyPair.generate("query-researcher")
+    for site in platform.site_names:
+        platform.grant_access(site, f"emr-{site}", researcher.address, "research")
+    service = GlobalQueryService(platform, researcher)
+    return platform, researcher, service
+
+
+def pooled(multi_site_cohorts):
+    return [record for records in multi_site_cohorts.values() for record in records]
+
+
+class TestQueries:
+    def test_count_matches_ground_truth(self, world, multi_site_cohorts):
+        __, ___, service = world
+        answer = service.ask("how many patients have diabetes")
+        expected = sum(
+            1 for record in pooled(multi_site_cohorts) if record["outcomes"]["diabetes"]
+        )
+        assert answer.result["count"] == expected
+
+    def test_prevalence_matches_ground_truth(self, world, multi_site_cohorts):
+        __, ___, service = world
+        answer = service.ask("prevalence of stroke among smokers")
+        records = [
+            record
+            for record in pooled(multi_site_cohorts)
+            if record["lifestyle"]["smoker"] == 1
+        ]
+        expected = sum(record["outcomes"]["stroke"] for record in records) / len(records)
+        assert answer.result["prevalence"] == pytest.approx(expected)
+
+    def test_mean_matches_ground_truth(self, world, multi_site_cohorts):
+        __, ___, service = world
+        answer = service.ask("average systolic blood pressure for women")
+        values = [
+            record["vitals"]["sbp"]
+            for record in pooled(multi_site_cohorts)
+            if record["sex"] == "F"
+        ]
+        assert answer.result["mean"] == pytest.approx(np.mean(values))
+
+    def test_histogram_composes(self, world, multi_site_cohorts):
+        __, ___, service = world
+        answer = service.ask("histogram of bmi between 15 and 55 with 8 bins")
+        assert sum(answer.result["counts"]) == len(pooled(multi_site_cohorts))
+
+    def test_partials_per_site(self, world):
+        platform, __, service = world
+        answer = service.ask("how many patients have cancer")
+        assert set(answer.site_partials) == set(platform.site_names)
+
+    def test_latency_and_bytes_reported(self, world):
+        __, ___, service = world
+        answer = service.ask("how many women over 50")
+        assert answer.latency_s > 0
+        assert answer.bytes_on_wire > 0
+
+    def test_federated_train_query(self, world, multi_site_cohorts):
+        __, ___, service = world
+        vector = QueryVector(intent="train", outcome="stroke", rounds=6)
+        model = service.train_model(vector)
+        from repro.analytics.features import dataset_for
+
+        X, y = dataset_for(pooled(multi_site_cohorts), "stroke")
+        metrics = model.evaluate(X, y)
+        assert metrics["auc"] > 0.62
+
+    def test_raw_records_never_in_result(self, world):
+        """Privacy: only aggregates cross the wire."""
+        __, ___, service = world
+        answer = service.ask("how many patients have diabetes")
+        text = str(answer.result) + str(answer.site_partials)
+        assert "patient_id" not in text
+        assert "national_id_hash" not in text
+
+
+class TestStrategies:
+    def test_both_strategies_same_answer(self, world):
+        platform, researcher, service = world
+        vector = QueryVector(
+            intent="prevalence", outcome="stroke", purpose="research"
+        )
+        to_data = compute_to_data(service, vector)
+        to_compute = data_to_compute(platform, researcher, vector)
+        assert to_data.result["positives"] == to_compute.result["positives"]
+        assert to_data.result["n"] == to_compute.result["n"]
+
+    def test_compute_to_data_moves_fewer_bytes(self, world):
+        platform, researcher, service = world
+        vector = QueryVector(intent="count", purpose="research")
+        to_data = compute_to_data(service, vector)
+        to_compute = data_to_compute(platform, researcher, vector)
+        assert to_data.bytes_moved < to_compute.bytes_moved / 10
+
+    def test_data_to_compute_touches_all_records(self, world, multi_site_cohorts):
+        platform, researcher, __ = world
+        vector = QueryVector(intent="count", purpose="research")
+        report = data_to_compute(platform, researcher, vector)
+        assert report.records_touched == len(pooled(multi_site_cohorts))
+
+
+class TestFailureModes:
+    def test_unknown_tool_task_fails_fast(self, world):
+        platform, researcher, service = world
+        vector = QueryVector(intent="cluster", purpose="research")
+        # cluster is registered, so instead test with an unregistered purpose
+        # against a dataset with no grant for that purpose.
+        vector = QueryVector(intent="count", purpose="unauthorized-purpose")
+        with pytest.raises(QueryError):
+            service.execute(vector, timeout_s=90)
+
+    def test_no_datasets_rejected(self):
+        platform = MedicalBlockchainNetwork(
+            PlatformConfig(site_count=1, consensus="poa", include_fda=False, seed=1)
+        )
+        researcher = KeyPair.generate("lonely-researcher")
+        service = GlobalQueryService(platform, researcher)
+        with pytest.raises(QueryError):
+            service.ask("how many patients have diabetes")

@@ -1,0 +1,100 @@
+"""Legacy EMR format mapper tests (Figure 3's heterogeneous integration)."""
+
+import pytest
+
+from repro.common.errors import DataFormatError
+from repro.datamgmt.formats import (
+    KNOWN_FORMATS,
+    export_record,
+    hl7v2_to_canonical,
+    legacycsv_to_canonical,
+    parse_record,
+)
+
+ANALYTIC_FIELDS = ("birth_year", "sex", "zip3", "site", "diagnoses", "medications")
+
+
+@pytest.mark.parametrize("fmt", KNOWN_FORMATS)
+def test_round_trip_preserves_identity_fields(fmt, small_cohort):
+    for record in small_cohort[:10]:
+        round_tripped = parse_record(export_record(record, fmt), fmt)
+        for field in ANALYTIC_FIELDS:
+            assert round_tripped[field] == record[field], (fmt, field)
+
+
+@pytest.mark.parametrize("fmt", KNOWN_FORMATS)
+def test_round_trip_preserves_numeric_values(fmt, small_cohort):
+    for record in small_cohort[:10]:
+        round_tripped = parse_record(export_record(record, fmt), fmt)
+        for lab, value in record["labs"].items():
+            # hl7v2 stores glucose in mmol/L rounded to 4 decimals, so the
+            # round trip is lossy at the 1e-4 relative level (realistic).
+            assert round_tripped["labs"][lab] == pytest.approx(value, rel=1e-3)
+        for vital, value in record["vitals"].items():
+            assert round_tripped["vitals"][vital] == pytest.approx(value, rel=1e-6)
+
+
+@pytest.mark.parametrize("fmt", KNOWN_FORMATS)
+def test_round_trip_preserves_genomics_and_outcomes(fmt, small_cohort):
+    for record in small_cohort[:10]:
+        round_tripped = parse_record(export_record(record, fmt), fmt)
+        assert round_tripped["genomics"] == record["genomics"]
+        assert round_tripped["outcomes"] == record["outcomes"]
+
+
+def test_hl7_glucose_unit_conversion(small_cohort):
+    record = small_cohort[0]
+    message = export_record(record, "hl7v2")
+    glucose_obx = [o for o in message["OBX"] if o["code"] == "GLU^mmol/L"]
+    assert len(glucose_obx) == 1
+    # mmol/L value is smaller than mg/dL by the conversion factor
+    assert glucose_obx[0]["value"] < record["labs"]["glucose"]
+
+
+def test_csv_numeric_sex_coding(small_cohort):
+    record = small_cohort[0]
+    row = export_record(record, "legacycsv")
+    assert row["sx"] in ("1", "2")
+    assert parse_record(row, "legacycsv")["sex"] == record["sex"]
+
+
+def test_csv_semicolon_lists(small_cohort):
+    record = next(r for r in small_cohort if len(r["diagnoses"]) >= 1)
+    row = export_record(record, "legacycsv")
+    assert ";".join(record["diagnoses"]) == row["dx_list"]
+
+
+def test_fhir_bundle_structure(small_cohort):
+    bundle = export_record(small_cohort[0], "fhirjson")
+    assert bundle["resourceType"] == "Bundle"
+    types = [entry["resource"]["resourceType"] for entry in bundle["entry"]]
+    assert "Patient" in types
+    assert "MolecularSequence" in types
+
+
+def test_unknown_format_rejected(small_cohort):
+    with pytest.raises(DataFormatError):
+        export_record(small_cohort[0], "dicom")
+    with pytest.raises(DataFormatError):
+        parse_record({}, "dicom")
+
+
+def test_malformed_hl7_rejected():
+    with pytest.raises(DataFormatError):
+        hl7v2_to_canonical({"MSH": {}})
+
+
+def test_malformed_csv_rejected():
+    with pytest.raises(DataFormatError):
+        legacycsv_to_canonical({"pt_id": "x"})
+
+
+def test_parse_validates_schema(small_cohort):
+    record = export_record(small_cohort[0], "legacycsv")
+    del record["bp_sys"]  # drop a required vital
+    with pytest.raises(DataFormatError):
+        parse_record(record, "legacycsv")
+
+
+def test_canonical_passthrough(small_cohort):
+    assert parse_record(small_cohort[0], "canonical") is small_cohort[0]

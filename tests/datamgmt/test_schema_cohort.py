@@ -1,0 +1,153 @@
+"""Canonical schema and cohort generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.datamgmt.cohort import (
+    CohortGenerator,
+    default_disease_models,
+    default_site_profiles,
+    shared_patients,
+)
+from repro.datamgmt.schema import (
+    CANONICAL_FIELDS,
+    VARIANT_PANEL,
+    age_in,
+    empty_record,
+    is_canonical,
+    validate_canonical,
+)
+
+
+class TestSchema:
+    def test_empty_record_has_all_fields(self):
+        record = empty_record()
+        for field in CANONICAL_FIELDS:
+            assert field in record
+
+    def test_empty_record_fails_validation(self):
+        assert validate_canonical(empty_record())  # missing vitals etc.
+
+    def test_generated_record_is_canonical(self, small_cohort):
+        assert is_canonical(small_cohort[0])
+
+    def test_bad_sex_flagged(self, small_cohort):
+        record = dict(small_cohort[0])
+        record["sex"] = "X"
+        assert any("sex" in problem for problem in validate_canonical(record))
+
+    def test_bad_birth_year_flagged(self, small_cohort):
+        record = dict(small_cohort[0])
+        record["birth_year"] = 1700
+        assert validate_canonical(record)
+
+    def test_unknown_lab_flagged(self, small_cohort):
+        record = {**small_cohort[0], "labs": {**small_cohort[0]["labs"], "mystery": 1.0}}
+        assert validate_canonical(record)
+
+    def test_age_computation(self):
+        record = {**empty_record(), "birth_year": 1958}
+        assert age_in(record, 2018) == 60
+
+
+class TestCohortGenerator:
+    def test_deterministic_for_seed(self):
+        profiles = default_site_profiles(1)
+        a = CohortGenerator(seed=5).generate_cohort(profiles[0], 10)
+        b = CohortGenerator(seed=5).generate_cohort(profiles[0], 10)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        profiles = default_site_profiles(1)
+        a = CohortGenerator(seed=5).generate_cohort(profiles[0], 10)
+        b = CohortGenerator(seed=6).generate_cohort(profiles[0], 10)
+        assert a != b
+
+    def test_every_record_valid(self, small_cohort):
+        assert all(is_canonical(record) for record in small_cohort)
+
+    def test_patient_ids_unique(self, multi_site_cohorts):
+        ids = [
+            record["patient_id"]
+            for cohort in multi_site_cohorts.values()
+            for record in cohort
+        ]
+        assert len(ids) == len(set(ids))
+
+    def test_variant_panel_complete(self, small_cohort):
+        for record in small_cohort:
+            assert set(record["genomics"]) == set(VARIANT_PANEL)
+            assert all(dose in (0, 1, 2) for dose in record["genomics"].values())
+
+    def test_outcome_prevalence_reasonable(self, multi_site_cohorts):
+        records = [r for cohort in multi_site_cohorts.values() for r in cohort]
+        stroke = np.mean([r["outcomes"]["stroke"] for r in records])
+        assert 0.05 < stroke < 0.6
+
+    def test_risk_factors_raise_stroke_rate(self):
+        """The generative signal is learnable: smokers with hypertension
+        must have a materially higher stroke rate."""
+        generator = CohortGenerator(seed=77)
+        profile = default_site_profiles(1)[0]
+        records = generator.generate_cohort(profile, 3000)
+        high = [
+            r["outcomes"]["stroke"]
+            for r in records
+            if r["lifestyle"]["smoker"] and r["vitals"]["sbp"] > 140
+        ]
+        low = [
+            r["outcomes"]["stroke"]
+            for r in records
+            if not r["lifestyle"]["smoker"] and r["vitals"]["sbp"] < 125
+        ]
+        assert np.mean(high) > np.mean(low) + 0.1
+
+    def test_sites_are_non_iid(self):
+        generator = CohortGenerator(seed=3)
+        profiles = default_site_profiles(4)
+        cohorts = generator.generate_multi_site(profiles, 400)
+        mean_birth_years = [
+            np.mean([r["birth_year"] for r in cohort]) for cohort in cohorts.values()
+        ]
+        assert max(mean_birth_years) - min(mean_birth_years) > 5
+
+    def test_diagnoses_follow_outcomes(self, small_cohort):
+        for record in small_cohort:
+            if record["outcomes"]["diabetes"]:
+                assert "E11.9" in record["diagnoses"]
+            if record["outcomes"]["stroke"]:
+                assert "I63.9" in record["diagnoses"]
+
+    def test_disease_models_monotone_in_risk(self):
+        models = default_disease_models()
+        low = models["stroke"].probability({"age_decades": 4.0, "sbp_per10": 0.0})
+        high = models["stroke"].probability({"age_decades": 8.0, "sbp_per10": 4.0})
+        assert high > low
+
+
+class TestSharedPatients:
+    def test_same_person_same_identity_fields(self):
+        generator = CohortGenerator(seed=9)
+        profiles = default_site_profiles(3)
+        groups = shared_patients(generator, profiles, 10, sites_per_patient=2)
+        for group in groups:
+            assert len(group) == 2
+            assert len({record["national_id_hash"] for record in group}) == 1
+            assert len({record["birth_year"] for record in group}) == 1
+            assert len({record["sex"] for record in group}) == 1
+
+    def test_site_local_ids_differ(self):
+        generator = CohortGenerator(seed=9)
+        profiles = default_site_profiles(3)
+        groups = shared_patients(generator, profiles, 10, sites_per_patient=2)
+        for group in groups:
+            assert group[0]["patient_id"] != group[1]["patient_id"]
+
+    def test_measurements_drift_between_visits(self):
+        generator = CohortGenerator(seed=9)
+        profiles = default_site_profiles(2)
+        groups = shared_patients(generator, profiles, 5, sites_per_patient=2)
+        drifted = any(
+            group[0]["vitals"]["sbp"] != group[1]["vitals"]["sbp"] for group in groups
+        )
+        assert drifted

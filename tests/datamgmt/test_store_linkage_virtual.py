@@ -1,0 +1,202 @@
+"""Hospital store, record linkage, and virtual cohort tests."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DataFormatError, OracleError
+from repro.datamgmt.cohort import CohortGenerator, default_site_profiles, shared_patients
+from repro.datamgmt.linkage import (
+    LinkageWeights,
+    RecordLinker,
+    evaluate_linkage,
+    pair_score,
+)
+from repro.datamgmt.store import HospitalDataStore
+from repro.datamgmt.virtual import DatasetRef, NumericSummary, VirtualCohort, get_field
+
+
+class TestHospitalDataStore:
+    def test_add_and_read_canonical(self, small_cohort):
+        store = HospitalDataStore("h0")
+        store.add_canonical("ds", small_cohort)
+        assert store.has_dataset("ds")
+        assert store.get_records("ds") == list(small_cohort)
+
+    def test_legacy_format_round_trip_on_access(self, small_cohort):
+        store = HospitalDataStore("h0")
+        store.add_canonical("ds", small_cohort, fmt="hl7v2")
+        records = store.get_records("ds")
+        assert records[0]["birth_year"] == small_cohort[0]["birth_year"]
+        assert store.dataset_format("ds") == "hl7v2"
+
+    def test_duplicate_dataset_rejected(self, small_cohort):
+        store = HospitalDataStore("h0")
+        store.add_canonical("ds", small_cohort)
+        with pytest.raises(OracleError):
+            store.add_canonical("ds", small_cohort)
+
+    def test_unknown_format_rejected(self, small_cohort):
+        store = HospitalDataStore("h0")
+        with pytest.raises(DataFormatError):
+            store.add_canonical("ds", small_cohort, fmt="nope")
+
+    def test_missing_dataset_raises(self):
+        with pytest.raises(OracleError):
+            HospitalDataStore("h0").get_records("ghost")
+
+    def test_anchor_detects_tampering(self, small_cohort):
+        store = HospitalDataStore("h0")
+        store.add_canonical("ds", small_cohort, fmt="legacycsv")
+        anchor = store.anchor("ds")
+        store.tamper("ds", 3, "bp_sys", 999.0)
+        from repro.offchain.anchoring import verify_dataset
+
+        assert not verify_dataset(store.get_records("ds"), anchor.root_hex)
+
+    def test_record_count(self, small_cohort):
+        store = HospitalDataStore("h0")
+        store.add_canonical("ds", small_cohort)
+        assert store.record_count("ds") == len(small_cohort)
+
+
+class TestLinkage:
+    def _records(self, mask_fraction, count=40, seed=0):
+        generator = CohortGenerator(seed=13)
+        profiles = default_site_profiles(3)
+        groups = shared_patients(generator, profiles, count, sites_per_patient=2)
+        rng = np.random.default_rng(seed)
+        records = []
+        for person, group in enumerate(groups):
+            for record in group:
+                record["_person"] = person
+                if rng.random() < mask_fraction:
+                    record["national_id_hash"] = ""
+                records.append(record)
+        return records
+
+    def test_deterministic_linkage_perfect_with_ids(self):
+        records = self._records(mask_fraction=0.0)
+        result = RecordLinker().link(records)
+        metrics = evaluate_linkage(result)
+        assert metrics["precision"] == 1.0
+        assert metrics["recall"] == 1.0
+
+    def test_probabilistic_linkage_with_masked_ids(self):
+        records = self._records(mask_fraction=1.0)
+        result = RecordLinker().link(records)
+        metrics = evaluate_linkage(result)
+        assert metrics["f1"] > 0.8  # genomics panel makes matching strong
+        assert result.probabilistic_links > 0
+
+    def test_partial_masking_mixes_mechanisms(self):
+        records = self._records(mask_fraction=0.5)
+        result = RecordLinker().link(records)
+        assert result.deterministic_links > 0
+        metrics = evaluate_linkage(result)
+        assert metrics["f1"] > 0.8
+
+    def test_pair_score_higher_for_same_person(self):
+        records = self._records(mask_fraction=0.0, count=10)
+        same = [r for r in records if r["_person"] == 0]
+        different = [records[0], next(r for r in records if r["_person"] == 5)]
+        assert pair_score(same[0], same[1]) > pair_score(different[0], different[1])
+
+    def test_threshold_controls_aggressiveness(self):
+        records = self._records(mask_fraction=1.0)
+        strict = RecordLinker(LinkageWeights(threshold=50.0)).link(records)
+        loose = RecordLinker(LinkageWeights(threshold=3.0)).link(records)
+        assert strict.probabilistic_links <= loose.probabilistic_links
+
+    def test_unrelated_records_not_linked(self, multi_site_cohorts):
+        records = [
+            {**record, "_person": index}
+            for index, record in enumerate(
+                [r for cohort in multi_site_cohorts.values() for r in cohort][:100]
+            )
+        ]
+        for record in records:
+            record["national_id_hash"] = ""
+        result = RecordLinker().link(records)
+        # Probabilistic matching has a small inherent false-positive rate
+        # (two strangers can agree on every quasi-identifier); what matters
+        # is that it stays rare relative to the candidate-pair count.
+        assert result.deterministic_links == 0
+        assert result.probabilistic_links <= 0.05 * len(records)
+
+
+class TestNumericSummary:
+    def test_merge_equals_pooled(self):
+        values_a = [1.0, 2.0, 3.0]
+        values_b = [10.0, 20.0]
+        merged = NumericSummary.from_values(values_a).merge(
+            NumericSummary.from_values(values_b)
+        )
+        pooled = NumericSummary.from_values(values_a + values_b)
+        assert merged.count == pooled.count
+        assert merged.mean == pytest.approx(pooled.mean)
+        assert merged.variance == pytest.approx(pooled.variance)
+        assert merged.minimum == pooled.minimum
+        assert merged.maximum == pooled.maximum
+
+    def test_dict_round_trip(self):
+        summary = NumericSummary.from_values([2.0, 4.0, 6.0])
+        restored = NumericSummary.from_dict_parts(summary.to_dict())
+        assert restored.mean == pytest.approx(summary.mean)
+        assert restored.count == summary.count
+
+    def test_empty_summary(self):
+        summary = NumericSummary()
+        assert summary.mean == 0.0
+        assert summary.variance == 0.0
+
+
+class TestVirtualCohort:
+    def _cohort(self, multi_site_cohorts):
+        stores = {}
+        cohort = VirtualCohort(lambda site: stores[site])
+        for site, records in multi_site_cohorts.items():
+            store = HospitalDataStore(site)
+            store.add_canonical(f"ds-{site}", records)
+            stores[site] = store
+            cohort.add_ref(DatasetRef(site, f"ds-{site}", len(records)))
+        return cohort
+
+    def test_total_records(self, multi_site_cohorts):
+        cohort = self._cohort(multi_site_cohorts)
+        expected = sum(len(records) for records in multi_site_cohorts.values())
+        assert cohort.total_records == expected
+
+    def test_distributed_mean_equals_pooled(self, multi_site_cohorts):
+        cohort = self._cohort(multi_site_cohorts)
+        pooled = [
+            record["vitals"]["sbp"]
+            for records in multi_site_cohorts.values()
+            for record in records
+        ]
+        summary = cohort.numeric_summary("vitals.sbp")
+        assert summary.mean == pytest.approx(np.mean(pooled))
+        assert summary.count == len(pooled)
+
+    def test_count_where_matches_pooled(self, multi_site_cohorts):
+        cohort = self._cohort(multi_site_cohorts)
+        pooled = sum(
+            1
+            for records in multi_site_cohorts.values()
+            for record in records
+            if record["sex"] == "F"
+        )
+        assert cohort.count_where(lambda record: record["sex"] == "F") == pooled
+
+    def test_prevalence(self, multi_site_cohorts):
+        cohort = self._cohort(multi_site_cohorts)
+        prevalence = cohort.prevalence("stroke")
+        assert 0.0 <= prevalence <= 1.0
+
+    def test_get_field_nested(self, small_cohort):
+        assert get_field(small_cohort[0], "vitals.sbp") == small_cohort[0]["vitals"]["sbp"]
+
+    def test_get_field_missing(self, small_cohort):
+        from repro.common.errors import QueryError
+
+        with pytest.raises(QueryError):
+            get_field(small_cohort[0], "vitals.missing")

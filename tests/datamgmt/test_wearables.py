@@ -1,0 +1,91 @@
+"""Wearable-stream generation and mergeable summaries."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DataFormatError
+from repro.datamgmt.wearables import (
+    WearableGenerator,
+    WearableSeries,
+    merge_wearable_summaries,
+    tool_wearable_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def streams(small_cohort):
+    return WearableGenerator(seed=5).cohort_streams(small_cohort, days=28)
+
+
+class TestGeneration:
+    def test_series_lengths(self, streams):
+        for raw in streams:
+            series = WearableSeries.from_record(raw)
+            assert series.days == 28
+            assert len(series.steps) == 28
+
+    def test_deterministic(self, small_cohort):
+        a = WearableGenerator(seed=5).cohort_streams(small_cohort[:5])
+        b = WearableGenerator(seed=5).cohort_streams(small_cohort[:5])
+        assert a == b
+
+    def test_exercise_raises_steps(self, small_cohort):
+        generator = WearableGenerator(seed=1)
+        active = dict(small_cohort[0])
+        active["lifestyle"] = {**active["lifestyle"], "exercise_hours_week": 10.0}
+        sedentary = dict(small_cohort[0])
+        sedentary["lifestyle"] = {**sedentary["lifestyle"], "exercise_hours_week": 0.0}
+        steps_active = np.mean(generator.series_for(active, days=60).steps)
+        steps_sedentary = np.mean(generator.series_for(sedentary, days=60).steps)
+        assert steps_active > steps_sedentary + 5000
+
+    def test_smoking_raises_resting_hr(self, small_cohort):
+        generator = WearableGenerator(seed=1)
+        smoker = dict(small_cohort[0])
+        smoker["lifestyle"] = {**smoker["lifestyle"], "smoker": 1}
+        nonsmoker = dict(small_cohort[0])
+        nonsmoker["lifestyle"] = {**nonsmoker["lifestyle"], "smoker": 0}
+        hr_smoker = np.mean(generator.series_for(smoker, days=60).resting_hr)
+        hr_nonsmoker = np.mean(generator.series_for(nonsmoker, days=60).resting_hr)
+        assert hr_smoker > hr_nonsmoker + 1.0
+
+    def test_record_round_trip(self, streams):
+        series = WearableSeries.from_record(streams[0])
+        assert series.to_record() == streams[0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataFormatError):
+            WearableSeries(
+                patient_id="p", days=3, steps=[1, 2], resting_hr=[60.0] * 3,
+                sleep_hours=[7.0] * 3,
+            ).validate()
+
+
+class TestSummaries:
+    def test_tool_summary_counts(self, streams):
+        summary = tool_wearable_summary(streams, {})
+        assert summary["patients"] == len(streams)
+        assert summary["steps"]["count"] == 28 * len(streams)
+        assert 0.0 <= summary["active_day_fraction"] <= 1.0
+
+    def test_merge_equals_pooled(self, streams):
+        half = len(streams) // 2
+        partials = [
+            tool_wearable_summary(streams[:half], {}),
+            tool_wearable_summary(streams[half:], {}),
+        ]
+        merged = merge_wearable_summaries(partials)
+        pooled = tool_wearable_summary(streams, {})
+        assert merged["patients"] == pooled["patients"]
+        assert merged["steps"]["mean"] == pytest.approx(pooled["steps"]["mean"])
+        assert merged["resting_hr"]["variance"] == pytest.approx(
+            pooled["resting_hr"]["variance"]
+        )
+        assert merged["active_day_fraction"] == pytest.approx(
+            pooled["active_day_fraction"]
+        )
+
+    def test_empty_cohort(self):
+        summary = tool_wearable_summary([], {})
+        assert summary["patients"] == 0
+        assert summary["active_day_fraction"] == 0.0

@@ -1,0 +1,62 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Each example is imported by path and its ``main()`` executed with stdout
+captured; assertions check for the landmark lines a user would look for.
+The slow clinical-trial example is excluded (covered by
+``test_trial_e2e.py``).
+"""
+
+import importlib.util
+import io
+import os
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name: str) -> str:
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    return buffer.getvalue()
+
+
+@pytest.mark.slow
+def test_quickstart_runs():
+    output = run_example("quickstart.py")
+    assert "prevalence" in output
+    assert "total platform energy" in output
+
+
+@pytest.mark.slow
+def test_data_integration_runs():
+    output = run_example("data_integration.py")
+    assert "800/800 records validate" in output
+    assert "precision 1.000" in output
+
+
+@pytest.mark.slow
+def test_query_to_contract_runs():
+    output = run_example("query_to_contract.py")
+    assert "exact match: True" in output
+
+
+@pytest.mark.slow
+def test_wearable_cohort_runs():
+    output = run_example("wearable_cohort.py")
+    assert "composed global summary" in output
+    assert "Welch t" in output
+
+
+@pytest.mark.slow
+def test_federated_stroke_model_runs():
+    output = run_example("federated_stroke_model.py")
+    assert "federated AUC" in output
+    assert "centralized AUC" in output

@@ -1,0 +1,73 @@
+"""Model serialization round trips and hash anchoring."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.features import FEATURE_DIM
+from repro.analytics.models import LogisticModel, MLPModel, MultiTaskMLP
+from repro.common.errors import LearningError
+from repro.learning.serialization import (
+    model_from_dict,
+    model_hash,
+    model_to_dict,
+    verify_model,
+)
+
+
+def _probe():
+    return np.random.default_rng(0).normal(0, 1, (10, FEATURE_DIM))
+
+
+@pytest.mark.parametrize(
+    "model",
+    [
+        LogisticModel(FEATURE_DIM, seed=3),
+        MLPModel(FEATURE_DIM, hidden=8, seed=3),
+        MultiTaskMLP(FEATURE_DIM, ["stroke", "cancer"], hidden=8, seed=3),
+    ],
+    ids=["logistic", "mlp", "multitask"],
+)
+def test_round_trip_preserves_predictions(model):
+    restored = model_from_dict(model_to_dict(model))
+    X = _probe()
+    assert np.allclose(model.predict_proba(X), restored.predict_proba(X))
+
+
+def test_hash_stable_and_content_addressed():
+    a = LogisticModel(FEATURE_DIM, seed=1)
+    b = LogisticModel(FEATURE_DIM, seed=1)
+    c = LogisticModel(FEATURE_DIM, seed=2)
+    assert model_hash(a) == model_hash(b)
+    assert model_hash(a) != model_hash(c)
+
+
+def test_verify_model_detects_tampering():
+    model = MLPModel(FEATURE_DIM, hidden=6, seed=0)
+    anchored = model_hash(model)
+    assert verify_model(model, anchored)
+    model.w2[0] += 0.5
+    assert not verify_model(model, anchored)
+
+
+def test_serialized_form_is_canonical_json_safe():
+    from repro.common.serialize import canonical_bytes
+
+    payload = model_to_dict(MLPModel(FEATURE_DIM, hidden=4))
+    canonical_bytes(payload)  # floats allowed here; must not raise
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(LearningError):
+        model_from_dict({"kind": "transformer", "params": []})
+
+
+def test_training_survives_round_trip():
+    rng = np.random.default_rng(5)
+    X = rng.normal(0, 1, (200, FEATURE_DIM))
+    y = (X[:, 0] > 0).astype(float)
+    model = LogisticModel(FEATURE_DIM, seed=0)
+    model.train_epochs(X, y, epochs=10, lr=0.5)
+    restored = model_from_dict(model_to_dict(model))
+    assert restored.evaluate(X, y)["auc"] == pytest.approx(
+        model.evaluate(X, y)["auc"]
+    )

@@ -1,0 +1,114 @@
+"""HIE sharing tests: encryption, audit chain, exchange policy."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import CryptoError, IntegrityError
+from repro.common.signatures import KeyPair
+from repro.sharing.audit import AuditLog
+from repro.sharing.encryption import Envelope, decrypt, encrypt_for
+
+
+class TestEncryption:
+    def test_round_trip(self, alice):
+        payload = {"records": [{"id": 1, "value": 2.5}]}
+        envelope = encrypt_for(alice.public, payload)
+        assert decrypt(alice.private, envelope) == payload
+
+    def test_wrong_recipient_cannot_decrypt(self, alice, bob):
+        envelope = encrypt_for(alice.public, {"secret": True})
+        with pytest.raises(CryptoError):
+            decrypt(bob.private, envelope)
+
+    def test_tampered_ciphertext_detected(self, alice):
+        envelope = encrypt_for(alice.public, {"x": 1})
+        flipped = bytearray(envelope.ciphertext)
+        flipped[0] ^= 0xFF
+        tampered = Envelope(
+            ephemeral_public=envelope.ephemeral_public,
+            ciphertext=bytes(flipped),
+            tag=envelope.tag,
+        )
+        with pytest.raises(CryptoError):
+            decrypt(alice.private, tampered)
+
+    def test_tampered_tag_detected(self, alice):
+        envelope = encrypt_for(alice.public, {"x": 1})
+        bad_tag = bytes(b ^ 0x01 for b in envelope.tag)
+        tampered = dataclasses.replace(envelope, tag=bad_tag)
+        with pytest.raises(CryptoError):
+            decrypt(alice.private, tampered)
+
+    def test_ciphertext_differs_from_plaintext(self, alice):
+        from repro.common.serialize import canonical_bytes
+
+        payload = {"visible": "should not appear"}
+        envelope = encrypt_for(alice.public, payload)
+        assert canonical_bytes(payload) not in envelope.ciphertext
+
+    def test_deterministic_with_seed(self, alice):
+        a = encrypt_for(alice.public, {"x": 1}, ephemeral_seed=b"s")
+        b = encrypt_for(alice.public, {"x": 1}, ephemeral_seed=b"s")
+        assert a == b
+
+    def test_envelope_size(self, alice):
+        envelope = encrypt_for(alice.public, {"x": 1})
+        assert envelope.size_bytes == (
+            len(envelope.ephemeral_public) + len(envelope.ciphertext) + len(envelope.tag)
+        )
+
+
+class TestAuditLog:
+    def test_append_and_verify(self):
+        log = AuditLog()
+        log.append("alice", "request", "ds1", {"purpose": "research"})
+        log.append("site", "release", "ds1", {"records": 10})
+        assert len(log) == 2
+        assert log.verify()
+
+    def test_entries_hash_chained(self):
+        log = AuditLog()
+        first = log.append("a", "x", "r")
+        second = log.append("a", "y", "r")
+        assert second.prev_hash == first.entry_hash
+
+    def test_edit_detected(self):
+        log = AuditLog()
+        log.append("a", "x", "r")
+        log.append("a", "y", "r")
+        log._entries[0].action = "falsified"
+        assert not log.verify()
+
+    def test_deletion_detected(self):
+        log = AuditLog()
+        log.append("a", "x", "r")
+        log.append("a", "y", "r")
+        del log._entries[0]
+        assert not log.verify()
+
+    def test_insertion_detected(self):
+        log = AuditLog()
+        log.append("a", "x", "r")
+        entry = log.append("a", "y", "r")
+        forged = dataclasses.replace(entry, sequence=2)
+        log._entries.insert(1, forged)
+        assert not log.verify()
+
+    def test_require_valid_raises(self):
+        log = AuditLog()
+        log.append("a", "x", "r")
+        log._entries[0].actor = "mallory"
+        with pytest.raises(IntegrityError):
+            log.require_valid()
+
+    def test_resource_and_actor_queries(self):
+        log = AuditLog()
+        log.append("alice", "request", "ds1")
+        log.append("bob", "request", "ds2")
+        log.append("alice", "release", "ds1")
+        assert len(log.entries_for("ds1")) == 2
+        assert len(log.entries_by("bob")) == 1
+
+    def test_empty_log_verifies(self):
+        assert AuditLog().verify()

@@ -1,0 +1,135 @@
+"""Discrete-event kernel tests."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.kernel import Kernel, Process, run_to_completion
+
+
+def test_events_run_in_time_order():
+    kernel = Kernel()
+    order = []
+    kernel.schedule(2.0, lambda: order.append("late"))
+    kernel.schedule(1.0, lambda: order.append("early"))
+    kernel.run()
+    assert order == ["early", "late"]
+
+
+def test_ties_broken_by_scheduling_order():
+    kernel = Kernel()
+    order = []
+    kernel.schedule(1.0, lambda: order.append("first"))
+    kernel.schedule(1.0, lambda: order.append("second"))
+    kernel.run()
+    assert order == ["first", "second"]
+
+
+def test_clock_advances_to_event_time():
+    kernel = Kernel()
+    seen = []
+    kernel.schedule(3.5, lambda: seen.append(kernel.now))
+    kernel.run()
+    assert seen == [3.5]
+
+
+def test_negative_delay_rejected():
+    kernel = Kernel()
+    with pytest.raises(SimulationError):
+        kernel.schedule(-0.1, lambda: None)
+
+
+def test_cancelled_events_do_not_run():
+    kernel = Kernel()
+    ran = []
+    handle = kernel.schedule(1.0, lambda: ran.append(1))
+    handle.cancel()
+    kernel.run()
+    assert ran == []
+    assert handle.cancelled
+
+
+def test_run_until_stops_before_future_events():
+    kernel = Kernel()
+    ran = []
+    kernel.schedule(1.0, lambda: ran.append("a"))
+    kernel.schedule(10.0, lambda: ran.append("b"))
+    kernel.run(until=5.0)
+    assert ran == ["a"]
+    assert kernel.now == 5.0
+    assert kernel.pending == 1
+
+
+def test_run_max_events():
+    kernel = Kernel()
+    for __ in range(10):
+        kernel.schedule(1.0, lambda: None)
+    assert kernel.run(max_events=3) == 3
+    assert kernel.pending == 7
+
+
+def test_stop_when_predicate():
+    kernel = Kernel()
+    counter = []
+    for __ in range(10):
+        kernel.schedule(1.0, lambda: counter.append(1))
+    kernel.run(stop_when=lambda: len(counter) >= 4)
+    assert len(counter) == 4
+
+
+def test_events_can_schedule_events():
+    kernel = Kernel()
+    results = []
+
+    def chain(depth):
+        results.append(depth)
+        if depth < 3:
+            kernel.schedule(1.0, lambda: chain(depth + 1))
+
+    kernel.schedule(0.0, lambda: chain(0))
+    kernel.run()
+    assert results == [0, 1, 2, 3]
+    assert kernel.now == 3.0
+
+
+def test_schedule_at_absolute_time():
+    kernel = Kernel()
+    seen = []
+    kernel.schedule_at(7.0, lambda: seen.append(kernel.now))
+    kernel.run()
+    assert seen == [7.0]
+
+
+def test_run_is_not_reentrant():
+    kernel = Kernel()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    kernel.schedule(1.0, reenter)
+    kernel.run()
+
+
+def test_same_seed_same_rng_sequence():
+    a, b = Kernel(seed=9), Kernel(seed=9)
+    assert [a.rng.random() for __ in range(5)] == [b.rng.random() for __ in range(5)]
+
+
+def test_run_to_completion_guard():
+    kernel = Kernel()
+
+    def forever():
+        kernel.schedule(1.0, forever)
+
+    kernel.schedule(1.0, forever)
+    with pytest.raises(SimulationError):
+        run_to_completion(kernel, max_events=100)
+
+
+def test_process_after_helper():
+    kernel = Kernel()
+    actor = Process(kernel, "actor")
+    seen = []
+    actor.after(2.0, lambda: seen.append(actor.now))
+    kernel.run()
+    assert seen == [2.0]

@@ -1,0 +1,232 @@
+"""Clinical trial tests: protocol, simulation, RWE monitor, auditor."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TrialError
+from repro.datamgmt.cohort import CohortGenerator, default_site_profiles
+from repro.offchain.anchoring import DatasetAnchor
+from repro.trial.auditor import PublishedReport, TrialAuditor
+from repro.trial.monitor import RWEMonitor
+from repro.trial.protocol import TrialProtocol
+from repro.trial.simulation import (
+    TrialEffect,
+    assign_arms,
+    simulate_follow_up,
+    true_effect_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    return TrialProtocol(
+        trial_id="NCT-REPRO-1",
+        title="Anticoagulant X vs standard of care",
+        drug="anticoag-x",
+        primary_outcomes=["stroke"],
+        secondary_outcomes=["mortality"],
+        subgroups=["rs2200733"],
+        target_enrollment=600,
+        follow_up_days=365,
+    )
+
+
+@pytest.fixture(scope="module")
+def enrolled(protocol):
+    generator = CohortGenerator(seed=31)
+    profiles = default_site_profiles(3)
+    patients = []
+    for profile in profiles:
+        patients.extend(generator.generate_cohort(profile, 200))
+    return patients[: protocol.target_enrollment]
+
+
+@pytest.fixture(scope="module")
+def outcomes(protocol, enrolled):
+    arms = assign_arms(enrolled, protocol, seed=1)
+    return simulate_follow_up(enrolled, arms, protocol, seed=2)
+
+
+class TestProtocol:
+    def test_hash_is_deterministic(self, protocol):
+        assert protocol.protocol_hash() == protocol.protocol_hash()
+
+    def test_hash_changes_with_outcomes(self, protocol):
+        import dataclasses
+
+        other = dataclasses.replace(protocol, primary_outcomes=["myocardial_infarction"])
+        assert other.protocol_hash() != protocol.protocol_hash()
+
+    def test_validation_requires_outcomes(self):
+        with pytest.raises(TrialError):
+            TrialProtocol(trial_id="x", title="t", drug="d").validate()
+
+    def test_validation_rejects_duplicate_outcomes(self):
+        with pytest.raises(TrialError):
+            TrialProtocol(
+                trial_id="x", title="t", drug="d",
+                primary_outcomes=["a"], secondary_outcomes=["a"],
+            ).validate()
+
+    def test_validation_requires_two_arms(self):
+        with pytest.raises(TrialError):
+            TrialProtocol(
+                trial_id="x", title="t", drug="d",
+                arms=["only"], primary_outcomes=["a"],
+            ).validate()
+
+    def test_registration_args(self, protocol):
+        args = protocol.to_registration_args()
+        assert args["outcomes"] == ["stroke", "mortality"]
+        assert args["target_enrollment"] == 600
+
+
+class TestSimulation:
+    def test_arms_balanced(self, protocol, enrolled):
+        arms = assign_arms(enrolled, protocol, seed=1)
+        counts = {arm: list(arms.values()).count(arm) for arm in protocol.arms}
+        assert abs(counts["treatment"] - counts["control"]) <= 1
+
+    def test_all_patients_assigned(self, protocol, enrolled):
+        arms = assign_arms(enrolled, protocol, seed=1)
+        assert set(arms) == {patient["patient_id"] for patient in enrolled}
+
+    def test_subgroup_effect_present(self, outcomes):
+        """Ground truth: the drug works in carriers, not in non-carriers."""
+        summary = true_effect_summary(outcomes)
+        carrier_benefit = (
+            summary["control_rate_carriers"] - summary["treatment_rate_carriers"]
+        )
+        noncarrier_benefit = (
+            summary["control_rate_noncarriers"] - summary["treatment_rate_noncarriers"]
+        )
+        assert carrier_benefit > 0.08
+        assert noncarrier_benefit < carrier_benefit
+
+    def test_safety_signal_present(self, outcomes):
+        summary = true_effect_summary(outcomes)
+        assert summary["ae_rate_treatment"] > summary["ae_rate_control"]
+
+    def test_unassigned_patient_rejected(self, protocol, enrolled):
+        with pytest.raises(TrialError):
+            simulate_follow_up(enrolled, {}, protocol)
+
+    def test_deterministic(self, protocol, enrolled):
+        arms = assign_arms(enrolled, protocol, seed=1)
+        a = simulate_follow_up(enrolled, arms, protocol, seed=2)
+        b = simulate_follow_up(enrolled, arms, protocol, seed=2)
+        assert a == b
+
+    def test_report_days_within_follow_up(self, protocol, outcomes):
+        assert all(1 <= o.report_day <= protocol.follow_up_days for o in outcomes)
+
+
+class TestRWEMonitor:
+    def test_continuous_detects_subgroup_efficacy(self, outcomes):
+        monitor = RWEMonitor(alpha=0.05, subgroup_min_per_arm=15)
+        monitor.run_stream(outcomes)
+        day = monitor.detection_day("subgroup_efficacy_carriers")
+        assert day is not None
+
+    def test_continuous_beats_batch_timing(self, protocol, outcomes):
+        """The paper's RWE pitch: signals surface before the trial ends."""
+        monitor = RWEMonitor(alpha=0.05, subgroup_min_per_arm=15)
+        monitor.run_stream(outcomes)
+        days = [signal.day for signal in monitor.signals]
+        assert days and min(days) < protocol.follow_up_days
+
+    def test_batch_analysis_confirms_subgroup(self, outcomes):
+        results = RWEMonitor.batch_analysis(outcomes)
+        assert results["subgroup_efficacy_carriers"].p_value < 0.05
+
+    def test_batch_noncarriers_not_significant(self, outcomes):
+        results = RWEMonitor.batch_analysis(outcomes)
+        assert results["subgroup_efficacy_noncarriers"].p_value > 0.01
+
+    def test_signals_fire_once(self, outcomes):
+        monitor = RWEMonitor(alpha=0.1, subgroup_min_per_arm=10)
+        monitor.run_stream(outcomes)
+        kinds = [signal.kind for signal in monitor.signals]
+        assert len(kinds) == len(set(kinds))
+
+    def test_min_sample_gate(self, outcomes):
+        monitor = RWEMonitor(alpha=0.9, min_per_arm=10**6)
+        monitor.run_stream(outcomes)
+        assert monitor.detection_day("efficacy") is None
+
+    def test_no_effect_no_signal(self, protocol, enrolled):
+        neutral = TrialEffect(
+            treatment_rr_carriers=1.0,
+            treatment_rr_noncarriers=1.0,
+            adverse_rate_treatment=0.04,
+        )
+        arms = assign_arms(enrolled, protocol, seed=1)
+        quiet = simulate_follow_up(enrolled, arms, protocol, effect=neutral, seed=3)
+        monitor = RWEMonitor(alpha=0.001)
+        monitor.run_stream(quiet)
+        assert not monitor.signals
+
+
+class TestAuditor:
+    def test_clean_report(self):
+        auditor = TrialAuditor()
+        finding = auditor.audit(
+            ["stroke", "mortality"],
+            PublishedReport("T1", ["stroke", "mortality"]),
+        )
+        assert finding.clean
+
+    def test_outcome_switching_detected(self):
+        auditor = TrialAuditor()
+        finding = auditor.audit(
+            ["stroke"], PublishedReport("T1", ["quality_of_life"])
+        )
+        assert not finding.reported_correctly
+        assert finding.switched_in == ["quality_of_life"]
+        assert finding.silently_dropped == ["stroke"]
+
+    def test_partial_drop_detected(self):
+        auditor = TrialAuditor()
+        finding = auditor.audit(
+            ["stroke", "mortality"], PublishedReport("T1", ["stroke"])
+        )
+        assert finding.silently_dropped == ["mortality"]
+        assert not finding.switched_in
+
+    def test_data_tampering_detected(self):
+        records = [{"patient": f"p{i}", "value": i} for i in range(10)]
+        anchor = DatasetAnchor.build(records)
+        tampered = [dict(record) for record in records]
+        tampered[4]["value"] = 999
+        auditor = TrialAuditor()
+        finding = auditor.audit(
+            ["stroke"],
+            PublishedReport("T1", ["stroke"], raw_records=tampered),
+            anchored_root_hex=anchor.root_hex,
+        )
+        assert not finding.data_intact
+        assert not finding.clean
+
+    def test_intact_data_passes(self):
+        records = [{"patient": f"p{i}", "value": i} for i in range(10)]
+        anchor = DatasetAnchor.build(records)
+        auditor = TrialAuditor()
+        finding = auditor.audit(
+            ["stroke"],
+            PublishedReport("T1", ["stroke"], raw_records=records),
+            anchored_root_hex=anchor.root_hex,
+        )
+        assert finding.clean
+
+    def test_audit_many_aggregates(self):
+        auditor = TrialAuditor()
+        registrations = {"T1": ["a"], "T2": ["b"], "T3": ["c"]}
+        reports = [
+            PublishedReport("T1", ["a"]),
+            PublishedReport("T2", ["z"]),   # switched
+            PublishedReport("T3", ["c"]),
+        ]
+        summary = auditor.audit_many(registrations, reports, anchors={})
+        assert summary["total"] == 3
+        assert summary["reported_correctly"] == 2
+        assert summary["outcome_switching"] == 1
