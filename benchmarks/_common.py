@@ -14,8 +14,7 @@ refreshed from actual runs.
 from __future__ import annotations
 
 import os
-import sys
-from typing import Any, Dict, List, Sequence
+from typing import Any, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import sys
 
-import numpy as np
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 from _common import emit, format_table, human_bytes

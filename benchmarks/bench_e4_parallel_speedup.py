@@ -10,10 +10,20 @@ Workload: a fixed corpus of patient records is split over 1/2/4/8 sites;
 every site runs the ``local_train`` analytic on its shard (with a simulated
 compute rate so analytics take simulated time).  Reported: makespan,
 speedup vs one site, parallel efficiency, and the coordination floor.
+
+``--wallclock`` switches from simulated to *measured* time: the same
+sharded corpus is fanned out through ``run_many_across_sites`` under the
+serial, thread, and process executor backends, a CPU-bound genomic risk
+scan runs at every site, and the script asserts that all backends commit
+bit-identical result hashes (the regression gate CI enforces via
+``BENCH_e4.json``).  A >= 2x speedup at 4 workers is additionally gated
+when the host actually exposes >= 4 cores.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
@@ -23,7 +33,18 @@ from repro.common.signatures import KeyPair
 from repro.core.platform import MedicalBlockchainNetwork, PlatformConfig
 from repro.core.queryservice import GlobalQueryService
 from repro.datamgmt.cohort import CohortGenerator, default_site_profiles
+from repro.offchain.tasks import (
+    TaskRequest,
+    TaskResult,
+    TaskRunner,
+    ToolRegistry,
+    ToolSpec,
+    batch_flops,
+    run_many_across_sites,
+)
+from repro.parallel import available_workers, make_executor
 from repro.query.vector import QueryVector
+from repro.sim.metrics import MetricsRegistry
 
 TOTAL_RECORDS = 480
 SITE_COUNTS = (1, 2, 4, 8)
@@ -90,5 +111,202 @@ def test_e4_parallel_speedup(benchmark):
     assert four["speedup"] > 2.0
 
 
+# -- wall-clock mode ---------------------------------------------------------
+
+WALLCLOCK_BACKENDS = ("serial", "thread", "process")
+SCAN_FLOPS_PER_RECORD = 1e5
+
+
+def genomic_risk_scan(records, params):
+    """CPU-bound analytic: a pure-Python per-record iterative risk scan.
+
+    Deliberately GIL-bound (no NumPy) so the thread backend shows no gain
+    and the process backend shows real-core speedup.  Deterministic LCG
+    arithmetic only — no ``hash()`` — so results are identical across
+    worker processes regardless of ``PYTHONHASHSEED``.
+    """
+    iters = int(params.get("iters", 20000))
+    checksum = 0
+    risk_total = 0.0
+    for rec in records:
+        x = (int(rec["seed"]) * 2654435761 + 97) & 0x7FFFFFFF
+        for __ in range(iters):
+            x = (x * 1103515245 + 12345) & 0x7FFFFFFF
+        checksum = (checksum ^ x) & 0x7FFFFFFF
+        risk_total += (x % 1000) / 1000.0
+    return {
+        "records": len(records),
+        "checksum": checksum,
+        "mean_risk": round(risk_total / max(1, len(records)), 6),
+    }
+
+
+def _make_wallclock_sites(workers, records_per_site):
+    registry = ToolRegistry()
+    registry.register(
+        ToolSpec(
+            "genomic_risk_scan",
+            genomic_risk_scan,
+            description="iterative per-record risk scan (CPU-bound)",
+            flops_per_record=SCAN_FLOPS_PER_RECORD,
+        )
+    )
+    runners = {}
+    site_requests = []
+    for index in range(workers):
+        site = f"site-{index}"
+        runners[site] = TaskRunner(site, registry)
+        shard = [
+            {"id": f"p{index}-{row}", "seed": index * 100003 + row * 31 + 7}
+            for row in range(records_per_site)
+        ]
+        site_requests.append(
+            (
+                site,
+                TaskRequest(
+                    task_id=f"scan-{index}",
+                    tool_id="genomic_risk_scan",
+                    records=shard,
+                    params={"iters": None},  # filled by run_wallclock
+                ),
+            )
+        )
+    return runners, site_requests
+
+
+def run_wallclock(workers=4, records_per_site=60, iters=50000, json_path=None,
+                  require_speedup=None):
+    """Measure real serial/thread/process times on identical shards.
+
+    Hard gate: every backend must commit bit-identical result hashes.
+    Optional gate: process speedup >= ``require_speedup``, enforced only
+    when the host exposes at least ``workers`` usable cores (a 1-core CI
+    box cannot physically show parallel speedup).
+    """
+    runners, site_requests = _make_wallclock_sites(workers, records_per_site)
+    site_requests = [
+        (site, TaskRequest(req.task_id, req.tool_id, req.records, {"iters": iters}))
+        for site, req in site_requests
+    ]
+    metrics = MetricsRegistry()
+    hashes = {}
+    timings = {}
+    failures = {}
+    for backend in WALLCLOCK_BACKENDS:
+        executor = make_executor(backend, max_workers=workers)
+        with executor:
+            # Warm the pool so process spin-up is not billed to the workload.
+            warm = [(site_requests[0][0], TaskRequest("warmup", "genomic_risk_scan",
+                                                      [], {"iters": 1}))]
+            run_many_across_sites(runners, warm, executor)
+            with metrics.wallclock(f"e4_{backend}"):
+                outcomes = run_many_across_sites(runners, site_requests, executor)
+        bad = [o for o in outcomes if not isinstance(o, TaskResult)]
+        failures[backend] = [str(b) for b in bad]
+        hashes[backend] = [
+            o.result_hash if isinstance(o, TaskResult) else "FAILED" for o in outcomes
+        ]
+        timings[backend] = metrics.wallclock_total(f"e4_{backend}")
+        if backend == "serial":
+            flops = batch_flops(outcomes)
+    equivalence = {
+        backend: hashes[backend] == hashes["serial"] and not failures[backend]
+        for backend in WALLCLOCK_BACKENDS
+    }
+    equivalent = all(equivalence.values())
+    cores = available_workers()
+    speedup = {
+        backend: (timings["serial"] / timings[backend]) if timings[backend] else 0.0
+        for backend in WALLCLOCK_BACKENDS
+    }
+    payload = {
+        "mode": "wallclock",
+        "workers": workers,
+        "records_per_site": records_per_site,
+        "iters": iters,
+        "available_cores": cores,
+        "timings_s": timings,
+        "speedup": speedup,
+        "equivalence": equivalence,
+        "equivalent": equivalent,
+        "failures": failures,
+        "flops_per_backend_run": flops,
+        "result_hashes": hashes["serial"],
+        "speedup_gate": {
+            "required": require_speedup,
+            "enforced": bool(require_speedup) and cores >= workers,
+            "passed": (
+                speedup["process"] >= require_speedup if require_speedup else None
+            ),
+        },
+    }
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+    table = format_table(
+        f"E4 (wall-clock): {workers} sites x {records_per_site} records, "
+        f"{iters} iters/record, {cores} core(s) visible",
+        ["backend", "wall s", "speedup", "hashes equal serial"],
+        [
+            [b, timings[b], speedup[b], equivalence[b]]
+            for b in WALLCLOCK_BACKENDS
+        ],
+    )
+    emit("e4_wallclock", table)
+    return payload
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--wallclock", action="store_true",
+                        help="measure real serial/thread/process times")
+    parser.add_argument("--fast", action="store_true",
+                        help="small CI-smoke workload (equivalence gate only)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write BENCH_e4.json-style payload to PATH")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        help="fail unless process speedup meets this "
+                             "(only enforced when enough cores are visible; "
+                             "default 2.0 in non-fast wallclock mode)")
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1 (got {args.workers})")
+    if not args.wallclock:
+        report(run_experiment())
+        return 0
+    require = args.require_speedup
+    if require is None and not args.fast and args.workers >= 2:
+        require = 2.0
+    if args.fast:
+        payload = run_wallclock(workers=args.workers, records_per_site=10,
+                                iters=3000, json_path=args.json,
+                                require_speedup=require)
+    else:
+        payload = run_wallclock(workers=args.workers, json_path=args.json,
+                                require_speedup=require)
+    if not payload["equivalent"]:
+        print("FAIL: backends disagree on result hashes", file=sys.stderr)
+        print(json.dumps(payload["equivalence"], indent=2), file=sys.stderr)
+        return 1
+    gate = payload["speedup_gate"]
+    if gate["enforced"] and not gate["passed"]:
+        print(
+            f"FAIL: process speedup {payload['speedup']['process']:.2f}x "
+            f"< required {gate['required']}x with "
+            f"{payload['available_cores']} cores",
+            file=sys.stderr,
+        )
+        return 1
+    summary = ("equivalence OK; process speedup "
+               f"{payload['speedup']['process']:.2f}x on "
+               f"{payload['available_cores']} core(s)")
+    if gate["required"] and not gate["enforced"]:
+        summary += (f" (speedup gate {gate['required']}x skipped: "
+                    f"needs >= {args.workers} cores)")
+    print(summary)
+    return 0
+
+
 if __name__ == "__main__":
-    report(run_experiment())
+    sys.exit(main())

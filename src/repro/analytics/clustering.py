@@ -9,7 +9,7 @@ query engine's ``cluster`` analytic).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List
 
 import numpy as np
 

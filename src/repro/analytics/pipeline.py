@@ -9,8 +9,8 @@ steps run (or not) depending on earlier results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.common.errors import MedchainError
 

@@ -8,7 +8,7 @@ The federated trainer and the query engine both dispatch onto these.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
 

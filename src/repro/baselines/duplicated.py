@@ -11,7 +11,7 @@ update; the reports make the waste factor directly comparable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro.chain.blocks import make_genesis
 from repro.chain.state import StateDB

@@ -19,8 +19,8 @@ still a duplicated computing mechanism" for what *does* reach the chain):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
 
 from repro.common.errors import ChainError, CryptoError, ValidationError
 from repro.common.hashing import hash_value

@@ -10,11 +10,11 @@ substrate independent of the contract layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Protocol
+from typing import Any, Dict, List, Protocol
 
 from repro.chain.state import StateDB
 from repro.chain.transactions import TX_TRANSFER, Transaction
-from repro.common.errors import ChainError, ValidationError
+from repro.common.errors import ChainError
 
 
 @dataclass

@@ -11,7 +11,7 @@ clamped to one bit per adjustment — the stabilizing mechanism that makes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.chain.blocks import Block
 from repro.common.errors import ConsensusError

@@ -11,7 +11,7 @@ saves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.chain.blocks import Block, build_block

@@ -19,9 +19,9 @@ one object:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional
 
-from repro.chain.blocks import Block, make_genesis
+from repro.chain.blocks import make_genesis
 from repro.chain.state import StateDB
 from repro.chain.transactions import Transaction, make_call, make_deploy
 from repro.common.errors import ChainError, MedchainError

@@ -16,13 +16,13 @@ non-IID — the realistic setting for federated learning (E8).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.common.hashing import sha256_hex
-from repro.datamgmt.schema import OUTCOME_NAMES, VARIANT_PANEL, empty_record
+from repro.datamgmt.schema import VARIANT_PANEL, empty_record
 
 
 @dataclass

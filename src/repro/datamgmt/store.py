@@ -8,8 +8,8 @@ the way out, so the schema mappers run on every real access path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, List
 
 from repro.common.errors import DataFormatError, OracleError
 from repro.datamgmt.formats import KNOWN_FORMATS, export_record, parse_record

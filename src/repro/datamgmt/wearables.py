@@ -11,8 +11,8 @@ as EMR analytics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
 

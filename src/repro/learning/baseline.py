@@ -10,7 +10,7 @@ accounts the bytes moved — the comparison target for federated training
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

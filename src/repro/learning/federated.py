@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -27,6 +27,7 @@ from repro.analytics.models import (
     params_size_bytes,
 )
 from repro.common.errors import LearningError
+from repro.parallel.executor import Executor, SerialExecutor, TaskFailure, TaskSpec
 
 SiteData = Dict[str, Tuple[np.ndarray, np.ndarray]]
 ModelFactory = Callable[[], SupervisedModel]
@@ -71,16 +72,51 @@ class FederatedResult:
         return self.history[-1].eval_metrics[name]
 
 
+def _train_site_worker(
+    model_factory: ModelFactory,
+    global_params: Params,
+    X: np.ndarray,
+    y: np.ndarray,
+    epochs: int,
+    lr: float,
+    batch_size: int,
+    seed: int,
+) -> Tuple[Params, float, float, int]:
+    """One site's local training step, as a picklable executor task.
+
+    Returns ``(params, loss, flops, n_samples)`` so the coordinator can do
+    the weighted FedAvg reduction in deterministic (sorted-site) order.
+    Under the process backend ``model_factory`` must be picklable — a
+    module-level function or class, not a lambda.
+    """
+    local_model = model_factory()
+    local_model.set_params(global_params)
+    loss = local_model.train_epochs(
+        X, y, epochs=epochs, lr=lr, batch_size=batch_size, seed=seed
+    )
+    return local_model.get_params(), loss, local_model.flops, len(X)
+
+
 class FederatedTrainer:
-    """Coordinates FedAvg/FedSGD rounds over per-site (X, y) shards."""
+    """Coordinates FedAvg/FedSGD rounds over per-site (X, y) shards.
+
+    Pass ``executor`` to run per-site local training through a
+    :mod:`repro.parallel` backend: each round's participants become one
+    executor batch, so hospital servers train concurrently on real cores
+    under :class:`~repro.parallel.ProcessExecutor`.  Local seeding is
+    deterministic per round and the FedAvg reduction is ordered, so every
+    backend produces bit-identical global models.
+    """
 
     def __init__(
         self,
         model_factory: ModelFactory,
         config: Optional[FederatedConfig] = None,
+        executor: Optional[Executor] = None,
     ):
         self.model_factory = model_factory
         self.config = config or FederatedConfig()
+        self.executor = executor or SerialExecutor()
 
     def train(
         self,
@@ -101,31 +137,43 @@ class FederatedTrainer:
         site_names = sorted(site_data)
         for round_index in range(config.rounds):
             participants = self._sample_participants(site_names, rng)
+            active = [site for site in participants if len(site_data[site][0]) > 0]
+            epochs = 1 if config.fedsgd else config.local_epochs
+            specs: List[TaskSpec] = []
+            for site in active:
+                X, y = site_data[site]
+                batch = len(X) if config.fedsgd else config.batch_size
+                specs.append(
+                    TaskSpec(
+                        key=f"{site}/round-{round_index}",
+                        fn=_train_site_worker,
+                        args=(
+                            self.model_factory,
+                            global_params,
+                            X,
+                            y,
+                            epochs,
+                            config.lr,
+                            batch,
+                            config.seed * 1000 + round_index,
+                        ),
+                    )
+                )
+            outcomes = self.executor.map_tasks(specs)
             collected: List[Params] = []
             weights: List[float] = []
             losses: List[float] = []
             round_bytes = 0
-            for site in participants:
-                X, y = site_data[site]
-                if len(X) == 0:
-                    continue
-                local_model = self.model_factory()
-                local_model.set_params(global_params)
-                epochs = 1 if config.fedsgd else config.local_epochs
-                batch = len(X) if config.fedsgd else config.batch_size
-                loss = local_model.train_epochs(
-                    X,
-                    y,
-                    epochs=epochs,
-                    lr=config.lr,
-                    batch_size=batch,
-                    seed=config.seed * 1000 + round_index,
-                )
-                params = local_model.get_params()
+            for site, outcome in zip(active, outcomes):
+                if isinstance(outcome, TaskFailure):
+                    raise LearningError(
+                        f"local training failed at site {site!r}: {outcome}"
+                    )
+                params, loss, flops, sample_count = outcome
                 collected.append(params)
-                weights.append(float(len(X)))
+                weights.append(float(sample_count))
                 losses.append(loss)
-                total_flops += local_model.flops
+                total_flops += flops
                 # down-link (global params) + up-link (local update)
                 round_bytes += 2 * params_size_bytes(params)
             if collected:

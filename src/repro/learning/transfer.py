@@ -17,7 +17,7 @@ disease tasks.  This module implements exactly that recipe with the MLP:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -57,7 +57,9 @@ def pretrain_core_model(
     ``federated=True`` runs FedAvg so the pretraining itself respects data
     locality; ``False`` pools the shards (an upper-bound comparison only).
     """
-    factory = lambda: MLPModel(FEATURE_DIM, hidden=hidden, seed=seed)
+    def factory() -> MLPModel:
+        return MLPModel(FEATURE_DIM, hidden=hidden, seed=seed)
+
     if federated:
         trainer = FederatedTrainer(
             factory,

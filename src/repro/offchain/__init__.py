@@ -14,7 +14,15 @@ from repro.offchain.control import (
     PlatformContracts,
 )
 from repro.offchain.oracle import DataOracle, MonitorNode, RpcCallRecord
-from repro.offchain.tasks import TaskResult, TaskRunner, ToolRegistry, ToolSpec
+from repro.offchain.tasks import (
+    TaskRequest,
+    TaskResult,
+    TaskRunner,
+    ToolRegistry,
+    ToolSpec,
+    batch_flops,
+    run_many_across_sites,
+)
 
 __all__ = [
     "ControlNode",
@@ -25,8 +33,11 @@ __all__ = [
     "NonceTracker",
     "PlatformContracts",
     "RpcCallRecord",
+    "TaskRequest",
     "TaskResult",
     "TaskRunner",
+    "batch_flops",
+    "run_many_across_sites",
     "ToolRegistry",
     "ToolSpec",
     "record_leaf",

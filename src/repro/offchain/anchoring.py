@@ -10,7 +10,7 @@ mechanism experiment E7 measures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, Sequence
 
 from repro.common.errors import IntegrityError
 from repro.common.hashing import hash_value

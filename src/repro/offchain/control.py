@@ -16,7 +16,7 @@ site's blockchain node to that site's data store and tool registry:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.chain.executor import ContractEvent

@@ -11,7 +11,7 @@ canonical dicts (the "standard format to smart contract access").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.chain.executor import ContractEvent

@@ -1,0 +1,46 @@
+"""Pluggable parallel execution backends for off-chain analytics.
+
+The paper's transformed architecture treats blockchain nodes as a
+distributed *parallel* computing fabric (Fig. 1, Fig. 6): the on-chain
+contract coordinates, while every site's off-chain control code computes
+over local data concurrently.  This package supplies the execution
+substrate for that claim — one task-batch API (:func:`map_tasks` /
+:meth:`Executor.map_tasks`) with three interchangeable backends:
+
+- :class:`SerialExecutor` — in-process, deterministic, zero overhead;
+- :class:`ThreadExecutor` — ``concurrent.futures.ThreadPoolExecutor``;
+- :class:`ProcessExecutor` — ``concurrent.futures.ProcessPoolExecutor``.
+
+All backends return results in task-submission order and produce
+bit-identical outputs for deterministic tasks, so experiments can swap
+backends freely and verify equivalence (see
+``tests/parallel/test_equivalence.py``).
+"""
+
+from repro.parallel.executor import (
+    Executor,
+    ExecutorError,
+    ProcessExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    TaskFailure,
+    TaskSpec,
+    ThreadExecutor,
+    available_workers,
+    make_executor,
+    map_tasks,
+)
+
+__all__ = [
+    "Executor",
+    "ExecutorError",
+    "ProcessExecutor",
+    "RetryPolicy",
+    "SerialExecutor",
+    "TaskFailure",
+    "TaskSpec",
+    "ThreadExecutor",
+    "available_workers",
+    "make_executor",
+    "map_tasks",
+]

@@ -1,0 +1,400 @@
+"""Executor abstraction: one batch API, three interchangeable backends.
+
+Design constraints (DESIGN §1, ISSUE 1):
+
+- **Ordered reduction.**  ``map_tasks`` always returns one slot per input
+  task, in submission order, regardless of completion order — so any
+  aggregation done over the result list is deterministic across backends.
+- **Fault isolation.**  A task that raises, times out, or takes its worker
+  process down with it yields a structured :class:`TaskFailure` in its
+  slot instead of poisoning the whole batch.
+- **Bounded retry.**  Failed tasks are retried up to
+  ``RetryPolicy.max_attempts`` times with exponential backoff; the sleep
+  function is injectable so tests stay instant.
+- **Process-safety.**  The process backend requires task functions and
+  arguments to be picklable (module-level functions; no lambdas/closures).
+
+Timeout semantics: ``timeout_s`` is a per-batch-attempt deadline covering
+queue wait plus execution.  Pool backends cannot preempt an already-running
+task (CPython limitation); a timed-out task is abandoned and reported as a
+failure while its worker thread/process finishes in the background.  The
+serial backend checks the deadline between tasks and flags tasks whose own
+runtime exceeded it, keeping failure reporting consistent across backends.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as _futures
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import MedchainError
+
+
+class ExecutorError(MedchainError):
+    """Executor misuse (bad backend name, closed executor, ...)."""
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of work: a callable plus its arguments.
+
+    ``key`` identifies the task in failure reports; it does not need to be
+    unique, but diagnostics are clearer when it is.
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured record of a task that failed after all retries.
+
+    Returned *in the task's result slot*; callers distinguish success from
+    failure with ``isinstance(slot, TaskFailure)``.
+    """
+
+    key: str
+    error_type: str
+    message: str
+    attempts: int
+    backend: str
+
+    @property
+    def timed_out(self) -> bool:
+        return self.error_type == "TimeoutError"
+
+    @property
+    def worker_crashed(self) -> bool:
+        return self.error_type == "WorkerCrash"
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TaskFailure({self.key}: {self.error_type}: {self.message!r} "
+            f"after {self.attempts} attempt(s) on {self.backend})"
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff.
+
+    ``delay(n)`` for attempt *n* (1-based) is
+    ``min(base_delay_s * factor**(n-1), max_delay_s)``.  ``sleep`` is
+    injectable so unit tests can record delays instead of waiting.
+    """
+
+    max_attempts: int = 1
+    base_delay_s: float = 0.05
+    factor: float = 2.0
+    max_delay_s: float = 2.0
+    retry_on_timeout: bool = True
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ExecutorError("max_attempts must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        return min(self.base_delay_s * self.factor ** (attempt - 1), self.max_delay_s)
+
+
+def available_workers() -> int:
+    """Cores this process may actually use (cgroup/affinity aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+# Outcome of one attempt at one task: (ok, value) where value is the task's
+# return on success or an (error_type, message) pair on failure.
+_Outcome = Tuple[bool, Any]
+
+
+def _invoke(fn: Callable[..., Any], args: Tuple[Any, ...], kwargs: Dict[str, Any]) -> Any:
+    """Module-level trampoline so pool backends can pickle submissions."""
+    return fn(*args, **kwargs)
+
+
+class Executor:
+    """Base class: retry/ordering logic shared by every backend."""
+
+    name = "base"
+
+    def map_tasks(
+        self,
+        tasks: Sequence[TaskSpec],
+        *,
+        timeout_s: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> List[Any]:
+        """Run ``tasks``; return one result-or-:class:`TaskFailure` per task.
+
+        Results are in submission order.  Failed tasks are retried per the
+        policy; only tasks still failing after the final attempt surface as
+        :class:`TaskFailure`.
+        """
+        policy = retry or RetryPolicy()
+        results: List[Any] = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        last_error: Dict[int, Tuple[str, str]] = {}
+        attempts_used: Dict[int, int] = {}
+        for attempt in range(1, policy.max_attempts + 1):
+            outcomes = self._run_batch([(i, tasks[i]) for i in pending], timeout_s)
+            still_pending: List[int] = []
+            for index in pending:
+                ok, value = outcomes[index]
+                attempts_used[index] = attempt
+                if ok:
+                    results[index] = value
+                else:
+                    last_error[index] = value
+                    error_type = value[0]
+                    retryable = policy.retry_on_timeout or error_type != "TimeoutError"
+                    if retryable:
+                        still_pending.append(index)
+                    else:
+                        results[index] = self._failure(tasks[index], value, attempt)
+            pending = still_pending
+            if not pending:
+                break
+            if attempt < policy.max_attempts:
+                policy.sleep(policy.delay(attempt))
+        for index in pending:
+            results[index] = self._failure(
+                tasks[index], last_error[index], attempts_used[index]
+            )
+        return results
+
+    def _failure(
+        self, task: TaskSpec, error: Tuple[str, str], attempts: int
+    ) -> TaskFailure:
+        error_type, message = error
+        return TaskFailure(
+            key=task.key,
+            error_type=error_type,
+            message=message,
+            attempts=attempts,
+            backend=self.name,
+        )
+
+    def _run_batch(
+        self,
+        indexed_tasks: Sequence[Tuple[int, TaskSpec]],
+        timeout_s: Optional[float],
+    ) -> Dict[int, _Outcome]:
+        raise NotImplementedError
+
+    # -- lifecycle ---------------------------------------------------------
+    def shutdown(self) -> None:
+        """Release pool resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} ({self.name})>"
+
+
+class SerialExecutor(Executor):
+    """Runs tasks one after another in the calling thread.
+
+    The reference backend: zero concurrency, zero pickling requirements,
+    exact reproducibility.  Other backends must match its outputs
+    bit-for-bit on deterministic tasks.
+    """
+
+    name = "serial"
+
+    def _run_batch(
+        self,
+        indexed_tasks: Sequence[Tuple[int, TaskSpec]],
+        timeout_s: Optional[float],
+    ) -> Dict[int, _Outcome]:
+        outcomes: Dict[int, _Outcome] = {}
+        for index, task in indexed_tasks:
+            start = time.monotonic()
+            try:
+                value = _invoke(task.fn, task.args, task.kwargs)
+            except Exception as exc:  # noqa: BLE001 - fault boundary
+                outcomes[index] = (False, (type(exc).__name__, str(exc)))
+                continue
+            elapsed = time.monotonic() - start
+            if timeout_s is not None and elapsed > timeout_s:
+                outcomes[index] = (
+                    False,
+                    ("TimeoutError", f"task ran {elapsed:.3f}s > {timeout_s}s limit"),
+                )
+            else:
+                outcomes[index] = (True, value)
+        return outcomes
+
+
+class _PoolExecutor(Executor):
+    """Shared machinery for the ``concurrent.futures`` backends."""
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = max_workers or available_workers()
+        self._pool: Optional[_futures.Executor] = None
+        self._closed = False
+
+    def _make_pool(self) -> _futures.Executor:
+        raise NotImplementedError
+
+    def _ensure_pool(self) -> _futures.Executor:
+        if self._closed:
+            raise ExecutorError(f"{self.name} executor already shut down")
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        self._closed = True
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _run_batch(
+        self,
+        indexed_tasks: Sequence[Tuple[int, TaskSpec]],
+        timeout_s: Optional[float],
+    ) -> Dict[int, _Outcome]:
+        """Run one attempt of a batch, containing worker crashes.
+
+        When a worker dies (segfault, ``os._exit``, OOM-kill) every future
+        still in flight on that pool raises ``BrokenExecutor`` — which would
+        let one poison task fail its innocent batch-mates.  The first task
+        (in submission order) to observe the break is blamed as the crasher
+        and gets a ``WorkerCrash`` outcome; the pool is rebuilt and the
+        not-yet-harvested survivors are resubmitted within this same
+        attempt, so a crash costs exactly one task per occurrence.
+        """
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        outcomes: Dict[int, _Outcome] = {}
+        pending: List[Tuple[int, TaskSpec]] = list(indexed_tasks)
+        while pending:
+            pool = self._ensure_pool()
+            submitted: List[Tuple[int, TaskSpec, _futures.Future]] = [
+                (index, task, pool.submit(_invoke, task.fn, task.args, task.kwargs))
+                for index, task in pending
+            ]
+            crashed = False
+            survivors: List[Tuple[int, TaskSpec]] = []
+            for index, task, future in submitted:
+                if crashed:
+                    # Pool already broken; harvest finished work, resubmit
+                    # the rest on a fresh pool.
+                    if (
+                        future.done()
+                        and not future.cancelled()
+                        and future.exception() is None
+                    ):
+                        outcomes[index] = (True, future.result())
+                    else:
+                        survivors.append((index, task))
+                    continue
+                remaining = (
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                )
+                try:
+                    outcomes[index] = (True, future.result(timeout=remaining))
+                except _futures.TimeoutError:
+                    future.cancel()
+                    outcomes[index] = (
+                        False,
+                        ("TimeoutError", f"task {task.key!r} exceeded {timeout_s}s"),
+                    )
+                except _futures.BrokenExecutor as exc:
+                    self._discard_pool()
+                    crashed = True
+                    outcomes[index] = (
+                        False,
+                        (
+                            "WorkerCrash",
+                            str(exc) or "worker process terminated abruptly",
+                        ),
+                    )
+                except _futures.CancelledError:
+                    outcomes[index] = (
+                        False,
+                        ("WorkerCrash", "task cancelled by pool teardown"),
+                    )
+                except Exception as exc:  # noqa: BLE001 - fault boundary
+                    outcomes[index] = (False, (type(exc).__name__, str(exc)))
+            pending = survivors
+        return outcomes
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool backend: best for I/O-bound or NumPy-heavy tools.
+
+    Pure-Python CPU-bound tools gain nothing here (GIL); use
+    :class:`ProcessExecutor` for those.
+    """
+
+    name = "thread"
+
+    def _make_pool(self) -> _futures.Executor:
+        return _futures.ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-task"
+        )
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool backend: real cores for CPU-bound analytics.
+
+    Task functions and arguments must be picklable.  Worker crashes are
+    contained: affected tasks fail with ``error_type == "WorkerCrash"`` and
+    the pool is rebuilt before any retry.
+    """
+
+    name = "process"
+
+    def _make_pool(self) -> _futures.Executor:
+        return _futures.ProcessPoolExecutor(max_workers=self.max_workers)
+
+
+_BACKENDS = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def make_executor(kind: str, max_workers: Optional[int] = None) -> Executor:
+    """Build an executor by backend name: ``serial``, ``thread``, ``process``."""
+    cls = _BACKENDS.get(kind)
+    if cls is None:
+        raise ExecutorError(
+            f"unknown executor backend {kind!r}; choose from {sorted(_BACKENDS)}"
+        )
+    if cls is SerialExecutor:
+        return SerialExecutor()
+    return cls(max_workers=max_workers)
+
+
+def map_tasks(
+    tasks: Sequence[TaskSpec],
+    *,
+    executor: Optional[Executor] = None,
+    timeout_s: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+) -> List[Any]:
+    """Convenience wrapper: run a batch on ``executor`` (default serial)."""
+    if executor is not None:
+        return executor.map_tasks(tasks, timeout_s=timeout_s, retry=retry)
+    return SerialExecutor().map_tasks(tasks, timeout_s=timeout_s, retry=retry)

@@ -9,7 +9,7 @@ verification from that point on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.common.errors import IntegrityError

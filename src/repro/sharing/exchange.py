@@ -14,13 +14,12 @@ analytics stack.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.common.errors import AccessDeniedError, IntegrityError, OracleError
 from repro.common.hashing import hash_value_hex
-from repro.common.serialize import canonical_bytes
-from repro.common.signatures import KeyPair, PublicKey
+from repro.common.signatures import KeyPair
 from repro.consensus.node import BlockchainNode
 from repro.offchain.anchoring import verify_dataset
 from repro.sharing.audit import AuditLog

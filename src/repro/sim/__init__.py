@@ -1,7 +1,7 @@
 """Discrete-event simulation substrate: kernel, network, metrics."""
 
 from repro.sim.kernel import EventHandle, Kernel, Process, run_to_completion
-from repro.sim.metrics import EnergyModel, Histogram, MetricsRegistry
+from repro.sim.metrics import EnergyModel, Histogram, MetricsRegistry, Stopwatch
 from repro.sim.network import LinkSpec, Message, Network
 
 __all__ = [
@@ -14,5 +14,6 @@ __all__ = [
     "MetricsRegistry",
     "Network",
     "Process",
+    "Stopwatch",
     "run_to_completion",
 ]

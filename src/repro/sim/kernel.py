@@ -13,7 +13,7 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Callable, List, Optional
 
 from repro.common.clock import SimClock
 from repro.common.errors import SimulationError

@@ -5,10 +5,18 @@ duplicated mining/validation (Digiconomist, section I) and the cost of
 moving huge medical data sets (section IV).  This module gives every
 experiment a uniform way to account CPU work, hash operations, bytes moved,
 and derived energy, so benchmarks E1–E12 can report them.
+
+Simulated time (the kernel's clock) and *wall-clock* time are distinct
+axes: the former is what experiments model, the latter is what the parallel
+executor backends actually change.  ``MetricsRegistry`` tracks both — use
+:meth:`MetricsRegistry.wallclock` to time real code blocks so benchmarks
+like E4's ``--wallclock`` mode report measured speedups alongside simulated
+ones.
 """
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -81,6 +89,32 @@ class Histogram:
         return ordered[rank]
 
 
+class Stopwatch:
+    """Context manager timing a real (wall-clock) code block.
+
+    On exit, records the elapsed seconds as both a counter
+    (``wallclock_<name>_s``, summed across entries) and a histogram
+    (``wallclock_<name>``, for percentiles) on the owning registry.
+    """
+
+    def __init__(self, registry: "MetricsRegistry", name: str, scope: str = ""):
+        self.registry = registry
+        self.name = name
+        self.scope = scope
+        self.elapsed_s = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is None:  # pragma: no cover - misuse guard
+            return
+        self.elapsed_s = time.perf_counter() - self._start
+        self.registry.add_wallclock(self.name, self.elapsed_s, self.scope)
+
+
 class MetricsRegistry:
     """Per-experiment counter/histogram store with resource accounting.
 
@@ -124,6 +158,20 @@ class MetricsRegistry:
 
     def add_flops(self, count: float, scope: str = "") -> None:
         self.add("flops", count, scope)
+
+    # -- wall-clock timing --------------------------------------------------
+    def add_wallclock(self, name: str, seconds: float, scope: str = "") -> None:
+        """Record real elapsed seconds for a named operation."""
+        self.add(f"wallclock_{name}_s", seconds, scope)
+        self.observe(f"wallclock_{name}", seconds)
+
+    def wallclock(self, name: str, scope: str = "") -> Stopwatch:
+        """Time a real code block: ``with metrics.wallclock("e4_process"): ...``"""
+        return Stopwatch(self, name, scope)
+
+    def wallclock_total(self, name: str) -> float:
+        """Total real seconds recorded under ``name`` (all scopes)."""
+        return self.counter_total(f"wallclock_{name}_s")
 
     def total_energy_joules(self) -> float:
         """Energy implied by all recorded resource counters."""

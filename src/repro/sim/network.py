@@ -8,7 +8,7 @@ consensus broadcast traffic (E1/E2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.common.errors import SimulationError

@@ -14,8 +14,8 @@ hosting site provides from its local genomics data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List
 
 from repro.chain.executor import ContractEvent
 from repro.offchain.oracle import MonitorNode

@@ -16,7 +16,7 @@ end-of-trial batch analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.analytics.stats import TestResult, two_proportion_test

@@ -11,8 +11,8 @@ effect otherwise, plus an elevated adverse-event hazard — so the RWE monitor
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 

@@ -1,6 +1,5 @@
 """Stats toolkit and feature extraction tests."""
 
-import math
 
 import numpy as np
 import pytest

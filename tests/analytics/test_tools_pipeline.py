@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analytics.clustering import kmeans
-from repro.analytics.features import FEATURE_DIM, featurize
+from repro.analytics.features import FEATURE_DIM
 from repro.analytics.pipeline import AnalyticsPipeline
 from repro.analytics.tools import (
     standard_registry,

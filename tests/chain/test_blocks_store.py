@@ -1,6 +1,5 @@
 """Block structure and chain-store tests."""
 
-import dataclasses
 
 import pytest
 

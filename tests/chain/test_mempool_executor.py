@@ -1,6 +1,5 @@
 """Mempool selection and transfer-executor tests."""
 
-import pytest
 
 from repro.chain.executor import (
     BASE_TX_GAS,
@@ -11,7 +10,6 @@ from repro.chain.executor import (
 from repro.chain.mempool import Mempool
 from repro.chain.state import StateDB
 from repro.chain.transactions import make_transfer
-from repro.common.signatures import KeyPair
 
 
 class TestMempool:

@@ -1,12 +1,11 @@
 """Blockchain node tests: gossip, consensus convergence, duplicated work."""
 
-import pytest
 
 from repro.chain.state import StateDB
 from repro.chain.blocks import make_genesis
 from repro.chain.transactions import make_deploy, make_call, make_transfer
 from repro.common.signatures import KeyPair
-from repro.consensus.node import NodeConfig, make_network_nodes
+from repro.consensus.node import make_network_nodes
 from repro.consensus.poa import ProofOfAuthority
 from repro.consensus.pow import ProofOfWork
 from repro.contracts.library import COUNTER_SOURCE

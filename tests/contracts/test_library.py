@@ -5,7 +5,6 @@ import pytest
 from repro.chain.executor import ExecutionContext
 from repro.chain.state import StateDB
 from repro.chain.transactions import make_call, make_deploy
-from repro.common.signatures import KeyPair
 from repro.contracts.library import (
     ANALYTICS_SOURCE,
     CLINICAL_TRIAL_SOURCE,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.chain.executor import ExecutionContext
 from repro.chain.state import StateDB
-from repro.chain.transactions import make_call, make_deploy, make_transfer
+from repro.chain.transactions import make_call, make_deploy
 from repro.common.errors import ContractError
 from repro.contracts.library import COUNTER_SOURCE
 from repro.contracts.runtime import ContractExecutor

@@ -1,6 +1,5 @@
 """Federated evaluation: score a model on distributed data, no movement."""
 
-import numpy as np
 import pytest
 
 from repro.analytics.features import FEATURE_DIM, dataset_for

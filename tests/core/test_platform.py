@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.common.errors import AccessDeniedError, ChainError
+from repro.common.errors import AccessDeniedError
 from repro.common.signatures import KeyPair
 from repro.core.platform import MedicalBlockchainNetwork, PlatformConfig
-from repro.datamgmt.cohort import CohortGenerator, default_site_profiles
 
 
 @pytest.fixture(scope="module")

@@ -1,7 +1,6 @@
 """Canonical schema and cohort generator tests."""
 
 import numpy as np
-import pytest
 
 from repro.datamgmt.cohort import (
     CohortGenerator,

@@ -1,6 +1,5 @@
 """Integration tests: the full paper pipeline on one platform instance."""
 
-import numpy as np
 import pytest
 
 from repro.analytics.features import dataset_for

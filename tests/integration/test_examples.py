@@ -9,7 +9,6 @@ The slow clinical-trial example is excluded (covered by
 import importlib.util
 import io
 import os
-import sys
 from contextlib import redirect_stdout
 
 import pytest

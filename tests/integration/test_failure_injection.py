@@ -4,7 +4,6 @@ The paper's setting is a WAN of independently-administered hospitals, so
 the platform must degrade gracefully when parts of it misbehave.
 """
 
-import pytest
 
 from repro.common.signatures import KeyPair
 from repro.core.platform import MedicalBlockchainNetwork, PlatformConfig

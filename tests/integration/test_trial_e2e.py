@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.common.signatures import KeyPair
 from repro.core.platform import MedicalBlockchainNetwork, PlatformConfig
 from repro.datamgmt.cohort import CohortGenerator, default_site_profiles
 from repro.offchain.anchoring import DatasetAnchor

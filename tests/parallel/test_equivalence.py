@@ -1,0 +1,118 @@
+"""Cross-backend equivalence: serial, thread, and process must agree bit-for-bit.
+
+This is the regression gate for the paper's parallel-fabric claim: swapping
+the execution backend may change *wall-clock time only* — never result
+hashes, FedAvg parameters, or flop accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics.models import LogisticModel
+from repro.learning.federated import FederatedConfig, FederatedTrainer
+from repro.offchain.tasks import (
+    TaskRequest,
+    TaskResult,
+    TaskRunner,
+    ToolRegistry,
+    ToolSpec,
+    batch_flops,
+    run_many_across_sites,
+)
+from repro.parallel import make_executor
+
+BACKENDS = ("serial", "thread", "process")
+FEATURES = 6
+
+
+# Module-level (picklable) analytics tool and model factory.
+def risk_tool(records, params):
+    scale = params.get("scale", 1.0)
+    total = sum(rec["value"] for rec in records)
+    return {"count": len(records), "weighted": round(total * scale, 9)}
+
+
+def model_factory():
+    return LogisticModel(FEATURES, seed=11)
+
+
+def _site_batches(sites=4, records_per_site=5):
+    registry = ToolRegistry()
+    registry.register(ToolSpec("risk", risk_tool, flops_per_record=50.0))
+    runners = {}
+    site_requests = []
+    for index in range(sites):
+        site = f"site-{index}"
+        runners[site] = TaskRunner(site, registry)
+        records = [
+            {"id": f"{site}-{row}", "value": index * 10 + row * 0.5}
+            for row in range(records_per_site)
+        ]
+        site_requests.append(
+            (site, TaskRequest(f"task-{index}", "risk", records, {"scale": 2.0}))
+        )
+    return runners, site_requests
+
+
+def _site_data(sites=3, rows=24):
+    rng = np.random.default_rng(5)
+    data = {}
+    for index in range(sites):
+        X = rng.normal(size=(rows, FEATURES))
+        logits = X @ rng.normal(size=FEATURES)
+        y = (logits > 0).astype(float)
+        data[f"hospital-{index}"] = (X, y)
+    return data
+
+
+class TestRunManyEquivalence:
+    def test_identical_hashes_across_backends(self):
+        runners, site_requests = _site_batches()
+        outcomes_by_backend = {}
+        for backend in BACKENDS:
+            with make_executor(backend, max_workers=4) as executor:
+                outcomes_by_backend[backend] = run_many_across_sites(
+                    runners, site_requests, executor
+                )
+        reference = outcomes_by_backend["serial"]
+        assert all(isinstance(o, TaskResult) for o in reference)
+        for backend in BACKENDS[1:]:
+            outcomes = outcomes_by_backend[backend]
+            assert [o.result_hash for o in outcomes] == [
+                o.result_hash for o in reference
+            ]
+            assert [o.result for o in outcomes] == [o.result for o in reference]
+            assert [o.site for o in outcomes] == [o.site for o in reference]
+            assert batch_flops(outcomes) == batch_flops(reference)
+
+    def test_runner_run_many_matches_run(self):
+        runners, site_requests = _site_batches(sites=1)
+        runner = runners["site-0"]
+        __, request = site_requests[0]
+        single = runner.run(request.task_id, request.tool_id, request.records,
+                            request.params)
+        (batched,) = runner.run_many([request])
+        assert batched.result_hash == single.result_hash
+        assert batched.flops == single.flops
+
+
+class TestFederatedEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS[1:])
+    def test_global_model_bit_identical(self, backend):
+        site_data = _site_data()
+        config = FederatedConfig(rounds=3, local_epochs=1, lr=0.2, seed=4)
+        serial_result = FederatedTrainer(model_factory, config).train(site_data)
+        with make_executor(backend, max_workers=3) as executor:
+            parallel_result = FederatedTrainer(
+                model_factory, config, executor=executor
+            ).train(site_data)
+        serial_params = serial_result.model.get_params()
+        parallel_params = parallel_result.model.get_params()
+        assert len(serial_params) == len(parallel_params)
+        for a, b in zip(serial_params, parallel_params):
+            np.testing.assert_array_equal(a, b)
+        assert parallel_result.total_local_flops == serial_result.total_local_flops
+        assert parallel_result.total_bytes_on_wire == serial_result.total_bytes_on_wire
+        assert [r.mean_local_loss for r in parallel_result.history] == [
+            r.mean_local_loss for r in serial_result.history
+        ]

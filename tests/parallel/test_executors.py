@@ -1,0 +1,193 @@
+"""Executor backends: ordering, timeout, retry/backoff, crash containment."""
+
+import os
+import time
+
+import pytest
+
+from repro.parallel import (
+    ExecutorError,
+    ProcessExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    TaskFailure,
+    TaskSpec,
+    ThreadExecutor,
+    available_workers,
+    make_executor,
+    map_tasks,
+)
+
+
+# Module-level task bodies so the process backend can pickle them.
+def square(x):
+    return x * x
+
+
+def boom(message="kaboom"):
+    raise ValueError(message)
+
+
+def slow_square(x, delay):
+    time.sleep(delay)
+    return x * x
+
+
+def kill_worker():
+    os._exit(3)  # simulates a segfault/OOM-killed worker
+
+
+def fail_until_marker(marker_path, value):
+    """Fails until a marker file exists; creates it on first call.
+
+    File-based state survives process boundaries, so this exercises retry
+    under every backend.
+    """
+    if os.path.exists(marker_path):
+        return value
+    with open(marker_path, "w") as handle:
+        handle.write("attempted")
+    raise RuntimeError("transient failure")
+
+
+def _specs(values):
+    return [TaskSpec(key=f"t{v}", fn=square, args=(v,)) for v in values]
+
+
+ALL_BACKENDS = ["serial", "thread", "process"]
+
+
+@pytest.fixture(params=ALL_BACKENDS)
+def executor(request):
+    backend = make_executor(request.param, max_workers=2)
+    yield backend
+    backend.shutdown()
+
+
+class TestOrderingAndResults:
+    def test_results_in_submission_order(self, executor):
+        values = list(range(8))
+        assert executor.map_tasks(_specs(values)) == [v * v for v in values]
+
+    def test_empty_batch(self, executor):
+        assert executor.map_tasks([]) == []
+
+    def test_exception_becomes_structured_failure(self, executor):
+        specs = [
+            TaskSpec(key="ok", fn=square, args=(3,)),
+            TaskSpec(key="bad", fn=boom),
+            TaskSpec(key="ok2", fn=square, args=(4,)),
+        ]
+        results = executor.map_tasks(specs)
+        assert results[0] == 9
+        assert results[2] == 16
+        failure = results[1]
+        assert isinstance(failure, TaskFailure)
+        assert failure.key == "bad"
+        assert failure.error_type == "ValueError"
+        assert "kaboom" in failure.message
+        assert failure.backend == executor.name
+
+    def test_map_tasks_function_defaults_to_serial(self):
+        assert map_tasks(_specs([2, 3])) == [4, 9]
+
+
+class TestRetry:
+    def test_transient_failure_retried_to_success(self, executor, tmp_path):
+        marker = str(tmp_path / f"marker-{executor.name}")
+        delays = []
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.01, sleep=delays.append)
+        spec = TaskSpec(key="flaky", fn=fail_until_marker, args=(marker, 7))
+        assert executor.map_tasks([spec], retry=policy) == [7]
+        assert delays == [0.01]  # one backoff between the two attempts
+
+    def test_exhausted_retries_report_attempt_count(self, executor):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, sleep=lambda s: None)
+        (failure,) = executor.map_tasks([TaskSpec(key="b", fn=boom)], retry=policy)
+        assert isinstance(failure, TaskFailure)
+        assert failure.attempts == 3
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=0.1, factor=2.0, max_delay_s=0.3
+        )
+        assert [policy.delay(n) for n in (1, 2, 3, 4)] == [0.1, 0.2, 0.3, 0.3]
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ExecutorError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestTimeout:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_slow_task_times_out(self, backend):
+        with make_executor(backend, max_workers=2) as executor:
+            specs = [
+                TaskSpec(key="fast", fn=square, args=(2,)),
+                TaskSpec(key="slow", fn=slow_square, args=(5, 0.6)),
+            ]
+            policy = RetryPolicy(max_attempts=1)
+            results = executor.map_tasks(specs, timeout_s=0.2, retry=policy)
+        assert results[0] == 4
+        failure = results[1]
+        assert isinstance(failure, TaskFailure)
+        assert failure.timed_out
+
+    def test_timeout_not_retried_when_disabled(self):
+        delays = []
+        policy = RetryPolicy(
+            max_attempts=3, base_delay_s=0.01, retry_on_timeout=False,
+            sleep=delays.append,
+        )
+        with ThreadExecutor(max_workers=1) as executor:
+            (failure,) = executor.map_tasks(
+                [TaskSpec(key="slow", fn=slow_square, args=(1, 0.5))],
+                timeout_s=0.05,
+                retry=policy,
+            )
+        assert isinstance(failure, TaskFailure)
+        assert failure.timed_out
+        assert failure.attempts == 1
+        assert delays == []
+
+
+class TestCrashContainment:
+    def test_worker_crash_is_contained(self):
+        with ProcessExecutor(max_workers=1) as executor:
+            results = executor.map_tasks(
+                [
+                    TaskSpec(key="crash", fn=kill_worker),
+                    TaskSpec(key="ok", fn=square, args=(6,)),
+                ],
+                retry=RetryPolicy(max_attempts=2, base_delay_s=0.0,
+                                  sleep=lambda s: None),
+            )
+        # The crasher fails structurally; the innocent task survives via
+        # retry on a rebuilt pool.
+        failure = results[0]
+        assert isinstance(failure, TaskFailure)
+        assert failure.worker_crashed
+        assert results[1] == 36
+
+    def test_pool_usable_after_crash_batch(self):
+        with ProcessExecutor(max_workers=1) as executor:
+            executor.map_tasks([TaskSpec(key="crash", fn=kill_worker)])
+            assert executor.map_tasks(_specs([5])) == [25]
+
+
+class TestLifecycle:
+    def test_shutdown_then_use_raises(self):
+        executor = ThreadExecutor(max_workers=1)
+        executor.shutdown()
+        with pytest.raises(ExecutorError):
+            executor.map_tasks(_specs([1]))
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ExecutorError):
+            make_executor("quantum")
+
+    def test_available_workers_positive(self):
+        assert available_workers() >= 1
+
+    def test_serial_executor_is_default(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)

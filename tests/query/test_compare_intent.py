@@ -1,6 +1,5 @@
 """Distributed two-group comparison: parse, execute, compose."""
 
-import numpy as np
 import pytest
 
 from repro.analytics.stats import welch_t_test

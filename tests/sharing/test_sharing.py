@@ -5,7 +5,6 @@ import dataclasses
 import pytest
 
 from repro.common.errors import CryptoError, IntegrityError
-from repro.common.signatures import KeyPair
 from repro.sharing.audit import AuditLog
 from repro.sharing.encryption import Envelope, decrypt, encrypt_for
 

@@ -126,6 +126,80 @@ def test_run_to_completion_guard():
         run_to_completion(kernel, max_events=100)
 
 
+def test_cancelling_already_fired_event_is_harmless():
+    kernel = Kernel()
+    ran = []
+    handle = kernel.schedule(1.0, lambda: ran.append("fired"))
+    kernel.run()
+    assert ran == ["fired"]
+    # Cancel after the event already ran: no error, no double-run, and the
+    # handle just reports cancelled.
+    handle.cancel()
+    assert handle.cancelled
+    assert kernel.pending == 0
+    kernel.run()
+    assert ran == ["fired"]
+    assert kernel.events_run == 1
+
+
+def test_cancel_is_idempotent():
+    kernel = Kernel()
+    handle = kernel.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert handle.cancelled
+    assert kernel.pending == 0
+    assert kernel.run() == 0
+
+
+def test_simultaneous_events_interleaved_with_callback_scheduling():
+    # B is scheduled before A fires, so at the shared timestamp the order is
+    # strictly by scheduling sequence: A (seq 0), B (seq 1), then C which A
+    # scheduled at the same instant (seq 2).
+    kernel = Kernel()
+    order = []
+
+    def fire_a():
+        order.append("a")
+        kernel.schedule(0.0, lambda: order.append("c"))
+
+    kernel.schedule(1.0, fire_a)
+    kernel.schedule(1.0, lambda: order.append("b"))
+    kernel.run()
+    assert order == ["a", "b", "c"]
+    assert kernel.now == 1.0
+
+
+def test_tie_break_survives_cancellation_of_middle_event():
+    kernel = Kernel()
+    order = []
+    kernel.schedule(1.0, lambda: order.append("first"))
+    middle = kernel.schedule(1.0, lambda: order.append("middle"))
+    kernel.schedule(1.0, lambda: order.append("last"))
+    middle.cancel()
+    kernel.run()
+    assert order == ["first", "last"]
+
+
+def test_schedule_at_in_the_past_raises():
+    kernel = Kernel()
+    kernel.schedule(5.0, lambda: None)
+    kernel.run()
+    assert kernel.now == 5.0
+    with pytest.raises(SimulationError):
+        kernel.schedule_at(4.0, lambda: None)
+
+
+def test_schedule_at_now_is_allowed():
+    kernel = Kernel()
+    kernel.schedule(2.0, lambda: None)
+    kernel.run()
+    seen = []
+    kernel.schedule_at(kernel.now, lambda: seen.append(kernel.now))
+    kernel.run()
+    assert seen == [2.0]
+
+
 def test_process_after_helper():
     kernel = Kernel()
     actor = Process(kernel, "actor")

@@ -79,3 +79,30 @@ class TestMetricsRegistry:
         metrics.observe("latency", 0.2)
         metrics.observe("latency", 0.4)
         assert metrics.histogram("latency").mean == pytest.approx(0.3)
+
+
+class TestWallClock:
+    def test_stopwatch_records_counter_and_histogram(self):
+        metrics = MetricsRegistry()
+        with metrics.wallclock("phase") as watch:
+            pass
+        assert watch.elapsed_s >= 0.0
+        assert metrics.wallclock_total("phase") == pytest.approx(watch.elapsed_s)
+        assert metrics.histogram("wallclock_phase").count == 1
+
+    def test_wallclock_totals_accumulate(self):
+        metrics = MetricsRegistry()
+        metrics.add_wallclock("fanout", 0.25)
+        metrics.add_wallclock("fanout", 0.75, scope="site-b")
+        assert metrics.wallclock_total("fanout") == pytest.approx(1.0)
+        assert metrics.counter("wallclock_fanout_s", "site-b") == pytest.approx(0.75)
+
+    def test_wallclock_appears_in_summary(self):
+        metrics = MetricsRegistry()
+        metrics.add_wallclock("bench", 1.5)
+        assert metrics.summary()["wallclock_bench_s"] == pytest.approx(1.5)
+
+    def test_wallclock_distinct_from_simulated_counters(self):
+        metrics = MetricsRegistry()
+        metrics.add_wallclock("x", 2.0)
+        assert metrics.total_energy_joules() == 0.0

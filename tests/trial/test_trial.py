@@ -1,6 +1,5 @@
 """Clinical trial tests: protocol, simulation, RWE monitor, auditor."""
 
-import numpy as np
 import pytest
 
 from repro.common.errors import TrialError
