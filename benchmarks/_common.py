@@ -13,8 +13,10 @@ refreshed from actual runs.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Any, Sequence
+from datetime import datetime, timezone
+from typing import Any, Dict, Optional, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -52,6 +54,37 @@ def emit(name: str, table: str) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(table + "\n")
+
+
+def json_envelope(
+    bench: str, params: Dict[str, Any], metrics: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Uniform ``BENCH_*.json`` payload: {bench, params, metrics, timestamp}.
+
+    Every benchmark that emits machine-readable output uses this schema so
+    trajectory files accumulate uniformly and CI gates can read
+    ``payload["metrics"]`` without per-benchmark special cases.
+    """
+    return {
+        "bench": bench,
+        "params": params,
+        "metrics": metrics,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
+def emit_json(
+    path: Optional[str],
+    bench: str,
+    params: Dict[str, Any],
+    metrics: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Build the envelope and, when ``path`` is set, write it to disk."""
+    payload = json_envelope(bench, params, metrics)
+    if path:
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+    return payload
 
 
 def human_bytes(count: float) -> str:

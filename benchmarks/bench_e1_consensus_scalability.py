@@ -16,10 +16,11 @@ latency, and broadcast messages sent.
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, format_table
+from _common import emit, emit_json, format_table
 
 from repro.chain.blocks import make_genesis
 from repro.chain.state import StateDB
@@ -106,5 +107,19 @@ def test_e1_consensus_scalability(benchmark):
     assert eight["messages"] > 10 * single["messages"]
 
 
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a {bench, params, metrics, timestamp} "
+                             "envelope to PATH")
+    args = parser.parse_args(argv)
+    rows = report(run_experiment())
+    emit_json(args.json, "e1_consensus_scalability",
+              {"tx_count": TX_COUNT, "node_counts": list(NODE_COUNTS),
+               "total_hash_rate": TOTAL_HASH_RATE},
+              {"rows": rows})
+    return 0
+
+
 if __name__ == "__main__":
-    report(run_experiment())
+    sys.exit(main())

@@ -27,8 +27,9 @@ import json
 import sys
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, format_table
+from _common import emit, emit_json, format_table
 
+from repro import obs
 from repro.common.signatures import KeyPair
 from repro.core.platform import MedicalBlockchainNetwork, PlatformConfig
 from repro.core.queryservice import GlobalQueryService
@@ -174,7 +175,7 @@ def _make_wallclock_sites(workers, records_per_site):
     return runners, site_requests
 
 
-def run_wallclock(workers=4, records_per_site=60, iters=50000, json_path=None,
+def run_wallclock(workers=4, records_per_site=60, iters=50000,
                   require_speedup=None):
     """Measure real serial/thread/process times on identical shards.
 
@@ -220,10 +221,6 @@ def run_wallclock(workers=4, records_per_site=60, iters=50000, json_path=None,
         for backend in WALLCLOCK_BACKENDS
     }
     payload = {
-        "mode": "wallclock",
-        "workers": workers,
-        "records_per_site": records_per_site,
-        "iters": iters,
         "available_cores": cores,
         "timings_s": timings,
         "speedup": speedup,
@@ -240,9 +237,6 @@ def run_wallclock(workers=4, records_per_site=60, iters=50000, json_path=None,
             ),
         },
     }
-    if json_path:
-        with open(json_path, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
     table = format_table(
         f"E4 (wall-clock): {workers} sites x {records_per_site} records, "
         f"{iters} iters/record, {cores} core(s) visible",
@@ -264,7 +258,12 @@ def main(argv=None):
                         help="small CI-smoke workload (equivalence gate only)")
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--json", default=None, metavar="PATH",
-                        help="write BENCH_e4.json-style payload to PATH")
+                        help="write a {bench, params, metrics, timestamp} "
+                             "BENCH_e4.json envelope to PATH")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="enable tracing and write a JSON-lines span "
+                             "trace to PATH (inspect with "
+                             "python -m repro.obs.summary)")
     parser.add_argument("--require-speedup", type=float, default=None,
                         help="fail unless process speedup meets this "
                              "(only enforced when enough cores are visible; "
@@ -272,19 +271,33 @@ def main(argv=None):
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1 (got {args.workers})")
+    tracer = obs.enable() if args.trace else None
     if not args.wallclock:
-        report(run_experiment())
+        rows = report(run_experiment())
+        emit_json(args.json, "e4_parallel_speedup",
+                  {"mode": "simulated", "total_records": TOTAL_RECORDS,
+                   "site_counts": list(SITE_COUNTS)},
+                  {"rows": rows})
+        if tracer is not None:
+            count = obs.write_trace_jsonl(tracer, args.trace)
+            print(f"wrote {count} spans to {args.trace}")
         return 0
     require = args.require_speedup
     if require is None and not args.fast and args.workers >= 2:
         require = 2.0
-    if args.fast:
-        payload = run_wallclock(workers=args.workers, records_per_site=10,
-                                iters=3000, json_path=args.json,
-                                require_speedup=require)
-    else:
-        payload = run_wallclock(workers=args.workers, json_path=args.json,
-                                require_speedup=require)
+    records_per_site = 10 if args.fast else 60
+    iters = 3000 if args.fast else 50000
+    payload = run_wallclock(workers=args.workers,
+                            records_per_site=records_per_site,
+                            iters=iters, require_speedup=require)
+    emit_json(args.json, "e4_parallel_speedup",
+              {"mode": "wallclock", "workers": args.workers,
+               "records_per_site": records_per_site, "iters": iters,
+               "fast": args.fast},
+              payload)
+    if tracer is not None:
+        count = obs.write_trace_jsonl(tracer, args.trace)
+        print(f"wrote {count} spans to {args.trace}")
     if not payload["equivalent"]:
         print("FAIL: backends disagree on result hashes", file=sys.stderr)
         print(json.dumps(payload["equivalence"], indent=2), file=sys.stderr)

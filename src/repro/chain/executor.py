@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Protocol
 from repro.chain.state import StateDB
 from repro.chain.transactions import TX_TRANSFER, Transaction
 from repro.common.errors import ChainError
+from repro.obs.tracer import trace_span
 
 
 @dataclass
@@ -113,8 +114,15 @@ def apply_block_transactions(
     writes are rolled back by the executor itself.  Structural invalidity
     (bad signature) raises — such a transaction must never reach execution.
     """
-    receipts = []
-    for tx in transactions:
-        tx.validate()
-        receipts.append(executor.apply(state, tx, context))
+    with trace_span(
+        "chain.apply_block",
+        height=context.block_height,
+        node=context.node_name,
+        txs=len(transactions),
+    ) as span:
+        receipts = []
+        for tx in transactions:
+            tx.validate()
+            receipts.append(executor.apply(state, tx, context))
+        span.set_attr("gas", sum(receipt.gas_used for receipt in receipts))
     return receipts

@@ -22,6 +22,7 @@ from repro.chain.store import ChainStore
 from repro.chain.transactions import Transaction
 from repro.common.errors import ValidationError
 from repro.consensus.base import ConsensusEngine
+from repro.obs.tracer import trace_span
 from repro.contracts.runtime import ContractExecutor
 from repro.sim.kernel import EventHandle, Kernel, Process
 from repro.sim.metrics import MetricsRegistry
@@ -218,6 +219,19 @@ class BlockchainNode(Process):
         Every node does this for every block — the per-node gas charged here
         is the paper's duplicated smart-contract computation.
         """
+        with trace_span(
+            "consensus.verify_block",
+            node=self.name,
+            engine=self.consensus.name,
+            height=block.height,
+            txs=len(block.transactions),
+            sim_time=self.now,
+        ) as span:
+            valid = self._verify_and_execute_inner(block)
+            span.set_attr("valid", valid)
+        return valid
+
+    def _verify_and_execute_inner(self, block: Block) -> bool:
         parent_id = block.header.parent_hash.hex()
         parent_state = self._states.get(parent_id)
         if parent_state is None:
@@ -353,6 +367,16 @@ class BlockchainNode(Process):
         if self.store.head.block_id != parent_id:
             # Lost the race; a new round has been planned by _on_new_head.
             return
+        with trace_span(
+            "consensus.propose",
+            node=self.name,
+            engine=self.consensus.name,
+            height=self.store.head.height + 1,
+            sim_time=self.now,
+        ) as span:
+            self._propose_inner(span)
+
+    def _propose_inner(self, span) -> None:
         parent = self.store.head
         parent_state = self._states[parent.block_id]
         nonces = {}
@@ -384,6 +408,8 @@ class BlockchainNode(Process):
         )
         sealed = self.consensus.seal(self.name, block)
         attempts = sealed.header.consensus.get("attempts", 0)
+        span.set_attr("txs", len(txs))
+        span.set_attr("hashes", attempts)
         if attempts:
             self.metrics.add_hashes(attempts, scope=self.name)
         self._round_start = None

@@ -17,6 +17,7 @@ from repro.chain.blocks import Block
 from repro.common.errors import ConsensusError
 from repro.common.signatures import KeyPair, PublicKey, Signature
 from repro.consensus.base import ConsensusEngine, ProposalPlan
+from repro.obs.tracer import trace_span
 
 
 class ProofOfAuthority(ConsensusEngine):
@@ -69,7 +70,12 @@ class ProofOfAuthority(ConsensusEngine):
         keypair = self.keypairs.get(node_name)
         if keypair is None or node_name not in self.validators:
             raise ConsensusError(f"{node_name} holds no authority key")
-        signature = keypair.sign(block.header.mining_digest())
+        with trace_span(
+            "poa.seal",
+            node=node_name,
+            in_turn=self.proposer_at(block.height) == node_name,
+        ):
+            signature = keypair.sign(block.header.mining_digest())
         return block.with_consensus(
             {
                 "type": self.name,
@@ -80,6 +86,12 @@ class ProofOfAuthority(ConsensusEngine):
         )
 
     def verify(self, block: Block, parent: Block) -> bool:
+        with trace_span("poa.verify") as span:
+            valid = self._verify_inner(block)
+            span.set_attr("valid", valid)
+        return valid
+
+    def _verify_inner(self, block: Block) -> bool:
         proof = block.header.consensus
         if proof.get("type") != self.name:
             return False

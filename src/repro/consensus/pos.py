@@ -20,6 +20,7 @@ from repro.chain.blocks import Block
 from repro.common.errors import ConsensusError
 from repro.common.hashing import hash_value
 from repro.consensus.base import ConsensusEngine, ProposalPlan
+from repro.obs.tracer import trace_span
 
 
 def _ticket(parent_hash: bytes, height: int, staker: str) -> float:
@@ -72,15 +73,23 @@ class ProofOfStake(ConsensusEngine):
     def seal(self, node_name: str, block: Block) -> Block:
         if node_name not in self.stakes:
             raise ConsensusError(f"{node_name} holds no stake")
-        return block.with_consensus(
-            {"type": self.name, "staker": node_name, "stake": self.stakes[node_name]}
-        )
+        with trace_span("pos.seal", node=node_name, stake=self.stakes[node_name]):
+            return block.with_consensus(
+                {
+                    "type": self.name,
+                    "staker": node_name,
+                    "stake": self.stakes[node_name],
+                }
+            )
 
     def verify(self, block: Block, parent: Block) -> bool:
-        proof = block.header.consensus
-        if proof.get("type") != self.name:
-            return False
-        staker = proof.get("staker")
-        if staker not in self.stakes:
-            return False
-        return self.winner_at(parent, block.height) == staker
+        with trace_span("pos.verify") as span:
+            proof = block.header.consensus
+            staker = proof.get("staker")
+            valid = (
+                proof.get("type") == self.name
+                and staker in self.stakes
+                and self.winner_at(parent, block.height) == staker
+            )
+            span.set_attr("valid", valid)
+        return valid

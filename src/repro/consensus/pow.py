@@ -16,6 +16,7 @@ from typing import Dict, Optional
 from repro.chain.blocks import Block
 from repro.common.hashing import sha256
 from repro.consensus.base import ConsensusEngine, ProposalPlan
+from repro.obs.tracer import trace_span
 
 
 def pow_target(bits: int) -> int:
@@ -78,8 +79,12 @@ class ProofOfWork(ConsensusEngine):
         return ProposalPlan(delay_s=delay, hash_work=int(self.expected_hashes))
 
     def seal(self, node_name: str, block: Block) -> Block:
-        digest = block.header.mining_digest()
-        nonce, attempts = grind(digest, self.difficulty_bits)
+        with trace_span(
+            "pow.seal", node=node_name, bits=self.difficulty_bits
+        ) as span:
+            digest = block.header.mining_digest()
+            nonce, attempts = grind(digest, self.difficulty_bits)
+            span.set_attr("hashes", attempts)
         return block.with_consensus(
             {
                 "type": self.name,
@@ -90,15 +95,21 @@ class ProofOfWork(ConsensusEngine):
         )
 
     def verify(self, block: Block, parent: Block) -> bool:
-        proof = block.header.consensus
-        if proof.get("type") != self.name:
-            return False
-        if proof.get("bits") != self.difficulty_bits:
-            return False
-        nonce = proof.get("nonce")
-        if not isinstance(nonce, int) or nonce < 0:
-            return False
-        return check_pow(block.header.mining_digest(), nonce, self.difficulty_bits)
+        with trace_span("pow.verify", bits=self.difficulty_bits, hashes=1) as span:
+            proof = block.header.consensus
+            valid = (
+                proof.get("type") == self.name
+                and proof.get("bits") == self.difficulty_bits
+                and isinstance(proof.get("nonce"), int)
+                and proof["nonce"] >= 0
+                and check_pow(
+                    block.header.mining_digest(),
+                    proof["nonce"],
+                    self.difficulty_bits,
+                )
+            )
+            span.set_attr("valid", valid)
+        return valid
 
     def work_per_second(self, node_name: str) -> float:
         return self.hash_rate(node_name)

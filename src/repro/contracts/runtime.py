@@ -23,6 +23,7 @@ from repro.chain.transactions import TX_CALL, TX_DEPLOY, TX_TRANSFER, Transactio
 from repro.common.errors import ChainError, ContractError, OutOfGasError
 from repro.common.hashing import hash_value_hex, sha256_hex
 from repro.common.serialize import canonical_bytes
+from repro.obs.tracer import trace_span
 from repro.contracts import gas as G
 from repro.contracts.vm import ContractSource, GasMeter, Interpreter, compile_contract
 
@@ -164,6 +165,19 @@ class ContractExecutor:
 
     # -- Executor protocol ------------------------------------------------
     def apply(
+        self, state: StateDB, tx: Transaction, context: ExecutionContext
+    ) -> Receipt:
+        with trace_span(
+            "contract.apply", kind=tx.kind, node=context.node_name
+        ) as span:
+            receipt = self._apply(state, tx, context)
+            span.set_attr("gas", receipt.gas_used)
+            span.set_attr("success", receipt.success)
+            if tx.kind == TX_CALL:
+                span.set_attr("method", tx.payload.get("method", ""))
+        return receipt
+
+    def _apply(
         self, state: StateDB, tx: Transaction, context: ExecutionContext
     ) -> Receipt:
         expected_nonce = state.nonce(tx.sender)

@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, List
 
 from repro.common.errors import ContractError, OutOfGasError
 from repro.contracts import gas as G
+from repro.obs.tracer import trace_span
 
 
 class _ReturnSignal(Exception):
@@ -221,7 +222,12 @@ class Interpreter:
         func = self.contract.functions.get(method)
         if func is None or method.startswith("_"):
             raise ContractError(f"unknown or private method {method!r}")
-        return self._invoke(func, args)
+        with trace_span("vm.call", method=method) as span:
+            gas_before = self.meter.used
+            try:
+                return self._invoke(func, args)
+            finally:
+                span.set_attr("gas", self.meter.used - gas_before)
 
     def _invoke(self, func: ast.FunctionDef, args: Dict[str, Any]) -> Any:
         self._depth += 1

@@ -22,6 +22,7 @@ from repro.common.errors import QueryError
 from repro.common.serialize import canonical_bytes
 from repro.common.signatures import KeyPair
 from repro.core.platform import MedicalBlockchainNetwork
+from repro.obs.tracer import trace_span
 from repro.offchain.control import NonceTracker
 from repro.offchain.tasks import TaskResult
 from repro.query.compose import SiteTask, compose, decompose
@@ -175,7 +176,11 @@ class GlobalQueryService:
         if not catalog:
             raise QueryError("no datasets are registered on the platform")
         params_ref = self.platform.depot.put(params)
-        tasks = decompose(vector, catalog)
+        with trace_span(
+            "query.decompose", intent=vector.intent, datasets=len(catalog)
+        ) as span:
+            tasks = decompose(vector, catalog)
+            span.set_attr("tasks", len(tasks))
         entry_node = self.platform.nodes[self.platform.node_names[0]]
         dispatched = []
         self._request_txs: Dict[str, Any] = getattr(self, "_request_txs", {})
@@ -272,23 +277,40 @@ class GlobalQueryService:
         round_tag: str = "r0",
     ) -> GlobalAnswer:
         start = self.platform.kernel.now
-        tasks = self._dispatch_tasks(vector, params, round_tag)
-        failures = self._await_tasks(tasks, timeout_s or self.default_timeout_s)
-        partials: Dict[str, Dict[str, Any]] = {}
-        bytes_on_wire = 0
-        for task in tasks:
-            result = self._results.get(task.task_id)
-            if result is None:
-                continue
-            partials[task.site] = result.result
-            up = len(canonical_bytes(result.result))
-            bytes_on_wire += up + len(canonical_bytes(params))
-            self.platform.metrics.add_bytes(up, scope=task.site)
-        if not partials:
-            raise QueryError(
-                f"query {vector.query_id} produced no results; failures: {failures}"
-            )
-        composed = compose(vector, list(partials.values()))
+        with trace_span(
+            "query.round",
+            intent=vector.intent,
+            tag=round_tag,
+            sim_start=start,
+        ) as round_span:
+            with trace_span("query.dispatch") as span:
+                tasks = self._dispatch_tasks(vector, params, round_tag)
+                span.set_attr("tasks", len(tasks))
+            with trace_span("query.await", tasks=len(tasks)) as span:
+                failures = self._await_tasks(
+                    tasks, timeout_s or self.default_timeout_s
+                )
+                span.set_attr("failures", len(failures))
+                span.set_attr("sim_elapsed_s", self.platform.kernel.now - start)
+            partials: Dict[str, Dict[str, Any]] = {}
+            bytes_on_wire = 0
+            for task in tasks:
+                result = self._results.get(task.task_id)
+                if result is None:
+                    continue
+                partials[task.site] = result.result
+                up = len(canonical_bytes(result.result))
+                bytes_on_wire += up + len(canonical_bytes(params))
+                self.platform.metrics.add_bytes(up, scope=task.site)
+            if not partials:
+                raise QueryError(
+                    f"query {vector.query_id} produced no results; "
+                    f"failures: {failures}"
+                )
+            with trace_span("query.compose", sites=len(partials)):
+                composed = compose(vector, list(partials.values()))
+            round_span.set_attr("bytes", bytes_on_wire)
+            round_span.set_attr("sim_latency_s", self.platform.kernel.now - start)
         return GlobalAnswer(
             query_id=vector.query_id,
             vector=vector,

@@ -27,7 +27,9 @@ from repro.analytics.models import (
     params_size_bytes,
 )
 from repro.common.errors import LearningError
+from repro.obs.tracer import trace_span
 from repro.parallel.executor import Executor, SerialExecutor, TaskFailure, TaskSpec
+from repro.sim.metrics import current_metrics
 
 SiteData = Dict[str, Tuple[np.ndarray, np.ndarray]]
 ModelFactory = Callable[[], SupervisedModel]
@@ -89,11 +91,15 @@ def _train_site_worker(
     Under the process backend ``model_factory`` must be picklable — a
     module-level function or class, not a lambda.
     """
-    local_model = model_factory()
-    local_model.set_params(global_params)
-    loss = local_model.train_epochs(
-        X, y, epochs=epochs, lr=lr, batch_size=batch_size, seed=seed
-    )
+    with trace_span("fl.local_train", samples=len(X), epochs=epochs) as span:
+        local_model = model_factory()
+        local_model.set_params(global_params)
+        loss = local_model.train_epochs(
+            X, y, epochs=epochs, lr=lr, batch_size=batch_size, seed=seed
+        )
+        span.set_attr("flops", local_model.flops)
+        span.set_attr("loss", loss)
+    current_metrics().add("fl_local_flops", local_model.flops)
     return local_model.get_params(), loss, local_model.flops, len(X)
 
 
@@ -135,62 +141,81 @@ class FederatedTrainer:
         total_bytes = 0
         total_flops = 0.0
         site_names = sorted(site_data)
-        for round_index in range(config.rounds):
-            participants = self._sample_participants(site_names, rng)
-            active = [site for site in participants if len(site_data[site][0]) > 0]
-            epochs = 1 if config.fedsgd else config.local_epochs
-            specs: List[TaskSpec] = []
-            for site in active:
-                X, y = site_data[site]
-                batch = len(X) if config.fedsgd else config.batch_size
-                specs.append(
-                    TaskSpec(
-                        key=f"{site}/round-{round_index}",
-                        fn=_train_site_worker,
-                        args=(
-                            self.model_factory,
-                            global_params,
-                            X,
-                            y,
-                            epochs,
-                            config.lr,
-                            batch,
-                            config.seed * 1000 + round_index,
+        with trace_span(
+            "fl.train",
+            rounds=config.rounds,
+            sites=len(site_names),
+            backend=self.executor.name,
+        ) as train_span:
+            for round_index in range(config.rounds):
+                with trace_span("fl.round", round=round_index) as round_span:
+                    participants = self._sample_participants(site_names, rng)
+                    active = [
+                        site
+                        for site in participants
+                        if len(site_data[site][0]) > 0
+                    ]
+                    epochs = 1 if config.fedsgd else config.local_epochs
+                    specs: List[TaskSpec] = []
+                    for site in active:
+                        X, y = site_data[site]
+                        batch = len(X) if config.fedsgd else config.batch_size
+                        specs.append(
+                            TaskSpec(
+                                key=f"{site}/round-{round_index}",
+                                fn=_train_site_worker,
+                                args=(
+                                    self.model_factory,
+                                    global_params,
+                                    X,
+                                    y,
+                                    epochs,
+                                    config.lr,
+                                    batch,
+                                    config.seed * 1000 + round_index,
+                                ),
+                            )
+                        )
+                    outcomes = self.executor.map_tasks(specs)
+                    collected: List[Params] = []
+                    weights: List[float] = []
+                    losses: List[float] = []
+                    round_bytes = 0
+                    for site, outcome in zip(active, outcomes):
+                        if isinstance(outcome, TaskFailure):
+                            raise LearningError(
+                                f"local training failed at site {site!r}: "
+                                f"{outcome}"
+                            )
+                        params, loss, flops, sample_count = outcome
+                        collected.append(params)
+                        weights.append(float(sample_count))
+                        losses.append(loss)
+                        total_flops += flops
+                        # down-link (global params) + up-link (local update)
+                        round_bytes += 2 * params_size_bytes(params)
+                    if collected:
+                        global_params = average_params(collected, weights)
+                        global_model.set_params(global_params)
+                    total_bytes += round_bytes
+                    record = RoundRecord(
+                        round_index=round_index,
+                        participants=participants,
+                        mean_local_loss=(
+                            float(np.mean(losses)) if losses else float("nan")
                         ),
+                        bytes_on_wire=round_bytes,
                     )
-                )
-            outcomes = self.executor.map_tasks(specs)
-            collected: List[Params] = []
-            weights: List[float] = []
-            losses: List[float] = []
-            round_bytes = 0
-            for site, outcome in zip(active, outcomes):
-                if isinstance(outcome, TaskFailure):
-                    raise LearningError(
-                        f"local training failed at site {site!r}: {outcome}"
-                    )
-                params, loss, flops, sample_count = outcome
-                collected.append(params)
-                weights.append(float(sample_count))
-                losses.append(loss)
-                total_flops += flops
-                # down-link (global params) + up-link (local update)
-                round_bytes += 2 * params_size_bytes(params)
-            if collected:
-                global_params = average_params(collected, weights)
-                global_model.set_params(global_params)
-            total_bytes += round_bytes
-            record = RoundRecord(
-                round_index=round_index,
-                participants=participants,
-                mean_local_loss=float(np.mean(losses)) if losses else float("nan"),
-                bytes_on_wire=round_bytes,
-            )
-            if eval_data is not None:
-                record.eval_metrics = global_model.evaluate(*eval_data)
-            history.append(record)
-            if on_round is not None:
-                on_round(record)
+                    round_span.set_attr("participants", len(active))
+                    round_span.set_attr("bytes", round_bytes)
+                    round_span.set_attr("loss", record.mean_local_loss)
+                    if eval_data is not None:
+                        record.eval_metrics = global_model.evaluate(*eval_data)
+                    history.append(record)
+                    if on_round is not None:
+                        on_round(record)
+            train_span.set_attr("bytes", total_bytes)
+            train_span.set_attr("flops", total_flops)
         return FederatedResult(
             model=global_model,
             history=history,

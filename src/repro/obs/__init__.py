@@ -1,0 +1,59 @@
+"""repro.obs — structured tracing and metrics export.
+
+The observability layer for the reproduction: spans with both simulated and
+wall-clock time (``tracer``), JSON-lines and Prometheus exporters
+(``export``), and a per-scope breakdown CLI (``summary``).
+
+Quick start::
+
+    from repro import obs
+
+    tracer = obs.enable()                 # default is a no-op tracer
+    with obs.trace_span("my.phase", shard=3) as span:
+        ...
+        span.set_attr("gas", 1234)
+    obs.write_trace_jsonl(tracer, "trace.jsonl")
+    # then: python -m repro.obs.summary trace.jsonl
+"""
+
+from repro.obs.export import (
+    prometheus_text,
+    read_trace_jsonl,
+    sanitize_metric_name,
+    span_tree,
+    write_prometheus,
+    write_trace_jsonl,
+)
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    current_span_id,
+    current_tracer,
+    disable,
+    enable,
+    set_tracer,
+    trace_span,
+    tracer_override,
+    tracing_enabled,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "current_span_id",
+    "current_tracer",
+    "disable",
+    "enable",
+    "prometheus_text",
+    "read_trace_jsonl",
+    "sanitize_metric_name",
+    "set_tracer",
+    "span_tree",
+    "trace_span",
+    "tracer_override",
+    "tracing_enabled",
+    "write_prometheus",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,102 @@
+"""Exporters: JSON-lines trace files and Prometheus-style metrics text.
+
+Two sinks, two audiences:
+
+- ``write_trace_jsonl`` persists spans one-JSON-object-per-line so traces
+  stream, concatenate, and grep cleanly; ``python -m repro.obs.summary``
+  reads this format back.
+- ``prometheus_text`` renders a :class:`~repro.sim.metrics.MetricsRegistry`
+  in the Prometheus text exposition format (counters with a ``scope`` label,
+  histograms as summaries with quantiles), so a scrape endpoint or a
+  file-based textfile collector can ingest experiment metrics unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from repro.obs.tracer import Span, Tracer
+from repro.sim.metrics import MetricsRegistry
+
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def _spans_of(source: Union[Tracer, Iterable[Span]]) -> List[Span]:
+    if isinstance(source, Tracer):
+        return list(source.spans)
+    return list(source)
+
+
+def write_trace_jsonl(source: Union[Tracer, Iterable[Span]], path: str) -> int:
+    """Write spans as JSON lines; returns the number of spans written."""
+    spans = _spans_of(source)
+    with open(path, "w") as handle:
+        for span in spans:
+            handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+    return len(spans)
+
+
+def read_trace_jsonl(path: str) -> List[Span]:
+    """Load spans back from a JSON-lines trace file (blank lines skipped)."""
+    spans: List[Span] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro_") -> str:
+    """Make a counter/histogram name legal for Prometheus exposition."""
+    cleaned = _METRIC_NAME_RE.sub("_", name)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] in "_:"):
+        cleaned = "_" + cleaned
+    return prefix + cleaned
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every counter and histogram in Prometheus text format."""
+    lines: List[str] = []
+    snapshot = registry.snapshot()
+    by_name: Dict[str, List[Any]] = {}
+    for name, scope, value in snapshot["counters"]:
+        by_name.setdefault(name, []).append((scope, value))
+    for name in sorted(by_name):
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        for scope, value in sorted(by_name[name]):
+            label = f'{{scope="{_escape_label(scope)}"}}' if scope else ""
+            lines.append(f"{metric}{label} {value:g}")
+    for name in sorted(snapshot["histograms"]):
+        values = snapshot["histograms"][name]
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        ordered = sorted(values)
+        for quantile in _QUANTILES:
+            rank = min(len(ordered) - 1, int(round(quantile * (len(ordered) - 1))))
+            sample = ordered[rank] if ordered else 0.0
+            lines.append(f'{metric}{{quantile="{quantile}"}} {sample:g}')
+        lines.append(f"{metric}_sum {sum(values):g}")
+        lines.append(f"{metric}_count {len(values)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry: MetricsRegistry, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(prometheus_text(registry))
+
+
+def span_tree(spans: Sequence[Span]) -> Dict[str, List[Span]]:
+    """Children-by-parent-id index ('' keys the roots)."""
+    tree: Dict[str, List[Span]] = {}
+    for span in spans:
+        tree.setdefault(span.parent_id or "", []).append(span)
+    return tree

@@ -1,0 +1,136 @@
+"""Per-scope breakdown of a JSON-lines trace.
+
+Usage::
+
+    python -m repro.obs.summary trace.jsonl [--json] [--sort wall|count|energy]
+
+Groups spans by name and reports, per scope: call count, total/mean/p95
+wall-clock milliseconds, total simulated seconds (when the tracer was bound
+to a kernel), summed resource attributes (``gas``, ``hashes``, ``bytes``,
+``flops``) and the energy those imply under the default
+:class:`~repro.sim.metrics.EnergyModel`.  This is how E4/E8-style claims
+become inspectable per stage instead of only as end-of-run totals.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Sequence
+
+from repro.obs.export import read_trace_jsonl
+from repro.obs.tracer import Span
+from repro.sim.metrics import EnergyModel
+
+RESOURCE_ATTRS = ("gas", "hashes", "bytes", "flops")
+
+_SORT_KEYS = {
+    "wall": "wall_total_s",
+    "count": "count",
+    "energy": "energy_j",
+    "sim": "sim_total_s",
+}
+
+
+def summarize(
+    spans: Sequence[Span], energy_model: EnergyModel = EnergyModel()
+) -> List[Dict[str, Any]]:
+    """Aggregate spans by name into one breakdown row per scope."""
+    groups: Dict[str, List[Span]] = {}
+    for span in spans:
+        groups.setdefault(span.name, []).append(span)
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(groups):
+        members = groups[name]
+        walls = sorted(span.wall_s for span in members)
+        rank = min(len(walls) - 1, int(round(0.95 * (len(walls) - 1))))
+        resources = {
+            attr: sum(_number(span.attrs.get(attr)) for span in members)
+            for attr in RESOURCE_ATTRS
+        }
+        rows.append(
+            {
+                "scope": name,
+                "count": len(members),
+                "wall_total_s": sum(walls),
+                "wall_mean_s": sum(walls) / len(walls),
+                "wall_p95_s": walls[rank],
+                "sim_total_s": sum(span.sim_s for span in members),
+                **resources,
+                "energy_j": energy_model.energy_joules(
+                    hashes=resources["hashes"],
+                    gas=resources["gas"],
+                    bytes_transferred=resources["bytes"],
+                    flops=resources["flops"],
+                ),
+            }
+        )
+    return rows
+
+
+def _number(value: Any) -> float:
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
+def render(rows: Sequence[Dict[str, Any]]) -> str:
+    """Plain-text aligned breakdown table."""
+    headers = [
+        "scope", "count", "wall total (ms)", "wall mean (ms)", "wall p95 (ms)",
+        "sim total (s)", "gas", "flops", "energy (J)",
+    ]
+    body = [
+        [
+            row["scope"],
+            str(row["count"]),
+            f"{row['wall_total_s'] * 1000:.3f}",
+            f"{row['wall_mean_s'] * 1000:.3f}",
+            f"{row['wall_p95_s'] * 1000:.3f}",
+            f"{row['sim_total_s']:.3f}",
+            f"{row['gas']:g}",
+            f"{row['flops']:g}",
+            f"{row['energy_j']:.3g}",
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(line[i]) for line in body))
+        if body
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = ["  ".join(headers[i].ljust(widths[i]) for i in range(len(headers)))]
+    lines.append("  ".join("-" * width for width in widths))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(line))))
+    return "\n".join(lines)
+
+
+def main(argv: Any = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.summary",
+        description="Per-scope latency/energy breakdown of a span trace.",
+    )
+    parser.add_argument("trace", help="JSON-lines trace file (one span per line)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the breakdown as JSON instead of a table")
+    parser.add_argument("--sort", choices=sorted(_SORT_KEYS), default="wall",
+                        help="row ordering (default: total wall time)")
+    args = parser.parse_args(argv)
+    try:
+        spans = read_trace_jsonl(args.trace)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
+    rows = summarize(spans)
+    rows.sort(key=lambda row: row[_SORT_KEYS[args.sort]], reverse=True)
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(f"{len(spans)} span(s), {len(rows)} scope(s) — {args.trace}")
+        print(render(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

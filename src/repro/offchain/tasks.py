@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import OracleError
 from repro.common.hashing import hash_value_hex
+from repro.obs.tracer import trace_span
 from repro.parallel.executor import (
     Executor,
     RetryPolicy,
@@ -27,6 +28,7 @@ from repro.parallel.executor import (
     TaskFailure,
     TaskSpec,
 )
+from repro.sim.metrics import current_metrics
 
 ToolFn = Callable[[Sequence[Dict[str, Any]], Dict[str, Any]], Dict[str, Any]]
 
@@ -125,10 +127,20 @@ def _execute_tool_task(
     :class:`TaskResult` a site would commit on chain is the same object no
     matter which executor backend ran the tool.
     """
-    result = fn(records, dict(params))
-    if not isinstance(result, dict):
-        raise OracleError(f"tool {tool_id!r} must return a dict")
-    flops = flops_per_record * max(1, len(records))
+    with trace_span(
+        "tool.run", tool=tool_id, site=site, records=len(records)
+    ) as span:
+        result = fn(records, dict(params))
+        if not isinstance(result, dict):
+            raise OracleError(f"tool {tool_id!r} must return a dict")
+        flops = flops_per_record * max(1, len(records))
+        span.set_attr("flops", flops)
+    # Distinct counter names from the sim-side "flops" resource counter:
+    # ControlNode already charges result.flops to the platform registry, and
+    # these ambient counters must stay identical across executor backends.
+    metrics = current_metrics()
+    metrics.add("tool_tasks", 1, scope=site)
+    metrics.add("tool_flops", flops, scope=site)
     return TaskResult(
         task_id=task_id,
         tool_id=tool_id,
@@ -199,7 +211,13 @@ class TaskRunner:
         """
         specs = [self.task_spec(request) for request in requests]
         backend = executor or SerialExecutor()
-        return backend.map_tasks(specs, timeout_s=timeout_s, retry=retry)
+        with trace_span(
+            "offchain.run_many",
+            site=self.site,
+            tasks=len(specs),
+            backend=backend.name,
+        ):
+            return backend.map_tasks(specs, timeout_s=timeout_s, retry=retry)
 
 
 def run_many_across_sites(
@@ -224,7 +242,13 @@ def run_many_across_sites(
             raise OracleError(f"no task runner registered for site {site!r}")
         specs.append(runner.task_spec(request))
     backend = executor or SerialExecutor()
-    return backend.map_tasks(specs, timeout_s=timeout_s, retry=retry)
+    with trace_span(
+        "offchain.run_many_across_sites",
+        sites=len({site for site, __ in site_requests}),
+        tasks=len(specs),
+        backend=backend.name,
+    ):
+        return backend.map_tasks(specs, timeout_s=timeout_s, retry=retry)
 
 
 def batch_flops(outcomes: Sequence[BatchOutcome]) -> float:

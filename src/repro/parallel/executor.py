@@ -31,6 +31,16 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import MedchainError
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    current_span_id,
+    current_tracer,
+    trace_span,
+    tracer_override,
+    tracing_enabled,
+)
+from repro.sim.metrics import MetricsRegistry, current_metrics, use_metrics
 
 
 class ExecutorError(MedchainError):
@@ -122,6 +132,51 @@ def _invoke(fn: Callable[..., Any], args: Tuple[Any, ...], kwargs: Dict[str, Any
     return fn(*args, **kwargs)
 
 
+@dataclass
+class _TaskEnvelope:
+    """A task's return value plus the telemetry captured while it ran.
+
+    Workers execute in their own thread or process, so counters and spans
+    recorded there never touch the coordinator's registry/tracer directly —
+    under ``ProcessExecutor`` they used to vanish with the worker.  Every
+    task instead runs against a fresh capture registry (and tracer, when
+    tracing is on); the deltas ride back inside this envelope and
+    :meth:`Executor.map_tasks` merges them into the submitting context.
+    """
+
+    value: Any
+    metrics: Dict[str, Any]
+    spans: List[Span]
+
+
+def _invoke_captured(
+    fn: Callable[..., Any],
+    args: Tuple[Any, ...],
+    kwargs: Dict[str, Any],
+    key: str,
+    parent_span_id: Optional[str],
+    trace_enabled: bool,
+) -> _TaskEnvelope:
+    """Run one task under a capture registry/tracer; ship the deltas back.
+
+    Runs identically on every backend so cross-backend counter totals agree:
+    a task that raises drops its partial telemetry on *all* backends (only
+    the final successful attempt's deltas are merged).
+    """
+    registry = MetricsRegistry()
+    if trace_enabled:
+        tracer = Tracer()
+        with tracer_override(tracer), use_metrics(registry):
+            with tracer.span("parallel.task", parent_id=parent_span_id, key=key):
+                value = fn(*args, **kwargs)
+        spans = tracer.spans
+    else:
+        with use_metrics(registry):
+            value = fn(*args, **kwargs)
+        spans = []
+    return _TaskEnvelope(value=value, metrics=registry.snapshot(), spans=spans)
+
+
 class Executor:
     """Base class: retry/ordering logic shared by every backend."""
 
@@ -141,36 +196,79 @@ class Executor:
         :class:`TaskFailure`.
         """
         policy = retry or RetryPolicy()
-        results: List[Any] = [None] * len(tasks)
-        pending = list(range(len(tasks)))
-        last_error: Dict[int, Tuple[str, str]] = {}
-        attempts_used: Dict[int, int] = {}
-        for attempt in range(1, policy.max_attempts + 1):
-            outcomes = self._run_batch([(i, tasks[i]) for i in pending], timeout_s)
-            still_pending: List[int] = []
-            for index in pending:
-                ok, value = outcomes[index]
-                attempts_used[index] = attempt
-                if ok:
-                    results[index] = value
-                else:
-                    last_error[index] = value
-                    error_type = value[0]
-                    retryable = policy.retry_on_timeout or error_type != "TimeoutError"
-                    if retryable:
-                        still_pending.append(index)
+        sink = current_metrics()
+        with trace_span(
+            "parallel.map_tasks", backend=self.name, tasks=len(tasks)
+        ) as batch_span:
+            parent_hint = current_span_id()
+            trace_on = tracing_enabled()
+            wrapped = [
+                TaskSpec(
+                    key=task.key,
+                    fn=_invoke_captured,
+                    args=(
+                        task.fn,
+                        task.args,
+                        task.kwargs,
+                        task.key,
+                        parent_hint,
+                        trace_on,
+                    ),
+                )
+                for task in tasks
+            ]
+            results: List[Any] = [None] * len(tasks)
+            pending = list(range(len(tasks)))
+            last_error: Dict[int, Tuple[str, str]] = {}
+            attempts_used: Dict[int, int] = {}
+            failures = 0
+            for attempt in range(1, policy.max_attempts + 1):
+                outcomes = self._run_batch(
+                    [(i, wrapped[i]) for i in pending], timeout_s
+                )
+                still_pending: List[int] = []
+                for index in pending:
+                    ok, value = outcomes[index]
+                    attempts_used[index] = attempt
+                    if ok:
+                        results[index] = self._absorb(value, sink, parent_hint)
                     else:
-                        results[index] = self._failure(tasks[index], value, attempt)
-            pending = still_pending
-            if not pending:
-                break
-            if attempt < policy.max_attempts:
-                policy.sleep(policy.delay(attempt))
-        for index in pending:
-            results[index] = self._failure(
-                tasks[index], last_error[index], attempts_used[index]
-            )
+                        last_error[index] = value
+                        error_type = value[0]
+                        retryable = (
+                            policy.retry_on_timeout or error_type != "TimeoutError"
+                        )
+                        if retryable:
+                            still_pending.append(index)
+                        else:
+                            failures += 1
+                            results[index] = self._failure(
+                                tasks[index], value, attempt
+                            )
+                pending = still_pending
+                if not pending:
+                    break
+                if attempt < policy.max_attempts:
+                    policy.sleep(policy.delay(attempt))
+            for index in pending:
+                failures += 1
+                results[index] = self._failure(
+                    tasks[index], last_error[index], attempts_used[index]
+                )
+            batch_span.set_attr("failures", failures)
         return results
+
+    def _absorb(
+        self, value: Any, sink: MetricsRegistry, parent_hint: Optional[str]
+    ) -> Any:
+        """Unwrap a task envelope, merging its telemetry into this context."""
+        if not isinstance(value, _TaskEnvelope):
+            return value
+        sink.merge_snapshot(value.metrics)
+        tracer = current_tracer()
+        if tracer is not None and value.spans:
+            tracer.adopt(value.spans, parent_id=parent_hint)
+        return value.value
 
     def _failure(
         self, task: TaskSpec, error: Tuple[str, str], attempts: int

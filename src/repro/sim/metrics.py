@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import time
 from collections import defaultdict
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -123,7 +125,7 @@ class MetricsRegistry:
     """
 
     def __init__(self, energy_model: Optional[EnergyModel] = None):
-        self.energy_model = energy_model or EnergyModel()
+        self.energy_model = energy_model or _DEFAULT_ENERGY_MODEL
         self._counters: Dict[Tuple[str, str], float] = defaultdict(float)
         self._histograms: Dict[str, Histogram] = defaultdict(Histogram)
 
@@ -203,3 +205,69 @@ class MetricsRegistry:
         out = {name: self.counter_total(name) for name in sorted(names)}
         out["energy_joules"] = self.total_energy_joules()
         return out
+
+    # -- snapshot / merge (cross-process collection) ------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable dump of every counter and histogram.
+
+        Executor workers snapshot their capture registry and ship it back in
+        the task result envelope; the coordinator replays it with
+        :meth:`merge_snapshot`, so counters recorded inside a
+        ``ProcessExecutor`` worker are not lost with the worker process.
+        """
+        return {
+            "counters": [
+                [name, scope, value]
+                for (name, scope), value in self._counters.items()
+            ],
+            "histograms": {
+                name: list(histogram.values)
+                for name, histogram in self._histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Add another registry's snapshot into this one (sums counters,
+        extends histograms)."""
+        for name, scope, value in snapshot.get("counters", []):
+            self.add(name, value, scope)
+        for name, values in snapshot.get("histograms", {}).items():
+            histogram = self._histograms[name]
+            for value in values:
+                histogram.record(value)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        self.merge_snapshot(other.snapshot())
+
+
+_DEFAULT_ENERGY_MODEL = EnergyModel()
+
+# -- ambient registry ---------------------------------------------------------
+#
+# Library code that has no registry handed to it (analytics tools running
+# inside executor workers, picklable task bodies) records into the *current*
+# registry: a context-local override when installed, else a process-wide
+# fallback.  ``repro.parallel`` installs a fresh capture registry around each
+# task and merges the deltas back into the submitting context's registry, so
+# totals agree across serial/thread/process backends.
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+_CURRENT_REGISTRY: ContextVar[Optional[MetricsRegistry]] = ContextVar(
+    "repro_current_metrics", default=None
+)
+
+
+def current_metrics() -> MetricsRegistry:
+    """The registry in effect for this context (never None)."""
+    registry = _CURRENT_REGISTRY.get()
+    return registry if registry is not None else _GLOBAL_REGISTRY
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Route :func:`current_metrics` to ``registry`` within the block."""
+    token = _CURRENT_REGISTRY.set(registry)
+    try:
+        yield registry
+    finally:
+        _CURRENT_REGISTRY.reset(token)

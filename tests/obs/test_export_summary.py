@@ -1,0 +1,164 @@
+"""Exporters and the trace-summary CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    prometheus_text,
+    read_trace_jsonl,
+    sanitize_metric_name,
+    span_tree,
+    write_prometheus,
+    write_trace_jsonl,
+)
+from repro.obs.summary import main as summary_main
+from repro.obs.summary import render, summarize
+from repro.obs.tracer import Span, Tracer, disable, enable, trace_span
+from repro.sim.metrics import EnergyModel, MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer_state():
+    yield
+    disable()
+
+
+def _sample_spans():
+    return [
+        Span(name="outer", span_id="a-1", start_wall_s=0.0, end_wall_s=0.5),
+        Span(name="inner", span_id="a-2", parent_id="a-1",
+             start_wall_s=0.1, end_wall_s=0.2, attrs={"gas": 100}),
+        Span(name="inner", span_id="b-1", parent_id="a-1",
+             start_wall_s=0.2, end_wall_s=0.4,
+             start_sim_s=0.0, end_sim_s=3.0, attrs={"gas": 50, "flops": 1e6}),
+    ]
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        count = write_trace_jsonl(_sample_spans(), path)
+        assert count == 3
+        loaded = read_trace_jsonl(path)
+        assert loaded == _sample_spans()
+
+    def test_accepts_tracer_and_skips_blank_lines(self, tmp_path):
+        tracer = enable()
+        with trace_span("op"):
+            pass
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(tracer, path)
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        loaded = read_trace_jsonl(path)
+        assert [span.name for span in loaded] == ["op"]
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(_sample_spans(), path)
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 3
+        for line in lines:
+            assert json.loads(line)["span_id"]
+
+
+class TestPrometheus:
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("tx.commit-latency s") == (
+            "repro_tx_commit_latency_s"
+        )
+        assert sanitize_metric_name("9lives").startswith("repro__9lives")
+        assert sanitize_metric_name("ok", prefix="") == "ok"
+
+    def test_counters_with_scope_labels(self):
+        registry = MetricsRegistry()
+        registry.add("gas", 10, scope="n0")
+        registry.add("gas", 5, scope="n1")
+        registry.add("txs", 3)
+        text = prometheus_text(registry)
+        assert "# TYPE repro_gas counter" in text
+        assert 'repro_gas{scope="n0"} 10' in text
+        assert 'repro_gas{scope="n1"} 5' in text
+        assert "repro_txs 3" in text  # empty scope -> no label
+
+    def test_histograms_as_summaries(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            registry.observe("lat", value)
+        text = prometheus_text(registry)
+        assert "# TYPE repro_lat summary" in text
+        assert 'repro_lat{quantile="0.5"}' in text
+        assert "repro_lat_sum 10" in text
+        assert "repro_lat_count 4" in text
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.add("gas", 1, scope='si"te\n2')
+        text = prometheus_text(registry)
+        assert '{scope="si\\"te\\n2"}' in text
+
+    def test_write_prometheus(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.add("gas", 1)
+        path = str(tmp_path / "metrics.prom")
+        write_prometheus(registry, path)
+        with open(path) as handle:
+            assert "repro_gas 1" in handle.read()
+
+
+class TestSummarize:
+    def test_groups_by_name_and_sums_resources(self):
+        rows = summarize(_sample_spans())
+        by_scope = {row["scope"]: row for row in rows}
+        inner = by_scope["inner"]
+        assert inner["count"] == 2
+        assert inner["gas"] == 150
+        assert inner["flops"] == 1e6
+        assert inner["wall_total_s"] == pytest.approx(0.3)
+        assert inner["sim_total_s"] == pytest.approx(3.0)
+        assert by_scope["outer"]["count"] == 1
+
+    def test_energy_from_resource_attrs(self):
+        model = EnergyModel(joules_per_gas=1.0, joules_per_flop=0.0)
+        rows = summarize(_sample_spans(), model)
+        inner = next(row for row in rows if row["scope"] == "inner")
+        assert inner["energy_j"] == pytest.approx(150.0)
+
+    def test_non_numeric_resource_attrs_ignored(self):
+        spans = [Span(name="op", span_id="x", attrs={"gas": "lots"})]
+        assert summarize(spans)[0]["gas"] == 0.0
+
+    def test_render_empty_and_populated(self):
+        assert "scope" in render([])
+        text = render(summarize(_sample_spans()))
+        assert "inner" in text and "outer" in text
+
+
+class TestSpanTree:
+    def test_children_indexed_by_parent(self):
+        tree = span_tree(_sample_spans())
+        assert [span.span_id for span in tree[""]] == ["a-1"]
+        assert {span.span_id for span in tree["a-1"]} == {"a-2", "b-1"}
+
+
+class TestCli:
+    def test_table_output(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(_sample_spans(), path)
+        assert summary_main([path]) == 0
+        out = capsys.readouterr().out
+        assert "3 span(s), 2 scope(s)" in out
+        assert "inner" in out
+
+    def test_json_output_sorted_by_count(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(_sample_spans(), path)
+        assert summary_main([path, "--json", "--sort", "count"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["scope"] == "inner"
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert summary_main([str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err

@@ -1,0 +1,69 @@
+"""Disabled-tracer overhead guard.
+
+The instrumentation contract (ISSUE: repro.obs) is near-zero cost when
+tracing is off: ``trace_span`` returns a shared no-op and the executor's
+telemetry envelope adds only a registry allocation and an empty snapshot
+merge per task.  This guard runs an instrumented ``map_tasks`` batch over a
+workload of a few milliseconds per task and requires it to stay within 5%
+of a bare Python loop over the same functions (a *stricter* baseline than
+pre-instrumentation ``map_tasks``, which already carried retry/ordering
+machinery).  Best-of-several-trials timing on both sides resists scheduler
+noise on shared CI boxes.
+"""
+
+import time
+
+from repro.obs.tracer import NOOP_SPAN, disable, trace_span
+from repro.parallel.executor import SerialExecutor, TaskSpec
+
+TASK_ITERS = 50000
+TASK_COUNT = 20
+TRIALS = 3
+MAX_OVERHEAD = 1.05
+
+
+def _busy_task(iters):
+    total = 0
+    for value in range(iters):
+        total += value * value
+    return total
+
+
+def _best_of(trials, run):
+    best = float("inf")
+    for __ in range(trials):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_tracer_map_tasks_overhead_within_5_percent():
+    disable()
+    assert trace_span("probe") is NOOP_SPAN  # precondition: tracing is off
+
+    specs = [
+        TaskSpec(key=f"t{i}", fn=_busy_task, args=(TASK_ITERS,))
+        for i in range(TASK_COUNT)
+    ]
+    expected = [_busy_task(TASK_ITERS)] * TASK_COUNT
+    executor = SerialExecutor()
+
+    def raw_loop():
+        return [_busy_task(TASK_ITERS) for __ in range(TASK_COUNT)]
+
+    def instrumented():
+        assert executor.map_tasks(specs) == expected
+
+    # Warm both paths (bytecode caches, allocator) before timing.
+    raw_loop()
+    instrumented()
+
+    baseline = _best_of(TRIALS, raw_loop)
+    traced = _best_of(TRIALS, instrumented)
+    overhead = traced / baseline
+    assert overhead <= MAX_OVERHEAD, (
+        f"disabled-tracer map_tasks took {overhead:.3f}x the raw loop "
+        f"({traced * 1000:.1f}ms vs {baseline * 1000:.1f}ms baseline; "
+        f"limit {MAX_OVERHEAD}x)"
+    )

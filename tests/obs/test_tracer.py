@@ -1,0 +1,218 @@
+"""Tracer core: nesting, dual clocks, no-op mode, cross-process adoption."""
+
+import pickle
+
+import pytest
+
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    current_span_id,
+    current_tracer,
+    disable,
+    enable,
+    set_tracer,
+    trace_span,
+    tracer_override,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer_state():
+    yield
+    disable()
+
+
+class TestNesting:
+    def test_parent_child_linking(self):
+        tracer = enable()
+        with trace_span("outer") as outer:
+            with trace_span("inner"):
+                pass
+        by_name = {span.name: span for span in tracer.spans}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+        assert outer.span_id == by_name["outer"].span_id
+
+    def test_children_close_before_parents(self):
+        tracer = enable()
+        with trace_span("a"):
+            with trace_span("b"):
+                pass
+        assert [span.name for span in tracer.spans] == ["b", "a"]
+
+    def test_sibling_spans_share_parent(self):
+        tracer = enable()
+        with trace_span("parent"):
+            with trace_span("first"):
+                pass
+            with trace_span("second"):
+                pass
+        by_name = {span.name: span for span in tracer.spans}
+        assert by_name["first"].parent_id == by_name["parent"].span_id
+        assert by_name["second"].parent_id == by_name["parent"].span_id
+
+    def test_current_span_id_tracks_innermost(self):
+        enable()
+        assert current_span_id() is None
+        with trace_span("outer") as outer:
+            assert current_span_id() == outer.span_id
+            with trace_span("inner") as inner:
+                assert current_span_id() == inner.span_id
+            assert current_span_id() == outer.span_id
+        assert current_span_id() is None
+
+    def test_explicit_parent_wins_over_context(self):
+        tracer = enable()
+        with trace_span("ambient"):
+            with tracer.span("pinned", parent_id="remote-1"):
+                pass
+        pinned = next(s for s in tracer.spans if s.name == "pinned")
+        assert pinned.parent_id == "remote-1"
+
+
+class TestAttrsAndClocks:
+    def test_attrs_from_kwargs_and_set_attr(self):
+        tracer = enable()
+        with trace_span("op", kind="call") as span:
+            span.set_attr("gas", 42)
+            span.set_attrs(node="n0", ok=True)
+        recorded = tracer.spans[0]
+        assert recorded.attrs == {"kind": "call", "gas": 42, "node": "n0", "ok": True}
+
+    def test_wall_clock_positive(self):
+        tracer = enable()
+        with trace_span("op"):
+            sum(range(1000))
+        span = tracer.spans[0]
+        assert span.end_wall_s >= span.start_wall_s
+        assert span.wall_s >= 0.0
+
+    def test_sim_time_source_recorded(self):
+        clock = {"now": 5.0}
+        tracer = enable(sim_time_source=lambda: clock["now"])
+        with trace_span("op"):
+            clock["now"] = 7.5
+        span = tracer.spans[0]
+        assert span.start_sim_s == 5.0
+        assert span.end_sim_s == 7.5
+        assert span.sim_s == pytest.approx(2.5)
+
+    def test_no_sim_source_leaves_sim_none(self):
+        tracer = enable()
+        with trace_span("op"):
+            pass
+        span = tracer.spans[0]
+        assert span.start_sim_s is None
+        assert span.sim_s == 0.0
+
+    def test_bind_kernel_uses_kernel_now(self):
+        from repro.sim.kernel import Kernel
+
+        kernel = Kernel(seed=1)
+        tracer = enable()
+        tracer.bind_kernel(kernel)
+        with trace_span("op"):
+            pass
+        assert tracer.spans[0].start_sim_s == kernel.now
+
+
+class TestDisabledMode:
+    def test_disabled_returns_shared_noop(self):
+        disable()
+        assert trace_span("anything") is NOOP_SPAN
+        assert trace_span("else", k=1) is NOOP_SPAN
+
+    def test_noop_span_accepts_full_protocol(self):
+        with trace_span("x") as span:
+            span.set_attr("a", 1)
+            span.set_attrs(b=2)
+        assert span.span_id is None
+
+    def test_disabled_records_nothing(self):
+        tracer = enable()
+        disable()
+        with trace_span("ghost"):
+            pass
+        assert tracer.spans == []
+        assert not tracing_enabled()
+
+    def test_enable_returns_installed_tracer(self):
+        tracer = enable()
+        assert current_tracer() is tracer
+        assert tracing_enabled()
+
+    def test_set_tracer_installs_existing(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        with trace_span("op"):
+            pass
+        assert [s.name for s in tracer.spans] == ["op"]
+
+
+class TestOverride:
+    def test_override_shadows_default(self):
+        default = enable()
+        worker = Tracer()
+        with tracer_override(worker):
+            with trace_span("captured"):
+                pass
+        assert [s.name for s in worker.spans] == ["captured"]
+        assert default.spans == []
+
+    def test_override_restored_after_block(self):
+        default = enable()
+        with tracer_override(Tracer()):
+            pass
+        with trace_span("after"):
+            pass
+        assert [s.name for s in default.spans] == ["after"]
+
+
+class TestAdoptAndPortability:
+    def test_adopt_reparents_orphan_roots_only(self):
+        tracer = Tracer()
+        root = Span(name="worker-root", span_id="w-1")
+        child = Span(name="worker-child", span_id="w-2", parent_id="w-1")
+        tracer.adopt([root, child], parent_id="coord-9")
+        assert root.parent_id == "coord-9"
+        assert child.parent_id == "w-1"
+        assert len(tracer.spans) == 2
+
+    def test_span_dict_round_trip(self):
+        span = Span(
+            name="op", span_id="1-2", parent_id="1-1",
+            start_wall_s=1.0, end_wall_s=2.5,
+            start_sim_s=0.0, end_sim_s=4.0,
+            attrs={"gas": 3}, pid=77,
+        )
+        clone = Span.from_dict(span.to_dict())
+        assert clone == span
+
+    def test_span_is_picklable(self):
+        span = Span(name="op", span_id="1-2", attrs={"k": "v"})
+        assert pickle.loads(pickle.dumps(span)) == span
+
+    def test_span_ids_unique_and_pid_tagged(self):
+        import os
+
+        tracer = enable()
+        with trace_span("a"):
+            pass
+        with trace_span("b"):
+            pass
+        ids = [span.span_id for span in tracer.spans]
+        assert len(set(ids)) == 2
+        assert all(sid.startswith(f"{os.getpid():x}-") for sid in ids)
+
+    def test_clear_and_export(self):
+        tracer = enable()
+        with trace_span("op", k=1):
+            pass
+        exported = tracer.export()
+        assert exported[0]["name"] == "op"
+        assert exported[0]["attrs"] == {"k": 1}
+        tracer.clear()
+        assert tracer.spans == []

@@ -1,0 +1,162 @@
+"""Cross-process telemetry collection through the task result envelope.
+
+The process backend used to be a blind spot: counters recorded inside a
+``ProcessExecutor`` worker died with the worker process, so experiment
+totals silently depended on which backend ran the batch.  Every task now
+runs against a fresh capture registry whose snapshot rides back in the
+result envelope, and ``map_tasks`` merges it into the submitting context's
+registry — these tests pin the invariant that serial, thread, and process
+backends report *identical* counter totals (and, when tracing is on,
+connected span trees).
+"""
+
+import os
+
+import pytest
+
+from repro.obs.tracer import disable, enable, trace_span
+from repro.parallel.executor import (
+    RetryPolicy,
+    TaskSpec,
+    make_executor,
+)
+from repro.sim.metrics import MetricsRegistry, current_metrics, use_metrics
+
+BACKENDS = ("serial", "thread", "process")
+TASK_COUNT = 10
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer_state():
+    disable()
+    yield
+    disable()
+
+
+def _counting_worker(value):
+    """Module-level (picklable) task that records ambient counters."""
+    metrics = current_metrics()
+    metrics.add("units", 1, scope=f"shard-{value % 2}")
+    metrics.add("value_sum", value)
+    metrics.observe("task_value", float(value))
+    return value * value
+
+
+def _traced_worker(value):
+    with trace_span("leaf.work", value=value):
+        pass
+    return value
+
+
+def _flaky_worker(marker_path, value):
+    """Fails on the first attempt (per marker file), succeeds after.
+
+    File-based state so the retry is visible across *processes*, not just
+    threads.  The counter is recorded before the failure is raised — the
+    envelope must drop it so only the successful attempt's delta merges.
+    """
+    current_metrics().add("attempts_recorded", 1)
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w") as handle:
+            handle.write("tried")
+        raise RuntimeError("transient failure (first attempt)")
+    return value
+
+
+def _run_counting_batch(backend):
+    specs = [
+        TaskSpec(key=f"t{value}", fn=_counting_worker, args=(value,))
+        for value in range(TASK_COUNT)
+    ]
+    registry = MetricsRegistry()
+    with make_executor(backend, max_workers=2) as executor:
+        with use_metrics(registry):
+            results = executor.map_tasks(specs)
+    return results, registry
+
+
+class TestCrossBackendCounterTotals:
+    def test_identical_totals_on_every_backend(self):
+        totals = {}
+        results = {}
+        for backend in BACKENDS:
+            outcome, registry = _run_counting_batch(backend)
+            results[backend] = outcome
+            totals[backend] = {
+                "units": registry.counter_total("units"),
+                "value_sum": registry.counter_total("value_sum"),
+                "scopes": registry.scopes("units"),
+                "histogram_count": registry.histogram("task_value").count,
+            }
+        assert results["thread"] == results["serial"]
+        assert results["process"] == results["serial"]
+        assert totals["serial"]["units"] == TASK_COUNT
+        assert totals["serial"]["value_sum"] == sum(range(TASK_COUNT))
+        assert totals["serial"]["scopes"] == {"shard-0": 5, "shard-1": 5}
+        assert totals["serial"]["histogram_count"] == TASK_COUNT
+        assert totals["thread"] == totals["serial"]
+        assert totals["process"] == totals["serial"]
+
+    def test_worker_counters_do_not_leak_into_global_registry(self):
+        ambient = MetricsRegistry()
+        with use_metrics(ambient):
+            __, captured = _run_counting_batch("process")
+        # Everything landed in the registry active at submission time...
+        assert captured.counter_total("units") == TASK_COUNT
+        # ...not the one that happened to be ambient around the helper.
+        assert ambient.counter_total("units") == 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_retried_task_counts_merge_exactly_once(self, backend, tmp_path):
+        marker = str(tmp_path / f"flaky-{backend}.marker")
+        registry = MetricsRegistry()
+        policy = RetryPolicy(max_attempts=3, sleep=lambda __: None)
+        with make_executor(backend, max_workers=2) as executor:
+            with use_metrics(registry):
+                results = executor.map_tasks(
+                    [TaskSpec(key="flaky", fn=_flaky_worker, args=(marker, 7))],
+                    retry=policy,
+                )
+        assert results == [7]
+        # First (failed) attempt's counter was dropped with its envelope.
+        assert registry.counter_total("attempts_recorded") == 1
+
+
+class TestCrossProcessSpans:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_worker_spans_adopted_under_batch_span(self, backend):
+        tracer = enable()
+        specs = [
+            TaskSpec(key=f"t{value}", fn=_traced_worker, args=(value,))
+            for value in range(3)
+        ]
+        with make_executor(backend, max_workers=2) as executor:
+            with trace_span("batch.root"):
+                executor.map_tasks(specs)
+        by_name = {}
+        for span in tracer.spans:
+            by_name.setdefault(span.name, []).append(span)
+        assert len(by_name["parallel.task"]) == 3
+        assert len(by_name["leaf.work"]) == 3
+        map_span = by_name["parallel.map_tasks"][0]
+        assert map_span.parent_id == by_name["batch.root"][0].span_id
+        task_ids = set()
+        for task_span in by_name["parallel.task"]:
+            assert task_span.parent_id == map_span.span_id
+            task_ids.add(task_span.span_id)
+        for leaf in by_name["leaf.work"]:
+            assert leaf.parent_id in task_ids
+
+    def test_process_spans_carry_foreign_pids(self):
+        tracer = enable()
+        specs = [
+            TaskSpec(key=f"t{value}", fn=_traced_worker, args=(value,))
+            for value in range(4)
+        ]
+        with make_executor("process", max_workers=2) as executor:
+            executor.map_tasks(specs)
+        worker_pids = {
+            span.pid for span in tracer.spans if span.name == "leaf.work"
+        }
+        assert worker_pids, "no worker spans shipped back"
+        assert os.getpid() not in worker_pids

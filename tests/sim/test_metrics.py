@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.sim.metrics import EnergyModel, Histogram, MetricsRegistry
+from repro.sim.metrics import (
+    EnergyModel,
+    Histogram,
+    MetricsRegistry,
+    current_metrics,
+    use_metrics,
+)
 
 
 class TestHistogram:
@@ -29,6 +35,24 @@ class TestHistogram:
         assert histogram.percentile(1.0) == 100
         assert 49 <= histogram.percentile(0.5) <= 52
 
+    def test_percentile_on_empty_histogram_is_zero(self):
+        histogram = Histogram()
+        for fraction in (0.0, 0.5, 0.95, 1.0):
+            assert histogram.percentile(fraction) == 0.0
+
+    def test_percentile_single_sample_every_fraction(self):
+        histogram = Histogram()
+        histogram.record(42.0)
+        for fraction in (0.0, 0.5, 0.95, 1.0):
+            assert histogram.percentile(fraction) == 42.0
+
+    def test_percentile_out_of_range_fractions_clamped(self):
+        histogram = Histogram()
+        for value in (1.0, 2.0, 3.0):
+            histogram.record(value)
+        assert histogram.percentile(-0.5) == 1.0
+        assert histogram.percentile(2.0) == 3.0
+
 
 class TestMetricsRegistry:
     def test_counters_scoped(self):
@@ -37,6 +61,15 @@ class TestMetricsRegistry:
         metrics.add("gas", 5, scope="node1")
         assert metrics.counter("gas", "node0") == 10
         assert metrics.counter_total("gas") == 15
+
+    def test_counter_total_aggregates_default_and_named_scopes(self):
+        metrics = MetricsRegistry()
+        metrics.add("gas", 1)  # default ("") scope
+        metrics.add("gas", 2, scope="n0")
+        metrics.add("gas", 4, scope="n1")
+        metrics.add("gasoline", 100, scope="n0")  # near-miss name excluded
+        assert metrics.counter_total("gas") == 7
+        assert metrics.scopes("gas") == {"": 1, "n0": 2, "n1": 4}
 
     def test_scopes_view(self):
         metrics = MetricsRegistry()
@@ -106,3 +139,75 @@ class TestWallClock:
         metrics = MetricsRegistry()
         metrics.add_wallclock("x", 2.0)
         assert metrics.total_energy_joules() == 0.0
+
+    def test_nested_stopwatches_accumulate_independently(self):
+        metrics = MetricsRegistry()
+        with metrics.wallclock("outer") as outer:
+            with metrics.wallclock("inner") as inner:
+                sum(range(1000))
+        assert inner.elapsed_s <= outer.elapsed_s
+        assert metrics.wallclock_total("outer") == pytest.approx(outer.elapsed_s)
+        assert metrics.wallclock_total("inner") == pytest.approx(inner.elapsed_s)
+        assert metrics.histogram("wallclock_outer").count == 1
+        assert metrics.histogram("wallclock_inner").count == 1
+
+    def test_nested_stopwatches_same_name_sum(self):
+        metrics = MetricsRegistry()
+        with metrics.wallclock("phase") as outer:
+            with metrics.wallclock("phase") as inner:
+                pass
+        assert metrics.wallclock_total("phase") == pytest.approx(
+            outer.elapsed_s + inner.elapsed_s
+        )
+        assert metrics.histogram("wallclock_phase").count == 2
+
+
+class TestSnapshotMerge:
+    def test_snapshot_round_trip(self):
+        source = MetricsRegistry()
+        source.add("gas", 5, scope="n0")
+        source.observe("lat", 0.5)
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot())
+        assert target.counter("gas", "n0") == 5
+        assert target.histogram("lat").values == [0.5]
+
+    def test_merge_sums_counters_and_extends_histograms(self):
+        first = MetricsRegistry()
+        first.add("gas", 5, scope="n0")
+        first.observe("lat", 1.0)
+        second = MetricsRegistry()
+        second.add("gas", 3, scope="n0")
+        second.add("gas", 2, scope="n1")
+        second.observe("lat", 2.0)
+        first.merge(second)
+        assert first.counter("gas", "n0") == 8
+        assert first.counter("gas", "n1") == 2
+        assert first.histogram("lat").values == [1.0, 2.0]
+
+    def test_merge_empty_snapshot_is_noop(self):
+        metrics = MetricsRegistry()
+        metrics.add("gas", 1)
+        metrics.merge_snapshot({})
+        assert metrics.counter_total("gas") == 1
+
+
+class TestAmbientRegistry:
+    def test_current_metrics_never_none(self):
+        assert current_metrics() is not None
+
+    def test_use_metrics_overrides_and_restores(self):
+        override = MetricsRegistry()
+        ambient_before = current_metrics()
+        with use_metrics(override):
+            assert current_metrics() is override
+            current_metrics().add("gas", 1)
+        assert current_metrics() is ambient_before
+        assert override.counter_total("gas") == 1
+
+    def test_use_metrics_nests(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with use_metrics(outer):
+            with use_metrics(inner):
+                assert current_metrics() is inner
+            assert current_metrics() is outer
