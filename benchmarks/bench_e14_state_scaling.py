@@ -1,0 +1,231 @@
+"""E14 — state-layer scaling: journaled CoW state vs seed full-copy state.
+
+The seed implementation deep-copied values on every get/set, snapshotted by
+deep-copying the *entire* state dict, and recomputed the state root by
+re-serializing everything.  All three costs grow with total state size, so
+per-block work grows as the ledger grows — the opposite of what a long-lived
+precision-medicine chain needs.
+
+This benchmark sweeps total state size and measures, per size:
+
+- tx apply latency (snapshot + writes + commit, the per-transaction path),
+- snapshot + rollback cost (the failed-transaction path),
+- state-root time after a fixed-size write set.
+
+With the journaled implementation all three should stay ~flat as the state
+grows (cost tracks the write-set size); with ``--naive`` (an inline replica
+of the seed semantics) they grow with total state size.  The run also
+cross-checks root equivalence: the incremental fragment-assembled root must
+equal the from-scratch full-serialization digest, and the bucketed Merkle
+root must equal its reference recomputation.  CI gates on those booleans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import sys
+import time
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit, emit_json, format_table
+
+from repro.chain.state import StateDB, bucketed_root_of_dict
+from repro.common.hashing import hash_value
+
+SIZES = (1_000, 5_000, 20_000)
+FAST_SIZES = (200, 1_000)
+WRITES_PER_TX = 20
+TXS_PER_SIZE = 10
+
+
+class NaiveStateDB:
+    """Inline replica of the seed state semantics (the pre-refactor baseline).
+
+    Deep-copy on read and write, full-dict deep-copy snapshots, and a root
+    recomputed from scratch by re-serializing the whole state.  Kept here —
+    not in ``repro.chain`` — so the production tree carries exactly one
+    state implementation.
+    """
+
+    def __init__(self, initial=None):
+        self._data = dict(initial or {})
+        self._snapshots = []
+
+    def get(self, key, default=None):
+        return copy.deepcopy(self._data.get(key, default))
+
+    def set(self, key, value):
+        self._data[key] = copy.deepcopy(value)
+
+    def snapshot(self):
+        self._snapshots.append(copy.deepcopy(self._data))
+
+    def commit(self):
+        self._snapshots.pop()
+
+    def rollback(self):
+        self._data = self._snapshots.pop()
+
+    def state_root(self):
+        return hash_value(self._data, allow_float=False)
+
+    def to_dict(self):
+        return copy.deepcopy(self._data)
+
+
+def _base_data(size: int) -> dict:
+    return {
+        f"k/{i:08d}": {"v": i, "pad": "x" * 32, "tags": [i % 7, i % 11]}
+        for i in range(size)
+    }
+
+
+def _write_keys(size: int, round_index: int) -> list:
+    # Deterministic pseudo-random spread across the key space.
+    stride = 7919  # prime, so keys cycle through the whole space
+    return [
+        f"k/{((round_index * WRITES_PER_TX + j) * stride) % size:08d}"
+        for j in range(WRITES_PER_TX)
+    ]
+
+
+def _bench_one_size(size: int, naive: bool) -> dict:
+    data = _base_data(size)
+    state = NaiveStateDB(data) if naive else StateDB(data)
+    # Warm the root caches so the measured root cost is the steady-state
+    # incremental cost, not first-touch cache construction.
+    state.state_root()
+    if not naive:
+        state.incremental_root()
+
+    # Tx apply path: snapshot + writes + commit per transaction.
+    start = time.perf_counter()
+    for tx_index in range(TXS_PER_SIZE):
+        state.snapshot()
+        for key in _write_keys(size, tx_index):
+            value = state.get(key)
+            state.set(key, {**value, "v": value["v"] + 1})
+        state.commit()
+    tx_apply_ms = (time.perf_counter() - start) * 1000 / TXS_PER_SIZE
+
+    # Failed-tx path: snapshot + writes + rollback.
+    start = time.perf_counter()
+    state.snapshot()
+    for key in _write_keys(size, TXS_PER_SIZE):
+        state.set(key, {"v": -1, "pad": "", "tags": []})
+    state.rollback()
+    snapshot_rollback_ms = (time.perf_counter() - start) * 1000
+
+    # Root after a bounded write set.
+    for key in _write_keys(size, TXS_PER_SIZE + 1):
+        value = state.get(key)
+        state.set(key, {**value, "v": value["v"] * 2})
+    start = time.perf_counter()
+    root = state.state_root()
+    root_ms = (time.perf_counter() - start) * 1000
+
+    row = {
+        "state_size": size,
+        "impl": "naive" if naive else "journaled",
+        "tx_apply_ms": tx_apply_ms,
+        "snapshot_rollback_ms": snapshot_rollback_ms,
+        "root_ms": root_ms,
+    }
+    if not naive:
+        # Equivalence cross-checks (the CI gate reads these).
+        start = time.perf_counter()
+        full = hash_value(state.to_dict(), allow_float=False)
+        full_root_ms = (time.perf_counter() - start) * 1000
+        row["full_root_ms"] = full_root_ms
+        row["root_equivalent"] = root == full
+        row["incremental_equivalent"] = (
+            state.incremental_root() == state.recompute_incremental_root()
+            and state.incremental_root() == bucketed_root_of_dict(state.to_dict())
+        )
+    return row
+
+
+def run_experiment(sizes=SIZES, naive: bool = False):
+    return [_bench_one_size(size, naive) for size in sizes]
+
+
+def report(rows):
+    impl = rows[0]["impl"]
+    table = format_table(
+        f"E14: state scaling — {impl} implementation, "
+        f"{WRITES_PER_TX} writes/tx",
+        ["state size", "tx apply (ms)", "snapshot+rollback (ms)",
+         "root after writes (ms)"],
+        [
+            [r["state_size"], r["tx_apply_ms"], r["snapshot_rollback_ms"],
+             r["root_ms"]]
+            for r in rows
+        ],
+    )
+    emit(f"e14_state_scaling_{impl}", table)
+    return rows
+
+
+def _metrics(rows):
+    smallest, largest = rows[0], rows[-1]
+    size_ratio = largest["state_size"] / smallest["state_size"]
+    return {
+        "rows": rows,
+        "size_ratio": size_ratio,
+        "tx_apply_growth": largest["tx_apply_ms"] / max(smallest["tx_apply_ms"], 1e-9),
+        "snapshot_growth": largest["snapshot_rollback_ms"]
+        / max(smallest["snapshot_rollback_ms"], 1e-9),
+        "root_growth": largest["root_ms"] / max(smallest["root_ms"], 1e-9),
+        "root_equivalent": all(r.get("root_equivalent", True) for r in rows),
+        "incremental_equivalent": all(
+            r.get("incremental_equivalent", True) for r in rows
+        ),
+    }
+
+
+def test_e14_state_scaling(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_experiment(sizes=FAST_SIZES), rounds=1, iterations=1
+    )
+    report(rows)
+    metrics = _metrics(rows)
+    # Consensus-critical: the incremental machinery must agree with the
+    # from-scratch digests, always.
+    assert metrics["root_equivalent"]
+    assert metrics["incremental_equivalent"]
+    # Cost tracks the write set, not the state: at the largest size, the
+    # incremental root must beat re-serializing the full state decisively.
+    largest = rows[-1]
+    assert largest["root_ms"] < largest["full_root_ms"]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--naive", action="store_true",
+                        help="measure the seed-era full-copy implementation "
+                             "instead of the journaled one")
+    parser.add_argument("--fast", action="store_true",
+                        help="small CI-smoke workload")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a {bench, params, metrics, timestamp} "
+                             "BENCH_e14.json envelope to PATH")
+    args = parser.parse_args(argv)
+    sizes = FAST_SIZES if args.fast else SIZES
+    rows = report(run_experiment(sizes=sizes, naive=args.naive))
+    metrics = _metrics(rows)
+    emit_json(args.json, "e14_state_scaling",
+              {"impl": rows[0]["impl"], "sizes": list(sizes),
+               "writes_per_tx": WRITES_PER_TX, "txs_per_size": TXS_PER_SIZE},
+              metrics)
+    if not args.naive and not (
+        metrics["root_equivalent"] and metrics["incremental_equivalent"]
+    ):
+        print("E14 FAIL: incremental roots diverged from recomputation",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

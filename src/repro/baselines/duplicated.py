@@ -70,7 +70,9 @@ def run_onchain_training(
         state,
         lambda: engine,
         metrics=metrics,
-        config=NodeConfig(max_txs_per_block=10),
+        # Keep the full-state finality window wider than the run so the
+        # baseline's per-block gas accounting never loses a fork state.
+        config=NodeConfig(max_txs_per_block=10, state_prune_window=64),
     )
     for node in nodes.values():
         node.start()

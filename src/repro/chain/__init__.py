@@ -10,9 +10,15 @@ from repro.chain.executor import (
     Receipt,
     TransferExecutor,
     apply_block_transactions,
+    speculate_block_transactions,
 )
 from repro.chain.mempool import Mempool
-from repro.chain.state import StateDB
+from repro.chain.state import (
+    StateAliasingError,
+    StateDB,
+    StateOverlay,
+    set_debug_aliasing,
+)
 from repro.chain.store import ChainStore
 from repro.chain.transactions import (
     DEFAULT_GAS_LIMIT,
@@ -39,13 +45,17 @@ __all__ = [
     "Executor",
     "Mempool",
     "Receipt",
+    "StateAliasingError",
     "StateDB",
+    "StateOverlay",
     "TX_CALL",
     "TX_DEPLOY",
     "TX_TRANSFER",
     "Transaction",
     "TransferExecutor",
     "apply_block_transactions",
+    "speculate_block_transactions",
+    "set_debug_aliasing",
     "build_block",
     "make_call",
     "make_deploy",

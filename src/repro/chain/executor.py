@@ -10,9 +10,9 @@ substrate independent of the contract layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Protocol
+from typing import Any, Dict, List, Protocol, Tuple
 
-from repro.chain.state import StateDB
+from repro.chain.state import StateDB, StateOverlay
 from repro.chain.transactions import TX_TRANSFER, Transaction
 from repro.common.errors import ChainError
 from repro.obs.tracer import trace_span
@@ -126,3 +126,23 @@ def apply_block_transactions(
             receipts.append(executor.apply(state, tx, context))
         span.set_attr("gas", sum(receipt.gas_used for receipt in receipts))
     return receipts
+
+
+def speculate_block_transactions(
+    executor: Executor,
+    base_state: StateDB,
+    transactions: List[Transaction],
+    context: ExecutionContext,
+) -> Tuple[StateOverlay, List[Receipt]]:
+    """Execute a block's transactions against an overlay of ``base_state``.
+
+    This is the copy-on-write path used for per-block execution on every
+    consensus node: the base state is forked as an O(1) diff instead of
+    being copied, so speculative execution of competing blocks over the
+    same parent costs O(write-set) each.  The returned overlay can be kept
+    (the block was adopted), discarded (the block lost), or
+    ``flatten()``-ed into a standalone state at the canonical head.
+    """
+    overlay = base_state.fork()
+    receipts = apply_block_transactions(executor, overlay, transactions, context)
+    return overlay, receipts

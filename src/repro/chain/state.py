@@ -1,10 +1,47 @@
-"""World-state database backing the ledger.
+"""Versioned copy-on-write world-state database backing the ledger.
 
 A flat key/value store holding account balances, account nonces, and smart
-contract storage (namespaced by contract id).  The state root is the hash of
-the sorted item list — simple, but sufficient for consensus: two nodes agree
-on the root iff they agree on every entry, which is the determinism property
-the contract VM is property-tested against (DESIGN.md invariant 3).
+contract storage (namespaced by contract id).  The canonical state root is
+the SHA-256 of the canonical JSON of the full state dict — simple, but
+sufficient for consensus: two nodes agree on the root iff they agree on
+every entry, which is the determinism property the contract VM is
+property-tested against (DESIGN.md invariant 3).
+
+The substrate is built so every hot operation costs O(writes), not O(state):
+
+- **Journal snapshots.**  ``snapshot()`` pushes an empty undo-log frame;
+  each first write of a key inside the frame records the prior local entry.
+  ``rollback()`` replays the frame in O(writes since snapshot);
+  ``commit()`` folds the frame into its parent frame (or discards it).
+  Nothing is ever copied wholesale.
+
+- **Zero-copy reads/writes.**  ``get``/``set`` hand out and store object
+  *references* under the **immutable-value convention**: a value passed to
+  ``set`` (or obtained from ``get``) must never be mutated in place
+  afterwards — build a new container instead.  The contract host bridge
+  enforces this at the contract boundary by copying; internal consumers
+  (accounts, runtime metadata) comply by construction.  An opt-in debug
+  mode (``set_debug_aliasing(True)`` or ``REPRO_STATE_DEBUG=1``)
+  fingerprints every stored value and re-verifies the fingerprints at
+  snapshot/fork/root boundaries, raising :class:`StateAliasingError` when a
+  caller broke the convention.
+
+- **Overlays.**  ``fork()`` returns a :class:`StateOverlay` — a chained
+  diff (writes plus deletion tombstones) over an immutable parent.  Reads
+  walk the chain; per-block execution forks the parent state as an O(1)
+  delta instead of copying it.  ``flatten()`` materializes the effective
+  view into a standalone base state; ``collapse()`` does the same in place
+  (used by state pruning so retained children keep working).
+
+- **Incremental roots.**  ``state_root()`` stays **bit-identical** to the
+  historical full-serialization digest, but is assembled from per-key
+  canonical *fragments* that are cached and invalidated by dirty-key
+  tracking, so serialization work after a block is O(write-set).
+  ``incremental_root()`` additionally maintains a sorted bucketed Merkle
+  root (per-key leaf hashes, 256 buckets keyed by SHA-256 of the key, a
+  root over the bucket digests) whose refresh cost scales with the block's
+  write-set; it is cross-checked against from-scratch recomputation in
+  tests and benchmark runs.
 
 Snapshots give contract execution transactional semantics: a failed call
 rolls back every write it made.
@@ -13,44 +50,239 @@ rolls back every write it made.
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+import hashlib
+import os
+from bisect import bisect_left, insort
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.common.errors import ChainError
-from repro.common.hashing import hash_value
+from repro.common.errors import ChainError, SerializationError
+from repro.common.hashing import HASH_SIZE, sha256
+from repro.common.serialize import canonical_bytes
 
 ACCOUNT_PREFIX = "acct"
 CONTRACT_PREFIX = "contract"
 
+# Sentinels for layered lookups.  ``_MISSING`` marks "no entry in this
+# layer"; ``_DELETED`` is the overlay tombstone shadowing a parent entry.
+_MISSING = object()
+_DELETED = object()
+
+BUCKET_COUNT = 256
+_EMPTY_BUCKET_DIGEST = b"\x00" * HASH_SIZE
+
+_DEBUG_ENV = "REPRO_STATE_DEBUG"
+_debug_aliasing = os.environ.get(_DEBUG_ENV, "") not in ("", "0", "false", "no")
+
+
+class StateAliasingError(ChainError):
+    """A stored value was mutated in place, violating the immutable-value
+    convention (caught only when debug aliasing mode is enabled)."""
+
+
+def set_debug_aliasing(enabled: bool) -> None:
+    """Toggle aliasing verification for *newly created* states.
+
+    Tests flip this on to catch callers that mutate values they handed to
+    (or read from) a :class:`StateDB`; production leaves it off because the
+    fingerprint bookkeeping re-serializes every written value.
+    """
+    global _debug_aliasing
+    _debug_aliasing = bool(enabled)
+
+
+def debug_aliasing_enabled() -> bool:
+    return _debug_aliasing
+
+
+_BUCKET_CACHE: Dict[str, int] = {}
+
+
+def _bucket_of(key: str) -> int:
+    """Stable bucket index for a key (first byte of its SHA-256)."""
+    bucket = _BUCKET_CACHE.get(key)
+    if bucket is None:
+        bucket = hashlib.sha256(key.encode("utf-8")).digest()[0]
+        if len(_BUCKET_CACHE) < 1 << 20:
+            _BUCKET_CACHE[key] = bucket
+    return bucket
+
+
+def _encode_fragment(key: str, value: Any) -> bytes:
+    """Canonical ``"key":value`` fragment of the full-state JSON object.
+
+    Joining the fragments of all keys in sorted order inside ``{`` .. ``}``
+    reproduces ``canonical_bytes(state_dict)`` byte for byte, which is what
+    keeps the incremental root bit-identical to the historical digest.
+    """
+    return canonical_bytes(key) + b":" + canonical_bytes(value, allow_float=False)
+
 
 class StateDB:
-    """Mutable world state with snapshot/rollback support."""
+    """Mutable world state with journaled snapshot/rollback support."""
 
-    def __init__(self, initial: Optional[Dict[str, Any]] = None):
+    def __init__(
+        self,
+        initial: Optional[Dict[str, Any]] = None,
+        parent: Optional["StateDB"] = None,
+    ):
+        self._parent = parent
         self._data: Dict[str, Any] = dict(initial or {})
-        self._snapshots: List[Dict[str, Any]] = []
+        if parent is not None and initial:
+            raise ChainError("an overlay starts empty; write through its API")
+        # Undo log: one dict per open snapshot, key -> prior local entry
+        # (a value reference, _DELETED, or _MISSING when the key was absent).
+        self._journal: List[Dict[str, Any]] = []
+        self._frozen = False
+        # Legacy-root machinery: per-key canonical fragments + cached root.
+        self._fragments: Dict[str, bytes] = {}
+        self._eff_keys: Optional[List[str]] = None
+        self._root_cache: Optional[bytes] = None
+        self._root_hits = 0
+        self._root_recomputes = 0
+        # Bucketed incremental-root machinery (built lazily on first use).
+        self._buckets_ready = False
+        self._leaves: Dict[str, bytes] = {}
+        self._bucket_keys: Dict[int, List[str]] = {}
+        self._bucket_digests: Optional[List[bytes]] = None
+        self._bucket_dirty: Set[int] = set()
+        self._iroot_cache: Optional[bytes] = None
+        self._iroot_hits = 0
+        self._iroot_recomputes = 0
+        # Debug aliasing fingerprints for values stored through this layer.
+        self._debug = _debug_aliasing
+        self._fingerprints: Dict[str, Optional[bytes]] = {}
+        if self._debug:
+            for key, value in self._data.items():
+                self._record_fingerprint(key, value)
+
+    # -- layered lookup ----------------------------------------------------
+    def _lookup(self, key: str) -> Any:
+        """Effective value for ``key`` or ``_MISSING`` (tombstones hidden)."""
+        layer: Optional[StateDB] = self
+        while layer is not None:
+            value = layer._data.get(key, _MISSING)
+            if value is not _MISSING:
+                return _MISSING if value is _DELETED else value
+            layer = layer._parent
+        return _MISSING
+
+    def _assert_mutable(self) -> None:
+        if self._frozen:
+            raise ChainError(
+                "state is frozen (it has live overlays); fork() it instead"
+            )
+
+    # -- write plumbing ----------------------------------------------------
+    def _journal_record(self, key: str) -> None:
+        if not self._journal:
+            return
+        frame = self._journal[-1]
+        if key not in frame:
+            frame[key] = self._data.get(key, _MISSING)
+
+    def _invalidate_key(self, key: str, keyset_changed: bool) -> None:
+        self._root_cache = None
+        self._iroot_cache = None
+        self._fragments.pop(key, None)
+        if keyset_changed:
+            self._eff_keys = None
+        if self._buckets_ready:
+            self._leaves.pop(key, None)
+            self._bucket_dirty.add(_bucket_of(key))
+            if self._parent is not None:
+                self._bucket_digests = None
+
+    def _local_keyset_add(self, key: str) -> None:
+        if self._buckets_ready:
+            insort(self._bucket_keys.setdefault(_bucket_of(key), []), key)
+
+    def _local_keyset_remove(self, key: str) -> None:
+        if self._buckets_ready:
+            keys = self._bucket_keys.get(_bucket_of(key))
+            if keys:
+                index = bisect_left(keys, key)
+                if index < len(keys) and keys[index] == key:
+                    keys.pop(index)
+
+    def _write(self, key: str, value: Any) -> None:
+        self._assert_mutable()
+        self._journal_record(key)
+        prior = self._data.get(key, _MISSING)
+        self._data[key] = value
+        if prior is _MISSING:
+            self._local_keyset_add(key)
+        if self._debug:
+            self._record_fingerprint(key, value)
+        self._invalidate_key(key, keyset_changed=prior is _MISSING or prior is _DELETED)
 
     # -- raw access ------------------------------------------------------
     def get(self, key: str, default: Any = None) -> Any:
-        return copy.deepcopy(self._data.get(key, default))
+        """Return the stored value *by reference* (immutable-value convention)."""
+        value = self._lookup(key)
+        return default if value is _MISSING else value
 
     def set(self, key: str, value: Any) -> None:
-        self._data[key] = copy.deepcopy(value)
+        self._write(key, value)
 
     def delete(self, key: str) -> None:
-        self._data.pop(key, None)
+        self._assert_mutable()
+        if self._parent is None:
+            if key not in self._data:
+                return
+            self._journal_record(key)
+            del self._data[key]
+            self._local_keyset_remove(key)
+            self._fingerprints.pop(key, None)
+            self._invalidate_key(key, keyset_changed=True)
+            return
+        if self._lookup(key) is _MISSING:
+            return
+        self._journal_record(key)
+        prior = self._data.get(key, _MISSING)
+        self._data[key] = _DELETED
+        if prior is _MISSING:
+            self._local_keyset_add(key)
+        self._invalidate_key(key, keyset_changed=True)
 
     def contains(self, key: str) -> bool:
-        return key in self._data
+        return self._lookup(key) is not _MISSING
+
+    def _effective_sorted_keys(self) -> List[str]:
+        if self._eff_keys is None:
+            if self._parent is None:
+                self._eff_keys = sorted(self._data)
+            else:
+                seen: Dict[str, Any] = {}
+                layer: Optional[StateDB] = self
+                while layer is not None:
+                    for key, value in layer._data.items():
+                        if key not in seen:
+                            seen[key] = value
+                    layer = layer._parent
+                self._eff_keys = sorted(
+                    key for key, value in seen.items() if value is not _DELETED
+                )
+        return self._eff_keys
 
     def keys_with_prefix(self, prefix: str) -> List[str]:
-        return sorted(key for key in self._data if key.startswith(prefix))
+        keys = self._effective_sorted_keys()
+        start = bisect_left(keys, prefix)
+        out: List[str] = []
+        for index in range(start, len(keys)):
+            if not keys[index].startswith(prefix):
+                break
+            out.append(keys[index])
+        return out
 
     def items(self) -> Iterator[Tuple[str, Any]]:
-        for key in sorted(self._data):
-            yield key, copy.deepcopy(self._data[key])
+        """Sorted (key, value) pairs, values by reference (do not mutate)."""
+        for key in self._effective_sorted_keys():
+            yield key, self._lookup(key)
 
     def __len__(self) -> int:
-        return len(self._data)
+        if self._parent is None:
+            return len(self._data)
+        return len(self._effective_sorted_keys())
 
     # -- accounts ----------------------------------------------------------
     @staticmethod
@@ -58,35 +290,39 @@ class StateDB:
         return f"{ACCOUNT_PREFIX}/{address}"
 
     def balance(self, address: str) -> int:
-        account = self._data.get(self._account_key(address))
+        account = self.get(self._account_key(address))
         return account["balance"] if account else 0
 
     def nonce(self, address: str) -> int:
-        account = self._data.get(self._account_key(address))
+        account = self.get(self._account_key(address))
         return account["nonce"] if account else 0
 
     def credit(self, address: str, amount: int) -> None:
         if amount < 0:
             raise ChainError("credit amount must be non-negative")
-        account = self._data.setdefault(
-            self._account_key(address), {"balance": 0, "nonce": 0}
-        )
+        key = self._account_key(address)
+        account = self.get(key)
+        account = {"balance": 0, "nonce": 0} if account is None else dict(account)
         account["balance"] += amount
+        self.set(key, account)
 
     def debit(self, address: str, amount: int) -> None:
         if amount < 0:
             raise ChainError("debit amount must be non-negative")
         key = self._account_key(address)
-        account = self._data.get(key)
+        account = self.get(key)
         if account is None or account["balance"] < amount:
             raise ChainError(f"insufficient balance for {address}")
+        account = dict(account)
         account["balance"] -= amount
+        self.set(key, account)
 
     def bump_nonce(self, address: str) -> int:
-        account = self._data.setdefault(
-            self._account_key(address), {"balance": 0, "nonce": 0}
-        )
+        key = self._account_key(address)
+        account = self.get(key)
+        account = {"balance": 0, "nonce": 0} if account is None else dict(account)
         account["nonce"] += 1
+        self.set(key, account)
         return account["nonce"]
 
     # -- contract storage ---------------------------------------------------
@@ -103,40 +339,371 @@ class StateDB:
     def contract_slots(self, contract_id: str) -> Dict[str, Any]:
         prefix = f"{CONTRACT_PREFIX}/{contract_id}/"
         return {
-            key[len(prefix):]: copy.deepcopy(self._data[key])
+            key[len(prefix):]: copy.deepcopy(self._lookup(key))
             for key in self.keys_with_prefix(prefix)
         }
 
     # -- snapshots -----------------------------------------------------------
     def snapshot(self) -> int:
-        """Push a snapshot; returns its index for sanity checks."""
-        self._snapshots.append(copy.deepcopy(self._data))
-        return len(self._snapshots) - 1
+        """Push an undo-log frame; returns its index for sanity checks."""
+        self._debug_verify()
+        self._journal.append({})
+        return len(self._journal) - 1
 
     def commit(self) -> None:
-        """Discard the most recent snapshot, keeping current writes."""
-        if not self._snapshots:
+        """Discard the most recent snapshot, keeping current writes.
+
+        With nested snapshots the committed frame's undo entries fold into
+        the enclosing frame so an outer rollback still restores the state
+        as of the outer snapshot.
+        """
+        if not self._journal:
             raise ChainError("no snapshot to commit")
-        self._snapshots.pop()
+        frame = self._journal.pop()
+        if self._journal:
+            outer = self._journal[-1]
+            for key, prior in frame.items():
+                outer.setdefault(key, prior)
 
     def rollback(self) -> None:
-        """Restore the most recent snapshot, discarding writes since."""
-        if not self._snapshots:
+        """Restore the most recent snapshot, undoing writes since it."""
+        if not self._journal:
             raise ChainError("no snapshot to roll back to")
-        self._data = self._snapshots.pop()
+        self._assert_mutable()
+        frame = self._journal.pop()
+        for key, prior in frame.items():
+            current = self._data.get(key, _MISSING)
+            if prior is _MISSING:
+                if current is not _MISSING:
+                    del self._data[key]
+                    self._local_keyset_remove(key)
+                    self._fingerprints.pop(key, None)
+            else:
+                self._data[key] = prior
+                if current is _MISSING:
+                    self._local_keyset_add(key)
+                if self._debug and prior is not _DELETED:
+                    self._record_fingerprint(key, prior)
+            self._invalidate_key(key, keyset_changed=True)
 
-    # -- roots and copies ------------------------------------------------
-    def state_root(self) -> bytes:
-        """Deterministic digest of the entire state.
+    @property
+    def journal_depth(self) -> int:
+        return len(self._journal)
 
-        Serializes the raw dict directly (canonical JSON sorts keys), which
-        avoids the defensive deep-copies of :meth:`items`.
+    # -- overlays ----------------------------------------------------------
+    def fork(self, freeze: bool = True) -> "StateOverlay":
+        """Return a :class:`StateOverlay` diff layered over this state.
+
+        By default forking freezes this state: further direct writes raise,
+        because a parent mutating underneath its overlays would silently
+        change every child's effective view (and its cached roots).  Pass
+        ``freeze=False`` for a *transient* fork (e.g. a read-only view
+        call) that is discarded before the parent can be written again.
         """
-        return hash_value(self._data, allow_float=False)
+        if self._journal:
+            raise ChainError("cannot fork a state with open snapshots")
+        self._debug_verify()
+        if freeze:
+            self._frozen = True
+        return StateOverlay(self)
 
+    @property
+    def overlay_depth(self) -> int:
+        depth = 0
+        layer = self._parent
+        while layer is not None:
+            depth += 1
+            layer = layer._parent
+        return depth
+
+    def _effective_dict(self) -> Dict[str, Any]:
+        return {key: self._lookup(key) for key in self._effective_sorted_keys()}
+
+    def flatten(self) -> "StateDB":
+        """Materialize the effective view into a standalone base state.
+
+        Values are shared by reference (immutable-value convention) and the
+        per-key fragment cache is carried over, so flattening the canonical
+        head is cheap and its next root is still incremental.
+        """
+        flat = StateDB()
+        flat._data = self._effective_dict()
+        flat._fragments = {
+            key: fragment
+            for key, fragment in self._gather_fragment_cache().items()
+            if key in flat._data
+        }
+        if flat._debug:
+            for key, value in flat._data.items():
+                flat._record_fingerprint(key, value)
+        return flat
+
+    def collapse(self) -> "StateDB":
+        """Absorb the whole parent chain into this layer, in place.
+
+        The effective content (and therefore every cached root) is
+        unchanged; children forked off this state keep working because they
+        reference this object directly.  Used by state pruning to cut
+        overlay chains at the finality boundary.
+        """
+        if self._parent is None:
+            return self
+        if self._journal:
+            raise ChainError("cannot collapse a state with open snapshots")
+        fragments = self._gather_fragment_cache()
+        self._data = self._effective_dict()
+        self._parent = None
+        self._fragments = {
+            key: fragment for key, fragment in fragments.items() if key in self._data
+        }
+        self._eff_keys = None
+        self._buckets_ready = False
+        self._leaves = {}
+        self._bucket_keys = {}
+        self._bucket_digests = None
+        self._bucket_dirty = set()
+        if self._debug:
+            self._fingerprints = {}
+            for key, value in self._data.items():
+                self._record_fingerprint(key, value)
+        return self
+
+    def _gather_fragment_cache(self) -> Dict[str, bytes]:
+        """Best-effort union of fragment caches along the chain (shallowest
+        layer wins, mirroring value shadowing)."""
+        merged: Dict[str, bytes] = {}
+        layer: Optional[StateDB] = self
+        while layer is not None:
+            for key, fragment in layer._fragments.items():
+                if key not in merged and layer._data.get(key, _MISSING) is not _DELETED:
+                    merged.setdefault(key, fragment)
+            layer = layer._parent
+        return merged
+
+    # -- roots -------------------------------------------------------------
+    def _fragment_for(self, key: str) -> bytes:
+        """Fragment for an effectively-present key, cached in the owning layer."""
+        layer: Optional[StateDB] = self
+        while layer is not None:
+            value = layer._data.get(key, _MISSING)
+            if value is not _MISSING:
+                fragment = layer._fragments.get(key)
+                if fragment is None:
+                    fragment = _encode_fragment(key, value)
+                    layer._fragments[key] = fragment
+                return fragment
+            layer = layer._parent
+        raise ChainError(f"no fragment for missing key {key!r}")
+
+    def state_root(self) -> bytes:
+        """Deterministic digest of the entire effective state.
+
+        Bit-identical to ``sha256(canonical_bytes(state_dict))`` — the
+        historical full-serialization root — but assembled from cached
+        per-key fragments so only keys written since the last root are
+        re-serialized.
+        """
+        if self._root_cache is not None:
+            self._root_hits += 1
+            return self._root_cache
+        self._debug_verify()
+        hasher = hashlib.sha256()
+        hasher.update(b"{")
+        first = True
+        for key in self._effective_sorted_keys():
+            if not first:
+                hasher.update(b",")
+            hasher.update(self._fragment_for(key))
+            first = False
+        hasher.update(b"}")
+        root = hasher.digest()
+        self._root_cache = root
+        self._root_recomputes += 1
+        return root
+
+    # -- bucketed incremental root ----------------------------------------
+    def _leaf_for(self, key: str) -> bytes:
+        layer: Optional[StateDB] = self
+        while layer is not None:
+            value = layer._data.get(key, _MISSING)
+            if value is not _MISSING:
+                leaf = layer._leaves.get(key)
+                if leaf is None:
+                    leaf = sha256(layer._fragments.get(key) or self._fragment_for(key))
+                    layer._leaves[key] = leaf
+                return leaf
+            layer = layer._parent
+        raise ChainError(f"no leaf for missing key {key!r}")
+
+    def _ensure_buckets(self) -> None:
+        if self._buckets_ready:
+            return
+        self._bucket_keys = {}
+        for key in self._data:
+            self._bucket_keys.setdefault(_bucket_of(key), []).append(key)
+        for keys in self._bucket_keys.values():
+            keys.sort()
+        self._bucket_digests = None
+        self._bucket_dirty = set()
+        self._buckets_ready = True
+
+    def _effective_bucket_keys(self, bucket: int) -> List[str]:
+        seen: Dict[str, Any] = {}
+        layer: Optional[StateDB] = self
+        while layer is not None:
+            layer._ensure_buckets()
+            for key in layer._bucket_keys.get(bucket, ()):
+                if key not in seen:
+                    seen[key] = layer._data[key]
+            layer = layer._parent
+        return sorted(key for key, value in seen.items() if value is not _DELETED)
+
+    def _bucket_digest(self, bucket: int) -> bytes:
+        keys = self._effective_bucket_keys(bucket)
+        if not keys:
+            return _EMPTY_BUCKET_DIGEST
+        hasher = hashlib.sha256()
+        for key in keys:
+            hasher.update(self._leaf_for(key))
+        return hasher.digest()
+
+    def _bucket_digest_list(self) -> List[bytes]:
+        self._ensure_buckets()
+        if self._parent is None:
+            if self._bucket_digests is None:
+                self._bucket_digests = [
+                    self._bucket_digest(bucket) for bucket in range(BUCKET_COUNT)
+                ]
+                self._bucket_dirty.clear()
+            elif self._bucket_dirty:
+                for bucket in self._bucket_dirty:
+                    self._bucket_digests[bucket] = self._bucket_digest(bucket)
+                self._bucket_dirty.clear()
+            return self._bucket_digests
+        if self._bucket_digests is None or self._bucket_dirty:
+            digests = list(self._parent._bucket_digest_list())
+            touched = {_bucket_of(key) for key in self._data}
+            for bucket in touched:
+                digests[bucket] = self._bucket_digest(bucket)
+            self._bucket_digests = digests
+            self._bucket_dirty.clear()
+        return self._bucket_digests
+
+    def incremental_root(self) -> bytes:
+        """Sorted bucketed Merkle root maintained incrementally.
+
+        Per-key leaf hashes are cached; a write dirties only its key's
+        bucket, so refreshing the root after a block costs
+        O(write-set · bucket-size + bucket-count) instead of O(state).
+        Distinct from :meth:`state_root` (which stays bit-identical to the
+        historical digest); equivalence with :meth:`recompute_incremental_root`
+        is enforced by tests and the benchmark/CI cross-check.
+        """
+        if self._iroot_cache is not None:
+            self._iroot_hits += 1
+            return self._iroot_cache
+        self._debug_verify()
+        root = sha256(b"".join(self._bucket_digest_list()))
+        self._iroot_cache = root
+        self._iroot_recomputes += 1
+        return root
+
+    def recompute_incremental_root(self) -> bytes:
+        """From-scratch bucketed Merkle root, ignoring every cache."""
+        return bucketed_root_of_dict(self._effective_dict())
+
+    # -- copies and exports ------------------------------------------------
     def copy(self) -> "StateDB":
-        """Deep copy without snapshot history."""
-        return StateDB(copy.deepcopy(self._data))
+        """Independent deep copy of the *effective* state.
+
+        The copy shares **no structure** with this state, its parents, or
+        any overlay forked from it: values are deep-copied and the copy has
+        no parent link, no journal frames, and no shared caches.  Mutating
+        the copy can never leak into the original (or vice versa).
+        Snapshot history is not carried over.
+        """
+        return StateDB(copy.deepcopy(self._effective_dict()))
 
     def to_dict(self) -> Dict[str, Any]:
-        return copy.deepcopy(self._data)
+        return copy.deepcopy(self._effective_dict())
+
+    # -- debug aliasing verification --------------------------------------
+    def _record_fingerprint(self, key: str, value: Any) -> None:
+        try:
+            self._fingerprints[key] = canonical_bytes(value)
+        except SerializationError:
+            self._fingerprints[key] = None  # unverifiable value; skip
+
+    def verify_no_aliasing(self) -> None:
+        """Re-fingerprint every tracked value; raise on any in-place change."""
+        layer: Optional[StateDB] = self
+        while layer is not None:
+            for key, expected in layer._fingerprints.items():
+                if expected is None:
+                    continue
+                value = layer._data.get(key, _MISSING)
+                if value is _MISSING or value is _DELETED:
+                    continue
+                try:
+                    actual = canonical_bytes(value)
+                except SerializationError:
+                    continue
+                if actual != expected:
+                    raise StateAliasingError(
+                        f"value for key {key!r} was mutated in place after "
+                        "being stored (immutable-value convention violated)"
+                    )
+            layer = layer._parent
+
+    def _debug_verify(self) -> None:
+        if self._debug:
+            self.verify_no_aliasing()
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Counters for observability spans and benchmarks."""
+        return {
+            "size": len(self),
+            "local_keys": len(self._data),
+            "journal_depth": len(self._journal),
+            "overlay_depth": self.overlay_depth,
+            "root_cache_hits": self._root_hits,
+            "root_recomputes": self._root_recomputes,
+            "iroot_cache_hits": self._iroot_hits,
+            "iroot_recomputes": self._iroot_recomputes,
+        }
+
+
+class StateOverlay(StateDB):
+    """A chained diff over a frozen parent state.
+
+    Writes and deletion tombstones live in this layer; reads fall through
+    to the parent chain.  Created via :meth:`StateDB.fork`.
+    """
+
+    def __init__(self, parent: StateDB):
+        if parent is None:
+            raise ChainError("StateOverlay requires a parent state")
+        super().__init__(parent=parent)
+
+    @property
+    def parent(self) -> StateDB:
+        return self._parent
+
+
+def bucketed_root_of_dict(data: Dict[str, Any]) -> bytes:
+    """Reference from-scratch implementation of the bucketed Merkle root."""
+    buckets: Dict[int, List[str]] = {}
+    for key in data:
+        buckets.setdefault(_bucket_of(key), []).append(key)
+    digests: List[bytes] = []
+    for bucket in range(BUCKET_COUNT):
+        keys = sorted(buckets.get(bucket, ()))
+        if not keys:
+            digests.append(_EMPTY_BUCKET_DIGEST)
+            continue
+        hasher = hashlib.sha256()
+        for key in keys:
+            hasher.update(sha256(_encode_fragment(key, data[key])))
+        digests.append(hasher.digest())
+    return sha256(b"".join(digests))

@@ -1,7 +1,8 @@
 """Chain store: block persistence, linkage validation, and fork choice.
 
 Each node owns a :class:`ChainStore`.  Blocks attach to known parents;
-orphans are buffered until their parent arrives.  Fork choice is
+orphans are buffered (up to a capacity bound, oldest evicted first) until
+their parent arrives.  Fork choice is
 longest-chain (by height, then lowest block hash as a deterministic
 tie-break), matching the paper's "current commercial blockchain" framing.
 """
@@ -17,12 +18,18 @@ from repro.common.errors import ChainError, ValidationError
 class ChainStore:
     """Append-only block DAG with a canonical head."""
 
-    def __init__(self, genesis: Block):
+    DEFAULT_MAX_ORPHANS = 512
+
+    def __init__(self, genesis: Block, max_orphans: int = DEFAULT_MAX_ORPHANS):
         if genesis.height != 0:
             raise ChainError("genesis must have height 0")
         self._blocks: Dict[str, Block] = {genesis.block_id: genesis}
         self._children: Dict[str, List[str]] = {}
+        # Bounded insertion-ordered buffer; the oldest orphan is evicted
+        # deterministically once the capacity is exceeded.
         self._orphans: Dict[str, Block] = {}
+        self._max_orphans = max(0, max_orphans)
+        self.orphans_evicted = 0
         self.genesis = genesis
         self._head = genesis
 
@@ -67,6 +74,10 @@ class ChainStore:
         parent_id = block.header.parent_hash.hex()
         if parent_id not in self._blocks:
             self._orphans[block_id] = block
+            while len(self._orphans) > self._max_orphans:
+                oldest = next(iter(self._orphans))
+                del self._orphans[oldest]
+                self.orphans_evicted += 1
             return False
         parent = self._blocks[parent_id]
         if block.height != parent.height + 1:

@@ -39,6 +39,15 @@ class NodeConfig:
     mine_empty: bool = False
     rebroadcast_txs: bool = True
     rebroadcast_blocks: bool = True
+    # Per-block states older than this many blocks below the head are
+    # pruned (the boundary state is collapsed into a standalone base), so
+    # state memory is bounded by chain *width* within the window rather
+    # than chain *length*.  Longest-chain reorgs deeper than the window
+    # cannot be re-validated (their parent states are gone); 0 disables
+    # pruning.  Matches the fork-choice finality assumption of ChainStore.
+    state_prune_window: int = 64
+    # Cap on the ChainStore orphan buffer (oldest-first eviction).
+    max_orphan_blocks: int = 512
 
 
 class BlockchainNode(Process):
@@ -62,8 +71,9 @@ class BlockchainNode(Process):
         self.executor = executor or ContractExecutor()
         self.metrics = metrics or MetricsRegistry()
         self.config = config or NodeConfig()
-        self.store = ChainStore(genesis)
+        self.store = ChainStore(genesis, max_orphans=self.config.max_orphan_blocks)
         self.mempool = Mempool()
+        self._orphan_evictions_reported = 0
         self._states: Dict[str, StateDB] = {genesis.block_id: genesis_state.copy()}
         self._block_receipts: Dict[str, List[Receipt]] = {genesis.block_id: []}
         self._receipts_by_tx: Dict[str, Receipt] = {}
@@ -190,6 +200,7 @@ class BlockchainNode(Process):
             return
         old_head = self.store.head
         self.store.add(block)
+        self._report_orphan_evictions()
         if self.config.rebroadcast_blocks:
             self.network.broadcast(
                 self.name, "block", block, size_bytes=block.estimated_size_bytes()
@@ -229,6 +240,9 @@ class BlockchainNode(Process):
         ) as span:
             valid = self._verify_and_execute_inner(block)
             span.set_attr("valid", valid)
+            state = self._states.get(block.block_id)
+            if state is not None:
+                self._set_state_span_attrs(span, state)
         return valid
 
     def _verify_and_execute_inner(self, block: Block) -> bool:
@@ -254,7 +268,7 @@ class BlockchainNode(Process):
     def _execute_transactions(
         self, parent_state: StateDB, txs: List[Transaction], block: Block
     ):
-        state = parent_state.copy()
+        state = parent_state.fork()
         context = ExecutionContext(
             block_height=block.height,
             timestamp_ms=block.header.timestamp_ms,
@@ -274,6 +288,20 @@ class BlockchainNode(Process):
         self._states[block.block_id] = state
         self._block_receipts[block.block_id] = receipts
 
+    def _set_state_span_attrs(self, span, state: StateDB) -> None:
+        stats = state.stats()
+        span.set_attr("state_writes", stats["local_keys"])
+        span.set_attr("overlay_depth", stats["overlay_depth"])
+        span.set_attr("journal_depth", stats["journal_depth"])
+        span.set_attr("root_cache_hits", stats["root_cache_hits"])
+        span.set_attr("root_recomputes", stats["root_recomputes"])
+
+    def _report_orphan_evictions(self) -> None:
+        evicted = self.store.orphans_evicted - self._orphan_evictions_reported
+        if evicted > 0:
+            self.metrics.add("orphans_evicted", evicted, scope=self.name)
+            self._orphan_evictions_reported = self.store.orphans_evicted
+
     # -- head adoption -----------------------------------------------------
     def _on_new_head(self, old_head: Block) -> None:
         self._charge_lost_race()
@@ -281,9 +309,46 @@ class BlockchainNode(Process):
         self._evict_committed(new_blocks)
         self._record_commits(new_blocks)
         self._emit_new_canonical_events(new_blocks)
+        self._prune_states()
         self.metrics.add("blocks_adopted", 1, scope=self.name)
         if self._started:
             self._plan_round()
+
+    # -- state pruning ------------------------------------------------------
+    def _prune_states(self) -> None:
+        """Bound per-block state retention to the finality window.
+
+        Full (collapsed) state is kept only at the window boundary on the
+        canonical chain; newer blocks — canonical or recent forks — keep
+        their copy-on-write overlays.  Everything older is dropped, so
+        state memory scales with chain width inside the window rather than
+        with total chain length.  Blocks attaching below the boundary can
+        no longer be validated (documented finality assumption).
+        """
+        window = self.config.state_prune_window
+        if window <= 0:
+            return
+        head = self.store.head
+        boundary_height = head.height - window
+        if boundary_height < 0:
+            return
+        boundary = head
+        for _ in range(window):
+            boundary = self.store.get(boundary.header.parent_hash.hex())
+        boundary_state = self._states.get(boundary.block_id)
+        if boundary_state is not None:
+            boundary_state.collapse()
+        stale = [
+            block_id
+            for block_id in self._states
+            if block_id != boundary.block_id
+            and self.store.get(block_id).height <= boundary_height
+        ]
+        for block_id in stale:
+            del self._states[block_id]
+            self._block_receipts.pop(block_id, None)
+        if stale:
+            self.metrics.add("state_entries_pruned", len(stale), scope=self.name)
 
     def _new_canonical_blocks(self) -> List[Block]:
         """Canonical blocks not yet processed, oldest first.
@@ -387,7 +452,7 @@ class BlockchainNode(Process):
         if not txs and not self.config.mine_empty:
             # Nothing executable (nonce gaps); wait for new txs or a new head.
             return
-        state = parent_state.copy()
+        state = parent_state.fork()
         context = ExecutionContext(
             block_height=parent.height + 1,
             timestamp_ms=int(self.now * 1000),
@@ -410,6 +475,7 @@ class BlockchainNode(Process):
         attempts = sealed.header.consensus.get("attempts", 0)
         span.set_attr("txs", len(txs))
         span.set_attr("hashes", attempts)
+        self._set_state_span_attrs(span, state)
         if attempts:
             self.metrics.add_hashes(attempts, scope=self.name)
         self._round_start = None

@@ -9,6 +9,7 @@ contracts on chain and moves heavy work off chain.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
@@ -55,6 +56,21 @@ class ContractInfo:
         return cls(**data)
 
 
+def _isolate(value: Any) -> Any:
+    """Copy mutable containers crossing the contract/state boundary.
+
+    ``StateDB`` stores values by reference under the immutable-value
+    convention; contract code, however, routinely does
+    ``entry = storage_get(k); entry["field"] = v; storage_set(k, entry)``.
+    Copying at the bridge keeps that idiom safe (and contract-visible
+    semantics bit-identical to the historical deep-copy-in-StateDB
+    behaviour) while the state substrate itself stays zero-copy.
+    """
+    if value is None or isinstance(value, (bool, int, str, bytes)):
+        return value
+    return copy.deepcopy(value)
+
+
 class HostBridge:
     """Host functions exposed to contract code, bound to one execution."""
 
@@ -98,13 +114,17 @@ class HostBridge:
 
     def storage_get(self, key: str, default: Any = None) -> Any:
         self._meter.charge(G.GAS_STORAGE_READ)
-        return self._state.get_slot(self._contract_id, STORAGE_PREFIX + str(key), default)
+        return _isolate(
+            self._state.get_slot(self._contract_id, STORAGE_PREFIX + str(key), default)
+        )
 
     def storage_set(self, key: str, value: Any) -> None:
         self._guard_write()
         self._meter.charge(G.GAS_STORAGE_WRITE)
         canonical_bytes(value, allow_float=False)  # determinism check
-        self._state.set_slot(self._contract_id, STORAGE_PREFIX + str(key), value)
+        self._state.set_slot(
+            self._contract_id, STORAGE_PREFIX + str(key), _isolate(value)
+        )
 
     def storage_has(self, key: str) -> bool:
         self._meter.charge(G.GAS_STORAGE_READ)
@@ -352,11 +372,12 @@ class ContractExecutor:
         gas_limit: int = 50_000_000,
         context: Optional[ExecutionContext] = None,
     ) -> Any:
-        """Run a method read-only against a state copy (no tx, no writes).
+        """Run a method read-only against a state fork (no tx, no writes).
 
         This is how off-chain control code inspects contract state without
         paying consensus cost — the "light-weight policy control point" read
-        path of Figure 1.
+        path of Figure 1.  The fork is an O(1) overlay rather than a full
+        copy; the read-only bridge rejects writes before they reach it.
         """
         info = self.contract_info(state, contract_id)
         if info is None:
@@ -365,7 +386,7 @@ class ContractExecutor:
         meter = GasMeter(gas_limit)
         events: List[ContractEvent] = []
         bridge = HostBridge(
-            state.copy(),
+            state.fork(freeze=False),
             contract_id,
             caller,
             context or ExecutionContext(),

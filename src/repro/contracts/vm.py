@@ -17,6 +17,15 @@ No attribute access, no imports, no comprehensions, no closures over
 mutable state: what remains is small enough to audit and big enough to be
 Turing-complete (bounded by gas), matching the paper's "arbitrary
 computation codes" framing.
+
+State aliasing: the world state stores values by reference (the
+immutable-value convention of ``repro.chain.state``), so the host bridge
+copies every container crossing the ``storage_get``/``storage_set``
+boundary.  Interpreter code may therefore freely mutate values it read
+from storage — the mutation only becomes state once written back.
+Authors of new host functions must preserve this isolation: never hand a
+reference obtained from ``StateDB`` to contract code, and never store a
+reference contract code can still reach.
 """
 
 from __future__ import annotations

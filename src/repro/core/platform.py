@@ -69,6 +69,9 @@ class PlatformConfig:
     max_txs_per_block: int = 200
     funding: int = 1_000_000_000
     register_tools: bool = True  # auto-register the standard tool suite at boot
+    # Finality window for per-block state retention (see NodeConfig); long
+    # platform runs keep state memory bounded by chain width, not length.
+    state_prune_window: int = 64
 
 
 @dataclass
@@ -143,7 +146,10 @@ class MedicalBlockchainNetwork:
             genesis_state.credit(keypair.address, self.config.funding)
         genesis = make_genesis(genesis_state.state_root())
         engine_factory = self._consensus_factory()
-        node_config = NodeConfig(max_txs_per_block=self.config.max_txs_per_block)
+        node_config = NodeConfig(
+            max_txs_per_block=self.config.max_txs_per_block,
+            state_prune_window=self.config.state_prune_window,
+        )
         for name in self.node_names:
             self.nodes[name] = BlockchainNode(
                 kernel=self.kernel,

@@ -146,3 +146,38 @@ class TestChainStore:
         store = ChainStore(genesis)
         with pytest.raises(ChainError):
             store.get("ff" * 32)
+
+
+class TestOrphanBound:
+    def _disconnected_chain(self, genesis, alice, length):
+        """Build a chain off genesis and return it without its first block."""
+        blocks = []
+        parent = genesis
+        for i in range(length):
+            parent = _child(parent, alice, ts=1000 + i)
+            blocks.append(parent)
+        return blocks
+
+    def test_orphan_pool_bounded_with_oldest_first_eviction(self, genesis, alice):
+        store = ChainStore(genesis, max_orphans=3)
+        chain = self._disconnected_chain(genesis, alice, 6)
+        link, orphans = chain[0], chain[1:]
+        for block in orphans:  # parents unknown -> all orphaned
+            store.add(block)
+        assert store.orphan_count() == 3
+        assert store.orphans_evicted == 2
+        # Oldest orphans were evicted, so connecting the missing link only
+        # recovers the survivors that still chain onto it.
+        store.add(link)
+        assert store.head.height == 1  # orphans 2..3 were evicted, chain broke
+        assert store.orphan_count() == 3  # survivors still disconnected
+
+    def test_orphans_under_capacity_never_evicted(self, genesis, alice):
+        store = ChainStore(genesis, max_orphans=10)
+        chain = self._disconnected_chain(genesis, alice, 4)
+        for block in chain[1:]:
+            store.add(block)
+        assert store.orphans_evicted == 0
+        store.add(chain[0])
+        assert store.orphan_count() == 0
+        assert store.head.height == 4

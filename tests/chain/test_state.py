@@ -1,9 +1,16 @@
-"""StateDB tests: accounts, contract slots, snapshots, roots."""
+"""StateDB tests: accounts, contract slots, snapshots, overlays, roots."""
 
 import pytest
 
-from repro.chain.state import StateDB
+from repro.chain.state import (
+    StateAliasingError,
+    StateDB,
+    StateOverlay,
+    bucketed_root_of_dict,
+    set_debug_aliasing,
+)
 from repro.common.errors import ChainError
+from repro.common.hashing import hash_value
 
 
 def test_get_set_round_trip():
@@ -12,11 +19,26 @@ def test_get_set_round_trip():
     assert state.get("k") == {"nested": [1, 2]}
 
 
-def test_get_returns_copies():
+def test_get_returns_references_under_immutable_convention():
+    # get/set are zero-copy: the stored object is handed back by reference.
+    # Callers must treat it as immutable (the contract host bridge copies at
+    # its own boundary); debug aliasing mode exists to catch violations.
     state = StateDB()
-    state.set("k", {"list": [1]})
-    state.get("k")["list"].append(2)
-    assert state.get("k") == {"list": [1]}
+    value = {"list": [1]}
+    state.set("k", value)
+    assert state.get("k") is value
+
+
+def test_debug_aliasing_mode_catches_in_place_mutation():
+    set_debug_aliasing(True)
+    try:
+        state = StateDB()
+        state.set("k", {"list": [1]})
+        state.get("k")["list"].append(2)  # convention violation
+        with pytest.raises(StateAliasingError):
+            state.state_root()
+    finally:
+        set_debug_aliasing(False)
 
 
 def test_missing_key_default():
@@ -157,3 +179,214 @@ class TestRoots:
         b.set("x", 2)
         assert a.get("x") == 1
         assert a.state_root() != b.state_root()
+
+    def test_root_bit_identical_to_full_serialization_digest(self):
+        # Pins the incremental root to the historical formula:
+        # sha256(canonical_bytes(full state dict)).  This is the
+        # consensus-critical bit-identicality contract of the refactor.
+        state = StateDB()
+        state.credit("alice", 100)
+        state.set("contract/c1/s/x", {"a": [1, 2], "b": "text"})
+        state.set_slot("c2", "y", [3, {"k": True}])
+        state.delete("contract/c1/s/x")
+        assert state.state_root() == hash_value(state.to_dict(), allow_float=False)
+
+    def test_root_cache_hit_after_clean_read(self):
+        state = StateDB()
+        state.set("x", 1)
+        first = state.state_root()
+        assert state.state_root() == first
+        assert state.stats()["root_cache_hits"] >= 1
+        state.set("x", 2)
+        assert state.state_root() != first
+
+
+class TestOverlay:
+    def test_fork_reads_through_to_parent(self):
+        base = StateDB()
+        base.set("x", 1)
+        overlay = base.fork()
+        assert isinstance(overlay, StateOverlay)
+        assert overlay.get("x") == 1
+        overlay.set("x", 2)
+        assert overlay.get("x") == 2
+        assert base.get("x") == 1
+
+    def test_parent_frozen_after_fork(self):
+        base = StateDB()
+        base.set("x", 1)
+        base.fork()
+        with pytest.raises(ChainError):
+            base.set("x", 2)
+
+    def test_transient_fork_leaves_parent_writable(self):
+        base = StateDB()
+        base.set("x", 1)
+        view = base.fork(freeze=False)
+        assert view.get("x") == 1
+        base.set("x", 2)  # still allowed
+
+    def test_tombstone_hides_parent_key(self):
+        base = StateDB()
+        base.set("x", 1)
+        base.set("y", 2)
+        overlay = base.fork()
+        overlay.delete("x")
+        assert not overlay.contains("x")
+        assert overlay.get("x", "gone") == "gone"
+        assert overlay.keys_with_prefix("") == ["y"]
+        assert len(overlay) == 1
+        assert base.contains("x")
+
+    def test_overlay_root_equals_flat_root(self):
+        base = StateDB()
+        for i in range(20):
+            base.set(f"k/{i}", {"v": i})
+        overlay = base.fork()
+        overlay.set("k/3", {"v": 333})
+        overlay.delete("k/7")
+        overlay.set("new", [1, 2])
+        flat = StateDB(overlay.to_dict())
+        assert overlay.state_root() == flat.state_root()
+        assert overlay.state_root() == hash_value(
+            overlay.to_dict(), allow_float=False
+        )
+
+    def test_chained_overlays(self):
+        base = StateDB()
+        base.set("a", 1)
+        o1 = base.fork()
+        o1.set("b", 2)
+        o2 = o1.fork()
+        o2.delete("a")
+        o2.set("c", 3)
+        assert o2.overlay_depth == 2
+        assert dict(o2.items()) == {"b": 2, "c": 3}
+        assert dict(o1.items()) == {"a": 1, "b": 2}
+
+    def test_flatten_matches_effective_view(self):
+        base = StateDB()
+        base.set("a", 1)
+        overlay = base.fork()
+        overlay.set("b", 2)
+        overlay.delete("a")
+        flat = overlay.flatten()
+        assert flat.overlay_depth == 0
+        assert dict(flat.items()) == {"b": 2}
+        assert flat.state_root() == overlay.state_root()
+
+    def test_collapse_preserves_content_and_children(self):
+        base = StateDB()
+        base.set("a", 1)
+        mid = base.fork()
+        mid.set("b", 2)
+        child = mid.fork()
+        child.set("c", 3)
+        root_before = child.state_root()
+        mid.collapse()
+        assert mid.overlay_depth == 0
+        assert dict(mid.items()) == {"a": 1, "b": 2}
+        assert child.state_root() == root_before
+        assert child.overlay_depth == 1
+
+    def test_overlay_snapshot_rollback(self):
+        base = StateDB()
+        base.set("x", 1)
+        overlay = base.fork()
+        overlay.set("x", 2)
+        overlay.snapshot()
+        overlay.set("x", 3)
+        overlay.delete("x")
+        overlay.rollback()
+        assert overlay.get("x") == 2
+        overlay.snapshot()
+        overlay.delete("x")
+        overlay.commit()
+        assert overlay.get("x") is None
+        assert base.get("x") == 1
+
+    def test_fork_with_open_snapshot_rejected(self):
+        state = StateDB()
+        state.snapshot()
+        with pytest.raises(ChainError):
+            state.fork()
+
+    def test_accounts_through_overlay(self):
+        base = StateDB()
+        base.credit("alice", 100)
+        overlay = base.fork()
+        overlay.debit("alice", 40)
+        overlay.credit("bob", 40)
+        assert overlay.balance("alice") == 60
+        assert overlay.balance("bob") == 40
+        assert base.balance("alice") == 100
+        assert base.balance("bob") == 0
+
+
+class TestCopyIsolation:
+    def test_copy_shares_no_structure_with_parent_or_siblings(self):
+        # Regression for the copy() docstring contract: a copy never leaks
+        # mutations into the state it came from, its parents, or sibling
+        # overlays — even for nested container values.
+        base = StateDB()
+        base.set("box", {"items": [1, 2]})
+        overlay = base.fork()
+        overlay.set("box2", {"items": [3]})
+        sibling = base.fork()
+        copied = overlay.copy()
+        copied.get("box")["items"].append(99)  # mutate through the copy
+        copied.set("box", {"items": ["replaced"]})
+        copied.credit("alice", 5)
+        assert base.get("box") == {"items": [1, 2]}
+        assert overlay.get("box") == {"items": [1, 2]}
+        assert sibling.get("box") == {"items": [1, 2]}
+        assert overlay.get("box2") == {"items": [3]}
+        assert base.balance("alice") == 0
+
+    def test_copy_drops_snapshot_history(self):
+        state = StateDB()
+        state.set("x", 1)
+        state.snapshot()
+        state.set("x", 2)
+        copied = state.copy()
+        with pytest.raises(ChainError):
+            copied.rollback()
+        state.rollback()
+        assert state.get("x") == 1
+        assert copied.get("x") == 2
+
+
+class TestIncrementalRoot:
+    def test_matches_from_scratch(self):
+        state = StateDB()
+        for i in range(50):
+            state.set(f"k/{i}", {"v": i})
+        assert state.incremental_root() == state.recompute_incremental_root()
+        state.set("k/10", {"v": "changed"})
+        state.delete("k/20")
+        state.set("brand-new", [1])
+        assert state.incremental_root() == state.recompute_incremental_root()
+
+    def test_matches_reference_implementation(self):
+        state = StateDB()
+        state.set("a", 1)
+        state.set("b", {"x": [1, 2]})
+        assert state.incremental_root() == bucketed_root_of_dict(state.to_dict())
+
+    def test_overlay_incremental_root(self):
+        base = StateDB()
+        for i in range(30):
+            base.set(f"k/{i}", i)
+        base.incremental_root()  # warm the base caches
+        overlay = base.fork()
+        overlay.set("k/5", "changed")
+        overlay.delete("k/6")
+        overlay.set("extra", True)
+        assert overlay.incremental_root() == overlay.recompute_incremental_root()
+        assert overlay.incremental_root() != base.incremental_root()
+
+    def test_detects_any_difference(self):
+        a, b = StateDB(), StateDB()
+        a.set("x", 1)
+        b.set("x", 2)
+        assert a.incremental_root() != b.incremental_root()

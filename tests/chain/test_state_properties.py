@@ -1,0 +1,178 @@
+"""Property tests for the versioned state layer.
+
+The journaled :class:`StateDB` is checked against a *model*: a plain dict
+with full-copy snapshots (the semantics of the historical implementation).
+Any divergence between the journal/overlay machinery and the model under a
+randomized operation sequence is a consensus bug.
+"""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.state import StateDB, bucketed_root_of_dict
+from repro.common.hashing import hash_value
+
+_KEYS = st.text(alphabet="abcxyz/", min_size=1, max_size=6)
+_VALUES = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.text(alphabet="qrstuv", max_size=6),
+    st.lists(st.integers(min_value=0, max_value=9), max_size=3),
+    st.dictionaries(
+        st.text(alphabet="mn", min_size=1, max_size=2),
+        st.integers(min_value=0, max_value=99),
+        max_size=2,
+    ),
+)
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("set"), _KEYS, _VALUES),
+        st.tuples(st.just("delete"), _KEYS, st.none()),
+        st.tuples(st.just("snapshot"), st.none(), st.none()),
+        st.tuples(st.just("commit"), st.none(), st.none()),
+        st.tuples(st.just("rollback"), st.none(), st.none()),
+    ),
+    max_size=40,
+)
+
+
+class _ModelState:
+    """Reference semantics: full-copy snapshots over a plain dict."""
+
+    def __init__(self, data=None):
+        self.data = dict(data or {})
+        self.snapshots = []
+
+    def apply(self, op, key, value):
+        if op == "set":
+            self.data[key] = copy.deepcopy(value)
+        elif op == "delete":
+            self.data.pop(key, None)
+        elif op == "snapshot":
+            self.snapshots.append(copy.deepcopy(self.data))
+        elif op == "commit":
+            if self.snapshots:
+                self.snapshots.pop()
+            else:
+                return False
+        elif op == "rollback":
+            if self.snapshots:
+                self.data = self.snapshots.pop()
+            else:
+                return False
+        return True
+
+
+def _apply_to_state(state, op, key, value):
+    if op == "set":
+        state.set(key, value)
+    elif op == "delete":
+        state.delete(key)
+    elif op == "snapshot":
+        state.snapshot()
+    elif op in ("commit", "rollback"):
+        if state.journal_depth == 0:
+            return False
+        getattr(state, op)()
+    return True
+
+
+class TestJournalProperties:
+    @settings(max_examples=60)
+    @given(
+        st.dictionaries(_KEYS, _VALUES, max_size=8),
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("set"), _KEYS, _VALUES),
+                st.tuples(st.just("delete"), _KEYS, st.none()),
+            ),
+            max_size=20,
+        ),
+    )
+    def test_rollback_round_trip_restores_exact_state(self, initial, writes):
+        state = StateDB(dict(initial))
+        before_dict = state.to_dict()
+        before_root = state.state_root()
+        state.snapshot()
+        for op, key, value in writes:
+            _apply_to_state(state, op, key, value)
+        state.rollback()
+        assert state.to_dict() == before_dict
+        assert state.state_root() == before_root
+
+    @settings(max_examples=60)
+    @given(_OPS)
+    def test_nested_interleavings_match_full_copy_model(self, ops):
+        state = StateDB()
+        model = _ModelState()
+        for op, key, value in ops:
+            if model.apply(op, key, value):
+                _apply_to_state(state, op, key, value)
+        assert state.to_dict() == model.data
+        assert state.state_root() == hash_value(model.data, allow_float=False)
+
+    @settings(max_examples=40)
+    @given(_OPS, _OPS)
+    def test_overlay_matches_model_and_never_touches_parent(self, base_ops, fork_ops):
+        state = StateDB()
+        model = _ModelState()
+        for op, key, value in base_ops:
+            if model.apply(op, key, value):
+                _apply_to_state(state, op, key, value)
+        while state.journal_depth:
+            state.commit()
+        model.snapshots = []
+        parent_dict = state.to_dict()
+        overlay = state.fork()
+        fork_model = _ModelState(copy.deepcopy(model.data))
+        for op, key, value in fork_ops:
+            if fork_model.apply(op, key, value):
+                _apply_to_state(overlay, op, key, value)
+        assert overlay.to_dict() == fork_model.data
+        assert overlay.state_root() == hash_value(fork_model.data, allow_float=False)
+        assert state.to_dict() == parent_dict
+
+
+class TestRootEquivalenceProperties:
+    @settings(max_examples=60)
+    @given(_OPS)
+    def test_incremental_roots_match_recomputation(self, ops):
+        state = StateDB()
+        for op, key, value in ops:
+            if op in ("commit", "rollback") and state.journal_depth == 0:
+                continue
+            _apply_to_state(state, op, key, value)
+            # Interleave root queries with writes so cache invalidation is
+            # exercised mid-sequence, not just at the end.
+            if op == "set" and isinstance(value, int) and value % 5 == 0:
+                assert state.incremental_root() == state.recompute_incremental_root()
+        while state.journal_depth:
+            state.commit()
+        effective = state.to_dict()
+        assert state.state_root() == hash_value(effective, allow_float=False)
+        assert state.incremental_root() == state.recompute_incremental_root()
+        assert state.incremental_root() == bucketed_root_of_dict(effective)
+
+    @settings(max_examples=30)
+    @given(
+        st.dictionaries(_KEYS, _VALUES, max_size=10),
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("set"), _KEYS, _VALUES),
+                st.tuples(st.just("delete"), _KEYS, st.none()),
+            ),
+            max_size=15,
+        ),
+    )
+    def test_overlay_incremental_root_matches_recomputation(self, initial, diff):
+        base = StateDB(dict(initial))
+        base.incremental_root()  # warm base bucket caches first
+        overlay = base.fork()
+        for op, key, value in diff:
+            _apply_to_state(overlay, op, key, value)
+        assert overlay.incremental_root() == overlay.recompute_incremental_root()
+        assert overlay.state_root() == hash_value(
+            overlay.to_dict(), allow_float=False
+        )

@@ -1,0 +1,147 @@
+"""Bit-identicality gate for the copy-on-write state refactor.
+
+The golden hashes below were produced by the pre-refactor implementation
+(full-dict snapshots, deep-copying reads/writes, from-scratch roots) on the
+exact same scenario.  The journaled/overlay/incremental state layer must
+reproduce every one of them byte for byte: state roots feed block hashes,
+so any drift here is a consensus break, not a formatting nit.
+"""
+
+from repro.chain.blocks import make_genesis
+from repro.chain.state import StateDB
+from repro.chain.transactions import make_call, make_deploy, make_transfer
+from repro.common.hashing import hash_value, hash_value_hex
+from repro.common.signatures import KeyPair
+from repro.consensus.node import NodeConfig, make_network_nodes
+from repro.consensus.poa import ProofOfAuthority
+from repro.contracts.library import DATA_REGISTRY_SOURCE
+from repro.sim.kernel import Kernel
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import Network
+
+GOLDEN_STATE_ROOT = (
+    "7727f5269c19af523908eb88a00cb6b256e4d695fb8a1beb3b934e451ee822ac"
+)
+GOLDEN_RECEIPTS_HASH = (
+    "3ece6ff8b4954f4758eeb0446ba6cad5bd573644d1a77c85958eab3920337786"
+)
+GOLDEN_HEAD_BLOCK_ID = (
+    "67f2bf8c383d1bff476193d5c058988ada757d36735a08de3d148d390ecd689c"
+)
+
+
+def _run_scenario(state_prune_window: int = 64):
+    kernel = Kernel(seed=7)
+    metrics = MetricsRegistry()
+    network = Network(kernel, metrics)
+    owner = KeyPair.generate("golden-owner")
+    state = StateDB()
+    state.credit(owner.address, 10**9)
+    genesis = make_genesis(state.state_root())
+    names = [f"n{i}" for i in range(3)]
+    keypairs = {name: KeyPair.generate(name) for name in names}
+    engine = ProofOfAuthority(names, keypairs, block_interval_s=1.0)
+    nodes = make_network_nodes(
+        kernel,
+        network,
+        names,
+        genesis,
+        state,
+        lambda: engine,
+        metrics=metrics,
+        config=NodeConfig(
+            max_txs_per_block=5, state_prune_window=state_prune_window
+        ),
+    )
+    for node in nodes.values():
+        node.start()
+    entry = nodes["n0"]
+    txs = []
+    deploy = make_deploy(
+        owner, "registry", DATA_REGISTRY_SOURCE, nonce=0, gas_limit=10**9
+    )
+    txs.append(deploy)
+    entry.submit_tx(deploy)
+    kernel.run(until=30)
+    contract_id = entry.receipt(deploy.tx_id).output
+    nonce = 1
+    for index in range(6):
+        tx = make_call(
+            owner,
+            contract_id,
+            "register_dataset",
+            {
+                "dataset_id": f"ds-{index}",
+                "site": "n0",
+                "schema": "s",
+                "record_count": 10 + index,
+                "merkle_root": "ab" * 32,
+            },
+            nonce=nonce,
+            gas_limit=10**8,
+        )
+        nonce += 1
+        txs.append(tx)
+        entry.submit_tx(tx)
+    transfer = make_transfer(owner, keypairs["n1"].address, 1234, nonce=nonce)
+    txs.append(transfer)
+    entry.submit_tx(transfer)
+    kernel.run(until=120)
+    return nodes, names, entry, txs
+
+
+def _receipts_hash(entry, txs):
+    receipts = []
+    for tx in txs:
+        receipt = entry.receipt(tx.tx_id)
+        receipts.append(
+            {
+                "tx_id": receipt.tx_id,
+                "success": receipt.success,
+                "gas_used": receipt.gas_used,
+                "output": receipt.output,
+                "error": receipt.error,
+                "events": [
+                    [
+                        event.contract_id,
+                        event.name,
+                        event.data,
+                        event.tx_id,
+                        event.block_height,
+                    ]
+                    for event in receipt.events
+                ],
+            }
+        )
+    return hash_value_hex(receipts, allow_float=False)
+
+
+def test_state_roots_receipts_and_blocks_bit_identical_to_seed():
+    nodes, names, entry, txs = _run_scenario()
+    roots = {name: nodes[name].state.state_root().hex() for name in names}
+    assert set(roots.values()) == {GOLDEN_STATE_ROOT}, roots
+    assert _receipts_hash(entry, txs) == GOLDEN_RECEIPTS_HASH
+    assert entry.head.block_id == GOLDEN_HEAD_BLOCK_ID
+
+
+def test_incremental_machinery_agrees_with_naive_recomputation():
+    nodes, names, entry, _ = _run_scenario()
+    for name in names:
+        state = nodes[name].state
+        # Legacy digest: incremental fragment assembly == full serialization.
+        assert state.state_root() == hash_value(state.to_dict(), allow_float=False)
+        # Bucketed Merkle root: cached == from scratch.
+        assert state.incremental_root() == state.recompute_incremental_root()
+
+
+def test_aggressive_pruning_does_not_change_consensus_results():
+    nodes, names, entry, txs = _run_scenario(state_prune_window=1)
+    roots = {name: nodes[name].state.state_root().hex() for name in names}
+    assert set(roots.values()) == {GOLDEN_STATE_ROOT}, roots
+    assert _receipts_hash(entry, txs) == GOLDEN_RECEIPTS_HASH
+    assert entry.head.block_id == GOLDEN_HEAD_BLOCK_ID
+    # The retained state map is bounded by the window, not chain length.
+    for name in names:
+        node = nodes[name]
+        assert len(node._states) <= node.store.height + 1
+        assert len(node._states) <= 1 + 2  # boundary + head window + slack
