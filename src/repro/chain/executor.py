@@ -142,6 +142,11 @@ def speculate_block_transactions(
     same parent costs O(write-set) each.  The returned overlay can be kept
     (the block was adopted), discarded (the block lost), or
     ``flatten()``-ed into a standalone state at the canonical head.
+
+    Forking freezes ``base_state`` against direct writes, but only for as
+    long as the overlay is live: dropping the last reference to a losing
+    overlay (or calling ``overlay.discard()`` for a deterministic release)
+    unfreezes the base automatically.
     """
     overlay = base_state.fork()
     receipts = apply_block_transactions(executor, overlay, transactions, context)

@@ -31,7 +31,10 @@ The substrate is built so every hot operation costs O(writes), not O(state):
   walk the chain; per-block execution forks the parent state as an O(1)
   delta instead of copying it.  ``flatten()`` materializes the effective
   view into a standalone base state; ``collapse()`` does the same in place
-  (used by state pruning so retained children keep working).
+  (used by state pruning so retained children keep working).  Forking
+  freezes the parent only while overlays are live: when the last overlay
+  is discarded (garbage-collected, ``discard()``-ed, or collapsed) the
+  parent accepts direct writes again.
 
 - **Incremental roots.**  ``state_root()`` stays **bit-identical** to the
   historical full-serialization digest, but is assembled from per-key
@@ -52,6 +55,7 @@ from __future__ import annotations
 import copy
 import hashlib
 import os
+import weakref
 from bisect import bisect_left, insort
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
@@ -133,6 +137,10 @@ class StateDB:
         # (a value reference, _DELETED, or _MISSING when the key was absent).
         self._journal: List[Dict[str, Any]] = []
         self._frozen = False
+        # Live overlays forked (with freeze) off this state.  Weak refs:
+        # an overlay that is discarded simply disappears from the set, and
+        # once it is empty the freeze lifts (see _assert_mutable).
+        self._overlays: "weakref.WeakSet[StateDB]" = weakref.WeakSet()
         # Legacy-root machinery: per-key canonical fragments + cached root.
         self._fragments: Dict[str, bytes] = {}
         self._eff_keys: Optional[List[str]] = None
@@ -167,6 +175,10 @@ class StateDB:
         return _MISSING
 
     def _assert_mutable(self) -> None:
+        if self._frozen and not self._overlays:
+            # Every freezing overlay has been discarded (garbage-collected,
+            # discard()ed, or collapse()d); direct writes are safe again.
+            self._frozen = False
         if self._frozen:
             raise ChainError(
                 "state is frozen (it has live overlays); fork() it instead"
@@ -396,16 +408,22 @@ class StateDB:
 
         By default forking freezes this state: further direct writes raise,
         because a parent mutating underneath its overlays would silently
-        change every child's effective view (and its cached roots).  Pass
-        ``freeze=False`` for a *transient* fork (e.g. a read-only view
-        call) that is discarded before the parent can be written again.
+        change every child's effective view (and its cached roots).  The
+        freeze is tied to the overlay's lifetime — once the last freezing
+        overlay is discarded (garbage-collected, :meth:`StateOverlay.discard`-ed,
+        or :meth:`collapse`-d into a standalone state) the parent accepts
+        direct writes again.  Pass ``freeze=False`` for a *transient* fork
+        (e.g. a read-only view call) that never freezes the parent; such a
+        fork must be discarded before the parent is written again.
         """
         if self._journal:
             raise ChainError("cannot fork a state with open snapshots")
         self._debug_verify()
+        overlay = StateOverlay(self)
         if freeze:
             self._frozen = True
-        return StateOverlay(self)
+            self._overlays.add(overlay)
+        return overlay
 
     @property
     def overlay_depth(self) -> int:
@@ -417,7 +435,26 @@ class StateDB:
         return depth
 
     def _effective_dict(self) -> Dict[str, Any]:
-        return {key: self._lookup(key) for key in self._effective_sorted_keys()}
+        """Materialize the effective view as one flat dict.
+
+        Folded bottom-up — copy the base layer's dict, then apply each
+        overlay's writes and tombstones from deepest to shallowest — so the
+        cost is O(base size + sum of overlay write-sets) with a plain-dict
+        constant, instead of a per-key parent-chain walk plus a sort.
+        """
+        layers: List[StateDB] = []
+        layer: Optional[StateDB] = self
+        while layer is not None:
+            layers.append(layer)
+            layer = layer._parent
+        data = dict(layers[-1]._data)  # base layer holds no tombstones
+        for overlay in reversed(layers[:-1]):
+            for key, value in overlay._data.items():
+                if value is _DELETED:
+                    data.pop(key, None)
+                else:
+                    data[key] = value
+        return data
 
     def flatten(self) -> "StateDB":
         """Materialize the effective view into a standalone base state.
@@ -452,7 +489,13 @@ class StateDB:
             raise ChainError("cannot collapse a state with open snapshots")
         fragments = self._gather_fragment_cache()
         self._data = self._effective_dict()
+        parent = self._parent
         self._parent = None
+        # This layer no longer reads through its parent; lift the parent's
+        # freeze if we were its last live overlay.
+        parent._overlays.discard(self)
+        if parent._frozen and not parent._overlays:
+            parent._frozen = False
         self._fragments = {
             key: fragment for key, fragment in fragments.items() if key in self._data
         }
@@ -469,14 +512,26 @@ class StateDB:
         return self
 
     def _gather_fragment_cache(self) -> Dict[str, bytes]:
-        """Best-effort union of fragment caches along the chain (shallowest
-        layer wins, mirroring value shadowing)."""
+        """Best-effort union of fragment caches along the chain.
+
+        Only the fragment cached by a key's *effective owner* — the
+        shallowest layer with any local entry for it — is valid.  A layer
+        that wrote a key but has not cached a fragment yet (no root was
+        computed since the write) still shadows deeper layers, so their
+        stale fragments for that key must be skipped, not merged; carrying
+        one forward would make the next ``state_root()`` after a
+        ``flatten()``/``collapse()`` encode the old value.
+        """
         merged: Dict[str, bytes] = {}
+        shadowed: Set[str] = set()
         layer: Optional[StateDB] = self
         while layer is not None:
             for key, fragment in layer._fragments.items():
-                if key not in merged and layer._data.get(key, _MISSING) is not _DELETED:
-                    merged.setdefault(key, fragment)
+                if key in shadowed or key in merged:
+                    continue
+                if layer._data.get(key, _MISSING) is not _DELETED:
+                    merged[key] = fragment
+            shadowed.update(layer._data)
             layer = layer._parent
         return merged
 
@@ -689,6 +744,24 @@ class StateOverlay(StateDB):
     @property
     def parent(self) -> StateDB:
         return self._parent
+
+    def discard(self) -> None:
+        """Explicitly release this overlay, unfreezing the parent if this
+        was its last live overlay.
+
+        Dropping the last reference to an overlay has the same effect (the
+        liveness tracking is weak); ``discard()`` makes the release
+        deterministic, e.g. when a speculative block loses the race and its
+        overlay is thrown away.  The overlay must not be used afterwards:
+        once the parent accepts new writes, this overlay's effective view
+        and cached roots are undefined.
+        """
+        parent = self._parent
+        if parent is None:
+            return
+        parent._overlays.discard(self)
+        if parent._frozen and not parent._overlays:
+            parent._frozen = False
 
 
 def bucketed_root_of_dict(data: Dict[str, Any]) -> bytes:

@@ -40,12 +40,25 @@ class NodeConfig:
     rebroadcast_txs: bool = True
     rebroadcast_blocks: bool = True
     # Per-block states older than this many blocks below the head are
-    # pruned (the boundary state is collapsed into a standalone base), so
-    # state memory is bounded by chain *width* within the window rather
-    # than chain *length*.  Longest-chain reorgs deeper than the window
-    # cannot be re-validated (their parent states are gone); 0 disables
-    # pruning.  Matches the fork-choice finality assumption of ChainStore.
+    # pruned, so state memory is bounded by chain *width* within the
+    # window rather than chain *length*.  Longest-chain reorgs deeper than
+    # the window cannot be re-validated (their parent states are gone);
+    # 0 disables pruning.  Matches the fork-choice finality assumption of
+    # ChainStore.  Caveat: states retained inside the window (the
+    # canonical boundary and recent fork tips) may still reference pruned
+    # ancestor *layers* through their copy-on-write parent chains until
+    # they are collapsed or age out, so reclamation of a pruned layer can
+    # lag by up to a window; the retained chain below the boundary is
+    # bounded by state_collapse_interval layers (each the size of one
+    # block's write-set) plus one shared collapsed base, so the lag is
+    # bounded, never proportional to chain length.
     state_prune_window: int = 64
+    # The window-boundary state is collapsed into a standalone base only
+    # once its overlay chain is at least this deep, so the O(state-size)
+    # collapse cost is paid once per interval — amortized
+    # O(state/interval + write-set) per block — instead of rebuilding the
+    # full state dict on every new head.  1 collapses on every block.
+    state_collapse_interval: int = 16
     # Cap on the ChainStore orphan buffer (oldest-first eviction).
     max_orphan_blocks: int = 512
 
@@ -318,12 +331,17 @@ class BlockchainNode(Process):
     def _prune_states(self) -> None:
         """Bound per-block state retention to the finality window.
 
-        Full (collapsed) state is kept only at the window boundary on the
-        canonical chain; newer blocks — canonical or recent forks — keep
-        their copy-on-write overlays.  Everything older is dropped, so
-        state memory scales with chain width inside the window rather than
-        with total chain length.  Blocks attaching below the boundary can
-        no longer be validated (documented finality assumption).
+        Full (collapsed) state is kept only at (or a bounded distance
+        below) the window boundary on the canonical chain; newer blocks —
+        canonical or recent forks — keep their copy-on-write overlays.
+        Everything older is dropped from the per-block maps, so state
+        memory scales with chain width inside the window rather than with
+        total chain length.  The boundary state is collapsed only once its
+        overlay chain reaches ``state_collapse_interval`` layers, keeping
+        steady-state per-block cost at O(write-set) amortized instead of
+        rebuilding the full state dict on every head change.  Blocks
+        attaching below the boundary can no longer be validated
+        (documented finality assumption).
         """
         window = self.config.state_prune_window
         if window <= 0:
@@ -336,7 +354,9 @@ class BlockchainNode(Process):
         for _ in range(window):
             boundary = self.store.get(boundary.header.parent_hash.hex())
         boundary_state = self._states.get(boundary.block_id)
-        if boundary_state is not None:
+        if boundary_state is not None and boundary_state.overlay_depth >= max(
+            1, self.config.state_collapse_interval
+        ):
             boundary_state.collapse()
         stale = [
             block_id

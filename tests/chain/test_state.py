@@ -215,9 +215,44 @@ class TestOverlay:
     def test_parent_frozen_after_fork(self):
         base = StateDB()
         base.set("x", 1)
-        base.fork()
+        overlay = base.fork()
         with pytest.raises(ChainError):
             base.set("x", 2)
+        assert overlay.get("x") == 1
+
+    def test_parent_unfreezes_when_last_overlay_discarded(self):
+        # Regression: a speculative fork must not freeze the base forever.
+        # Dropping the last live overlay lifts the freeze automatically.
+        base = StateDB()
+        base.set("x", 1)
+        overlay = base.fork()
+        with pytest.raises(ChainError):
+            base.set("x", 2)
+        del overlay
+        base.set("x", 2)
+        assert base.get("x") == 2
+
+    def test_parent_stays_frozen_while_any_overlay_lives(self):
+        base = StateDB()
+        base.set("x", 1)
+        o1 = base.fork()
+        o2 = base.fork()
+        del o1
+        with pytest.raises(ChainError):
+            base.set("x", 2)
+        o2.discard()  # deterministic release of the last overlay
+        base.set("x", 2)
+        assert base.get("x") == 2
+
+    def test_collapse_releases_parent_freeze(self):
+        base = StateDB()
+        base.set("x", 1)
+        overlay = base.fork()
+        overlay.set("y", 2)
+        overlay.collapse()
+        base.set("x", 3)  # overlay is standalone; base writable again
+        assert overlay.get("x") == 1
+        assert overlay.get("y") == 2
 
     def test_transient_fork_leaves_parent_writable(self):
         base = StateDB()
@@ -274,6 +309,54 @@ class TestOverlay:
         assert flat.overlay_depth == 0
         assert dict(flat.items()) == {"b": 2}
         assert flat.state_root() == overlay.state_root()
+
+    def test_flatten_root_fresh_after_overlay_shadows_cached_fragment(self):
+        # Regression: the base had cached a fragment for "k" (state_root
+        # was computed), then an overlay overwrote "k" and was flattened
+        # WITHOUT an intervening state_root() on the overlay.  The stale
+        # base fragment must not be carried into the flat state, or its
+        # next root would encode the old value — a silent consensus-root
+        # divergence.
+        base = StateDB()
+        base.set("k", 1)
+        base.set("other", "x")
+        base.state_root()  # caches base's fragment for "k"
+        overlay = base.fork()
+        overlay.set("k", 999)
+        flat = overlay.flatten()
+        assert flat.get("k") == 999
+        assert flat.state_root() == hash_value(flat.to_dict(), allow_float=False)
+        expected = StateDB({"k": 999, "other": "x"})
+        assert flat.state_root() == expected.state_root()
+
+    def test_collapse_root_fresh_after_overlay_shadows_cached_fragment(self):
+        # Same regression as above, through the in-place collapse() path.
+        base = StateDB()
+        base.set("k", 1)
+        base.state_root()
+        overlay = base.fork()
+        overlay.set("k", 999)
+        overlay.collapse()
+        assert overlay.get("k") == 999
+        assert overlay.state_root() == hash_value({"k": 999}, allow_float=False)
+
+    def test_chained_flatten_keeps_shallowest_writer_fragment(self):
+        # Three layers: the middle layer's cached fragment must win over
+        # the base's, and the top layer's uncached write must win over
+        # both cached fragments.
+        base = StateDB()
+        base.set("a", 1)
+        base.set("b", 1)
+        base.state_root()
+        mid = base.fork()
+        mid.set("a", 2)
+        mid.state_root()  # caches mid's fragment for "a"
+        top = mid.fork()
+        top.set("b", 3)  # shadows base's cached "b" fragment, uncached
+        flat = top.flatten()
+        assert flat.state_root() == hash_value(
+            {"a": 2, "b": 3}, allow_float=False
+        )
 
     def test_collapse_preserves_content_and_children(self):
         base = StateDB()

@@ -189,6 +189,46 @@ class TestStatePruning:
             assert len(node._block_receipts) <= len(node._states)
         assert metrics.counter("state_entries_pruned", scope="n0") > 0
 
+    def test_boundary_collapse_deferred_by_interval(self, alice):
+        # The boundary state is collapsed only every state_collapse_interval
+        # blocks (amortizing the O(state) collapse), so overlay chains stay
+        # bounded by interval + window and nodes still converge.
+        kernel, __, ___, nodes = build_network(3, funder=alice)
+        for node in nodes.values():
+            node.config.state_prune_window = 2
+            node.config.state_collapse_interval = 3
+            node.config.max_txs_per_block = 1
+        txs = [make_transfer(alice, "dest", 1, nonce=n) for n in range(8)]
+        for tx in txs:
+            nodes["n0"].submit_tx(tx)
+        commit(kernel, nodes, txs[-1], timeout=300.0)
+        for node in nodes.values():
+            bound = (
+                node.config.state_prune_window
+                + node.config.state_collapse_interval
+            )
+            assert node.state.overlay_depth <= bound
+        roots = {node.state.state_root() for node in nodes.values()}
+        assert len(roots) == 1
+        assert nodes["n0"].state.balance("dest") == 8
+
+    def test_collapse_interval_one_restores_per_block_collapse(self, alice):
+        kernel, __, ___, nodes = build_network(2, funder=alice)
+        for node in nodes.values():
+            node.config.state_prune_window = 2
+            node.config.state_collapse_interval = 1
+            node.config.max_txs_per_block = 1
+        txs = [make_transfer(alice, "dest", 1, nonce=n) for n in range(6)]
+        for tx in txs:
+            nodes["n0"].submit_tx(tx)
+        commit(kernel, nodes, txs[-1], timeout=300.0)
+        for node in nodes.values():
+            # Boundary collapsed on every head change: depth never exceeds
+            # the window itself.
+            assert node.state.overlay_depth <= node.config.state_prune_window
+        roots = {node.state.state_root() for node in nodes.values()}
+        assert len(roots) == 1
+
     def test_pruned_node_still_converges_and_serves_receipts(self, alice):
         kernel, __, ___, nodes = build_network(3, funder=alice)
         for node in nodes.values():
