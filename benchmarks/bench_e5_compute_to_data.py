@@ -14,10 +14,11 @@ wire and simulated completion time for both, plus the ratio.
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, format_table, human_bytes
+from _common import emit, emit_json, format_table, human_bytes
 
 from repro.common.signatures import KeyPair
 from repro.core.platform import MedicalBlockchainNetwork, PlatformConfig
@@ -101,5 +102,18 @@ def test_e5_compute_to_data(benchmark):
     assert abs(last["ctd_seconds"] - first["ctd_seconds"]) < 1.0
 
 
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a {bench, params, metrics, timestamp} "
+                             "envelope to PATH")
+    args = parser.parse_args(argv)
+    rows = report(run_experiment())
+    emit_json(args.json, "e5_compute_to_data",
+              {"sites": SITES, "records_per_site": list(RECORDS_PER_SITE)},
+              {"rows": rows})
+    return 0
+
+
 if __name__ == "__main__":
-    report(run_experiment())
+    sys.exit(main())

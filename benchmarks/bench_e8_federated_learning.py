@@ -14,12 +14,13 @@ ablation (FedAvg vs FedSGD vs single-shot averaging) — DESIGN.md ablation 4.
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 import numpy as np
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, format_table, human_bytes
+from _common import emit, emit_json, format_table, human_bytes
 
 from repro.analytics.features import FEATURE_DIM, dataset_for
 from repro.analytics.models import LogisticModel
@@ -142,5 +143,31 @@ def test_e8_federated_learning(benchmark):
     assert fedavg_auc >= oneshot_auc - 0.02
 
 
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a {bench, params, metrics, timestamp} "
+                             "envelope to PATH")
+    args = parser.parse_args(argv)
+    result = report(run_experiment())
+    mean_local = float(np.mean(list(result["local_aucs"].values())))
+    emit_json(args.json, "e8_federated_learning",
+              {"sites": SITES, "records_per_site": RECORDS_PER_SITE},
+              {
+                  "fed_auc": float(result["fed_auc"]),
+                  "central_auc": float(result["central_auc"]),
+                  "mean_local_auc": mean_local,
+                  "fed_bytes": int(result["fed_bytes"]),
+                  "central_bytes": int(result["central_bytes"]),
+                  "severity": float(result["severity"]),
+                  "series": result["series"],
+                  "ablation": [
+                      [name, float(auc), int(bytes_)]
+                      for name, auc, bytes_ in result["ablation"]
+                  ],
+              })
+    return 0
+
+
 if __name__ == "__main__":
-    report(run_experiment())
+    sys.exit(main())

@@ -51,10 +51,15 @@ class GlobalQueryService:
         platform: MedicalBlockchainNetwork,
         researcher: KeyPair,
         default_timeout_s: float = 600.0,
+        gateway: Optional[Any] = None,
     ):
         self.platform = platform
         self.researcher = researcher
         self.default_timeout_s = default_timeout_s
+        #: Optional repro.rpc gateway; when set, single-round aggregate
+        #: queries dispatch to (possibly remote) site servers over RPC
+        #: instead of through the simulated on-chain task round-trip.
+        self.gateway = gateway
         self._nonces = NonceTracker()
         self._results: Dict[str, TaskResult] = {}
         self._task_counter = 0
@@ -81,7 +86,29 @@ class GlobalQueryService:
                 "evaluate queries carry model parameters; call "
                 "GlobalQueryService.evaluate_model(model, vector) instead"
             )
+        if self.gateway is not None:
+            return self._execute_via_gateway(vector, timeout_s)
         return self._execute_single_round(vector, vector.tool_params(), timeout_s)
+
+    def _execute_via_gateway(
+        self, vector: QueryVector, timeout_s: Optional[float]
+    ) -> GlobalAnswer:
+        """Serve a single-round aggregate through the RPC gateway.
+
+        Decomposition, fan-out, and composition happen in the gateway; the
+        answer shape is identical to the simulated path, so callers cannot
+        tell (and tests assert they cannot tell by result content).
+        """
+        answer = self.gateway.execute(vector, timeout_s)
+        return GlobalAnswer(
+            query_id=answer.query_id,
+            vector=vector,
+            result=answer.result,
+            site_partials=answer.site_partials,
+            latency_s=answer.latency_s,
+            bytes_on_wire=answer.bytes_on_wire,
+            failed_sites=answer.failed_sites,
+        )
 
     def evaluate_model(
         self,

@@ -255,6 +255,31 @@ def tracer_override(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
         _override_tracer.reset(token)
 
 
+@contextmanager
+def collect_spans(
+    sim_time_source: Optional[Callable[[], float]] = None,
+) -> Iterator[Tracer]:
+    """Capture this context's spans into a fresh, isolated tracer.
+
+    The serving layer uses this per request: the handler's spans land in the
+    yielded tracer (never the process default), so they can be shipped back
+    to the caller in the RPC response envelope and re-parented there via
+    :meth:`Tracer.adopt` — cross-process trace propagation without any
+    shared collector.
+    """
+    collector = Tracer(sim_time_source)
+    token = _override_tracer.set(collector)
+    # The caller's active-span chain belongs to the *other* side of the
+    # boundary; detach it so the collected roots arrive with parent_id=None
+    # and adopt() can re-parent them deterministically.
+    span_token = _ACTIVE_SPAN.set(None)
+    try:
+        yield collector
+    finally:
+        _ACTIVE_SPAN.reset(span_token)
+        _override_tracer.reset(token)
+
+
 def tracing_enabled() -> bool:
     return current_tracer() is not None
 

@@ -23,6 +23,26 @@ EventHandler = Callable[[ContractEvent], None]
 RpcHandler = Callable[[Dict[str, Any]], Dict[str, Any]]
 
 
+class OracleEndpointError(OracleError):
+    """A typed oracle bridge failure: which endpoint, and how it failed.
+
+    ``kind`` is one of ``unknown_endpoint`` (no such endpoint registered),
+    ``handler_error`` (the endpoint's handler raised), or ``bad_response``
+    (the handler returned something that is not a canonical dict).  The RPC
+    layer forwards both fields in the error object's ``data`` so remote
+    callers can distinguish caller bugs from endpoint bugs.
+    """
+
+    def __init__(self, endpoint: str, kind: str, detail: str = ""):
+        self.endpoint = endpoint
+        self.kind = kind
+        self.detail = detail
+        message = f"oracle endpoint {endpoint!r}: {kind}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
 @dataclass
 class RpcCallRecord:
     """Audit record of one oracle bridge call."""
@@ -56,29 +76,47 @@ class DataOracle:
         return sorted(self._endpoints)
 
     def call(self, endpoint: str, request: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-        """Invoke an endpoint; returns a canonicalized response dict."""
+        """Invoke an endpoint; returns a canonicalized response dict.
+
+        Every outcome — success or any failure kind — lands in
+        ``call_log``, so the audit trail is complete even when the handler
+        itself raises an :class:`OracleError`.
+        """
         request = dict(request or {})
         handler = self._endpoints.get(endpoint)
         if handler is None:
-            self.call_log.append(
-                RpcCallRecord(endpoint, request, ok=False, error="unknown endpoint")
-            )
-            raise OracleError(f"unknown oracle endpoint {endpoint!r}")
+            raise self._fail(endpoint, request, "unknown_endpoint",
+                             "no such endpoint registered")
         try:
             response = handler(request)
-            normalized = to_jsonable(response)
-            if not isinstance(normalized, dict):
-                raise OracleError(f"endpoint {endpoint!r} must return a dict")
-            canonical_bytes(normalized)  # ensure it round-trips
-            self.call_log.append(RpcCallRecord(endpoint, request, ok=True))
-            return normalized
-        except OracleError:
-            raise
         except Exception as exc:
-            self.call_log.append(
-                RpcCallRecord(endpoint, request, ok=False, error=str(exc))
+            raise self._fail(
+                endpoint, request, "handler_error", str(exc)
+            ) from exc
+        normalized = to_jsonable(response)
+        if not isinstance(normalized, dict):
+            raise self._fail(
+                endpoint, request, "bad_response",
+                f"must return a dict, got {type(response).__name__}",
             )
-            raise OracleError(f"endpoint {endpoint!r} failed: {exc}") from exc
+        try:
+            canonical_bytes(normalized)  # ensure it round-trips
+        except Exception as exc:
+            raise self._fail(
+                endpoint, request, "bad_response",
+                f"response does not canonicalize: {exc}",
+            ) from exc
+        self.call_log.append(RpcCallRecord(endpoint, request, ok=True))
+        return normalized
+
+    def _fail(
+        self, endpoint: str, request: Dict[str, Any], kind: str, detail: str
+    ) -> OracleEndpointError:
+        error = OracleEndpointError(endpoint, kind, detail)
+        self.call_log.append(
+            RpcCallRecord(endpoint, request, ok=False, error=str(error))
+        )
+        return error
 
 
 class MonitorNode:

@@ -1,0 +1,162 @@
+"""JSON-RPC 2.0 codec over canonical serialization.
+
+Requests, notifications (no ``id``), batches, responses, and typed error
+objects — plus one protocol extension: an optional ``meta`` member on both
+requests and responses.  ``meta.trace`` carries the caller's span id across
+the wire and ``meta.spans`` ships the server-side spans back, which is how
+:mod:`repro.obs` trace trees stay connected across processes.  ``meta`` is
+ignored by any strict JSON-RPC peer, and absent entirely when tracing is
+off, so the extension costs nothing on the hot path.
+
+Payload bytes always come from :func:`repro.common.serialize.canonical_bytes`
+so both transports (TCP and in-process) produce byte-identical envelopes for
+the same logical call — the property the tcp/inproc equivalence gate rests on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.common.serialize import canonical_bytes
+from repro.rpc.errors import (
+    InvalidRequestError,
+    ParseError,
+    RpcError,
+    error_from_wire,
+)
+
+JSONRPC_VERSION = "2.0"
+
+Params = Union[Dict[str, Any], List[Any], None]
+RequestId = Union[str, int, None]
+
+#: Sentinel distinguishing "id absent" (notification) from "id: null".
+NO_ID = object()
+
+
+@dataclass
+class Request:
+    """One parsed request or notification."""
+
+    method: str
+    params: Params = None
+    request_id: Any = NO_ID
+    meta: Optional[Dict[str, Any]] = None
+
+    @property
+    def is_notification(self) -> bool:
+        return self.request_id is NO_ID
+
+    def to_wire(self) -> Dict[str, Any]:
+        obj: Dict[str, Any] = {"jsonrpc": JSONRPC_VERSION, "method": self.method}
+        if self.params is not None:
+            obj["params"] = self.params
+        if self.request_id is not NO_ID:
+            obj["id"] = self.request_id
+        if self.meta:
+            obj["meta"] = self.meta
+        return obj
+
+
+@dataclass
+class Response:
+    """One parsed response: exactly one of ``result`` / ``error`` is set."""
+
+    request_id: RequestId
+    result: Any = None
+    error: Optional[RpcError] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_wire(self) -> Dict[str, Any]:
+        obj: Dict[str, Any] = {"jsonrpc": JSONRPC_VERSION, "id": self.request_id}
+        if self.error is not None:
+            obj["error"] = self.error.to_wire()
+        else:
+            obj["result"] = self.result
+        if self.meta:
+            obj["meta"] = self.meta
+        return obj
+
+
+def encode_payload(obj: Any) -> bytes:
+    """Canonical UTF-8 JSON bytes for one envelope (or batch list)."""
+    return canonical_bytes(obj)
+
+
+def decode_payload(data: bytes) -> Any:
+    """Parse raw frame bytes; malformed JSON becomes a typed parse error."""
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ParseError(f"malformed JSON payload: {exc}") from exc
+
+
+def _validate_id(value: Any) -> Any:
+    if value is None or isinstance(value, (str, int)):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    raise InvalidRequestError("id must be a string, integer, or null")
+
+
+def parse_request(obj: Any) -> Request:
+    """Validate one request object (spec §4); raises typed errors."""
+    if not isinstance(obj, dict):
+        raise InvalidRequestError("request must be an object")
+    if obj.get("jsonrpc") != JSONRPC_VERSION:
+        raise InvalidRequestError("jsonrpc member must be '2.0'")
+    method = obj.get("method")
+    if not isinstance(method, str) or not method:
+        raise InvalidRequestError("method must be a non-empty string")
+    params = obj.get("params")
+    if params is not None and not isinstance(params, (dict, list)):
+        raise InvalidRequestError("params must be an object or array")
+    meta = obj.get("meta")
+    if meta is not None and not isinstance(meta, dict):
+        raise InvalidRequestError("meta must be an object")
+    request_id = _validate_id(obj["id"]) if "id" in obj else NO_ID
+    return Request(method=method, params=params, request_id=request_id, meta=meta)
+
+
+def parse_response(obj: Any) -> Response:
+    """Validate one response object; the error member becomes a typed error."""
+    if not isinstance(obj, dict):
+        raise InvalidRequestError("response must be an object")
+    if obj.get("jsonrpc") != JSONRPC_VERSION:
+        raise InvalidRequestError("response jsonrpc member must be '2.0'")
+    if "id" not in obj:
+        raise InvalidRequestError("response is missing id")
+    meta = obj.get("meta") or {}
+    if "error" in obj:
+        error_obj = obj["error"]
+        if not isinstance(error_obj, dict) or "code" not in error_obj:
+            raise InvalidRequestError("error member must carry a code")
+        return Response(
+            request_id=obj["id"], error=error_from_wire(error_obj), meta=meta
+        )
+    if "result" not in obj:
+        raise InvalidRequestError("response carries neither result nor error")
+    return Response(request_id=obj["id"], result=obj["result"], meta=meta)
+
+
+def parse_batch(payload: Any) -> Tuple[List[Any], bool]:
+    """Split a decoded payload into request objects plus a was-batch flag.
+
+    An empty batch is a spec violation; the caller answers it with a single
+    INVALID_REQUEST response.
+    """
+    if isinstance(payload, list):
+        if not payload:
+            raise InvalidRequestError("batch must not be empty")
+        return list(payload), True
+    return [payload], False
+
+
+def error_response(request_id: RequestId, error: RpcError) -> Response:
+    return Response(request_id=request_id, error=error)

@@ -1,0 +1,83 @@
+"""Deterministic demo network builders for RPC serving.
+
+The TCP story needs *separate processes* to agree on the world: the
+gateway process and each site server process independently boot the same
+platform from the same seed (key generation, cohort synthesis, and chain
+boot are all seed-deterministic), so a site server holds exactly the data
+the gateway's catalog promises — with no shared memory and nothing copied
+between processes.  The same builders back the in-process transport, which
+is what makes the E15 tcp-vs-inproc hash equivalence check meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.common.signatures import KeyPair
+from repro.core.platform import MedicalBlockchainNetwork, PlatformConfig
+from repro.datamgmt.cohort import CohortGenerator, default_site_profiles
+from repro.rpc.gateway import InprocGateway
+from repro.rpc.methods import SiteService, build_site_registry
+from repro.rpc.server import RpcServer
+
+DEFAULT_SEED = 2026
+
+
+def build_demo_network(
+    site_count: int = 3,
+    records_per_site: int = 120,
+    seed: int = DEFAULT_SEED,
+) -> Tuple[MedicalBlockchainNetwork, KeyPair]:
+    """Boot a platform with registered datasets and a granted researcher.
+
+    Every byte of state is a pure function of the arguments, so any two
+    processes calling this with the same arguments hold identical sites.
+    """
+    generator = CohortGenerator(seed=seed)
+    cohorts = generator.generate_multi_site(
+        default_site_profiles(site_count), records_per_site
+    )
+    platform = MedicalBlockchainNetwork(
+        PlatformConfig(
+            site_count=site_count, consensus="poa", include_fda=False, seed=seed
+        )
+    )
+    for site, records in sorted(cohorts.items()):
+        platform.register_dataset(site, f"emr-{site}", records)
+    researcher = KeyPair.generate(f"rpc-demo-researcher-{seed}")
+    for site in platform.site_names:
+        platform.grant_access(site, f"emr-{site}", researcher.address, "research")
+    return platform, researcher
+
+
+def build_site_server(
+    platform: MedicalBlockchainNetwork,
+    site_name: str,
+    *,
+    max_inflight: int = 64,
+    default_timeout_s: float = 30.0,
+    task_timeout_s: Optional[float] = None,
+) -> RpcServer:
+    """An :class:`RpcServer` exposing one platform site's method surface."""
+    service = SiteService.from_site(platform.sites[site_name])
+    registry = build_site_registry(service, task_timeout_s=task_timeout_s)
+    return RpcServer(
+        registry,
+        name=site_name,
+        max_inflight=max_inflight,
+        default_timeout_s=default_timeout_s,
+        metrics=platform.metrics,
+    )
+
+
+def build_inproc_gateway(
+    platform: MedicalBlockchainNetwork,
+    *,
+    max_inflight: int = 64,
+) -> InprocGateway:
+    """An in-process gateway over every site of a booted platform."""
+    servers: Dict[str, RpcServer] = {
+        site: build_site_server(platform, site, max_inflight=max_inflight)
+        for site in platform.site_names
+    }
+    return InprocGateway(servers)

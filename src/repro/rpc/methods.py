@@ -1,0 +1,248 @@
+"""Method surface a site server exposes (Figures 3-5 over a real wire).
+
+``build_site_registry`` binds one hospital site's components — local data
+store, analytics tool runner, blockchain node, data oracle — to the JSON-RPC
+method names the gateway and external clients call:
+
+- ``health`` / ``rpc.methods`` / ``rpc.echo`` — liveness, discovery, and a
+  payload-size probe for load benchmarks;
+- ``site.catalog`` — the datasets this site hosts (feeds decomposition);
+- ``site.run_task`` — run a registered analytics tool over local records
+  ("move compute to the data" as a served endpoint);
+- ``site.query`` — execute one decomposed sub-query and return the partial
+  result plus its content hash;
+- ``oracle.fetch`` — the paper's data-oracle bridge, served;
+- ``chain.get_block`` / ``node.submit_tx`` — read blocks and submit signed
+  transactions to this site's blockchain node.
+
+Handlers return plain jsonable dicts and raise domain errors; the server
+maps those to typed JSON-RPC error objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.errors import ChainError
+from repro.common.serialize import to_jsonable
+from repro.query.vector import QueryVector
+from repro.rpc.errors import InvalidParamsError
+from repro.rpc.server import MethodRegistry
+
+_VECTOR_FIELDS = {field.name for field in dataclasses.fields(QueryVector)}
+
+
+def vector_from_wire(vector: Dict[str, Any]) -> QueryVector:
+    """Rebuild a validated :class:`QueryVector` from its wire dict."""
+    if not isinstance(vector, dict):
+        raise InvalidParamsError("vector must be an object")
+    unknown = set(vector) - _VECTOR_FIELDS
+    if unknown:
+        raise InvalidParamsError(f"unknown vector fields: {sorted(unknown)}")
+    if "intent" not in vector:
+        raise InvalidParamsError("vector requires an intent")
+    built = QueryVector(**vector)
+    built.validate()
+    return built
+
+
+def vector_to_wire(vector: QueryVector) -> Dict[str, Any]:
+    return to_jsonable(vector)
+
+
+def transaction_from_wire(tx: Dict[str, Any]):
+    """Rebuild a signed :class:`Transaction` from its wire dict."""
+    from repro.chain.transactions import Transaction
+
+    if not isinstance(tx, dict):
+        raise InvalidParamsError("tx must be an object")
+
+    def _bytes(value: Any) -> bytes:
+        if isinstance(value, str):
+            return bytes.fromhex(value[2:] if value.startswith("0x") else value)
+        if isinstance(value, (bytes, bytearray)):
+            return bytes(value)
+        raise InvalidParamsError("byte fields must be hex strings")
+
+    try:
+        return Transaction(
+            sender=tx["sender"],
+            nonce=int(tx["nonce"]),
+            kind=tx["kind"],
+            payload=dict(tx["payload"]),
+            gas_limit=int(tx.get("gas_limit", 2_000_000)),
+            timestamp_ms=int(tx.get("timestamp_ms", 0)),
+            public_key=_bytes(tx.get("public_key", b"")),
+            signature=_bytes(tx.get("signature", b"")),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidParamsError(f"malformed transaction: {exc}") from exc
+
+
+@dataclass
+class SiteService:
+    """The components of one site that the method surface binds to.
+
+    Duck-typed: ``store`` needs ``dataset_ids``/``get_records`` (and
+    optionally ``record_count``), ``runner`` a :class:`TaskRunner`,
+    ``node``/``oracle`` may be ``None`` for data-only deployments.
+    """
+
+    name: str
+    store: Any
+    runner: Any
+    node: Any = None
+    oracle: Any = None
+    schema: str = "patient-canonical-v1"
+
+    @classmethod
+    def from_site(cls, site: Any) -> "SiteService":
+        """Adapter from :class:`repro.core.platform.Site`."""
+        return cls(
+            name=site.name,
+            store=site.store,
+            runner=site.control.runner,
+            node=site.node,
+            oracle=site.monitor.oracle,
+        )
+
+    # -- local helpers -----------------------------------------------------
+    def _records_for(self, dataset_ids: Optional[Sequence[str]]) -> List[Dict[str, Any]]:
+        ids = list(dataset_ids) if dataset_ids else self.store.dataset_ids()
+        records: List[Dict[str, Any]] = []
+        for dataset_id in sorted(ids):
+            records.extend(self.store.get_records(dataset_id))
+        return records
+
+    def _record_count(self, dataset_id: str) -> int:
+        counter = getattr(self.store, "record_count", None)
+        if counter is not None:
+            return int(counter(dataset_id))
+        return len(self.store.get_records(dataset_id))
+
+
+def build_site_registry(
+    service: SiteService,
+    *,
+    task_timeout_s: Optional[float] = None,
+) -> MethodRegistry:
+    """The full method registry for one site server."""
+    registry = MethodRegistry()
+
+    def health() -> Dict[str, Any]:
+        info: Dict[str, Any] = {
+            "status": "ok",
+            "site": service.name,
+            "datasets": service.store.dataset_ids(),
+        }
+        if service.node is not None:
+            info["height"] = service.node.head.height
+        return info
+
+    def rpc_methods() -> Dict[str, Any]:
+        return {"methods": registry.names()}
+
+    def rpc_echo(payload: Any = None) -> Dict[str, Any]:
+        return {"payload": payload}
+
+    def site_catalog() -> Dict[str, Any]:
+        return {
+            "site": service.name,
+            "datasets": [
+                {
+                    "site": service.name,
+                    "dataset_id": dataset_id,
+                    "record_count": service._record_count(dataset_id),
+                    "schema": service.schema,
+                }
+                for dataset_id in service.store.dataset_ids()
+            ],
+        }
+
+    def site_run_task(
+        task_id: str,
+        tool_id: str,
+        dataset_ids: Optional[List[str]] = None,
+        params: Optional[Dict[str, Any]] = None,
+        purpose: str = "research",
+    ) -> Dict[str, Any]:
+        records = service._records_for(dataset_ids)
+        result = service.runner.run(task_id, tool_id, records, dict(params or {}))
+        return {
+            "task_id": result.task_id,
+            "tool_id": result.tool_id,
+            "site": result.site,
+            "result": result.result,
+            "result_hash": result.result_hash,
+            "records_used": result.records_used,
+            "flops": result.flops,
+            "purpose": purpose,
+        }
+
+    def site_query(
+        vector: Dict[str, Any],
+        dataset_ids: Optional[List[str]] = None,
+        task_id: str = "",
+    ) -> Dict[str, Any]:
+        built = vector_from_wire(vector)
+        outcome = site_run_task(
+            task_id=task_id or f"{built.query_id}-{service.name}",
+            tool_id=built.tool_id(),
+            dataset_ids=dataset_ids,
+            params=built.tool_params(),
+            purpose=built.purpose,
+        )
+        outcome["query_id"] = built.query_id
+        return outcome
+
+    def oracle_fetch(
+        endpoint: str, request: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        if service.oracle is None:
+            raise InvalidParamsError(f"site {service.name!r} serves no oracle")
+        return service.oracle.call(endpoint, request)
+
+    def chain_get_block(
+        block_id: Optional[str] = None, height: Optional[int] = None
+    ) -> Dict[str, Any]:
+        if service.node is None:
+            raise InvalidParamsError(f"site {service.name!r} serves no chain node")
+        if (block_id is None) == (height is None):
+            raise InvalidParamsError("pass exactly one of block_id / height")
+        if block_id is not None:
+            block = service.node.store.get(block_id)  # raises ChainError
+        else:
+            block = service.node.store.block_at_height(int(height))
+            if block is None:
+                raise ChainError(f"no canonical block at height {height}")
+        wire = to_jsonable(block)
+        wire["block_id"] = block.block_id
+        return wire
+
+    def node_submit_tx(tx: Dict[str, Any]) -> Dict[str, Any]:
+        if service.node is None:
+            raise InvalidParamsError(f"site {service.name!r} serves no chain node")
+        transaction = transaction_from_wire(tx)
+        transaction.validate()  # raises ValidationError -> INVALID_TX
+        accepted = service.node.submit_tx(transaction)
+        return {"accepted": bool(accepted), "tx_id": transaction.tx_id}
+
+    registry.register("health", health, idempotent=True, timeout_s=5.0)
+    registry.register("rpc.methods", rpc_methods, idempotent=True, timeout_s=5.0)
+    registry.register("rpc.echo", rpc_echo, idempotent=True)
+    registry.register("site.catalog", site_catalog, idempotent=True)
+    registry.register(
+        "site.run_task", site_run_task, idempotent=True, timeout_s=task_timeout_s
+    )
+    registry.register(
+        "site.query", site_query, idempotent=True, timeout_s=task_timeout_s
+    )
+    registry.register("oracle.fetch", oracle_fetch, idempotent=True)
+    registry.register("chain.get_block", chain_get_block, idempotent=True)
+    # Submitting the same *signed* tx twice is deduplicated by the mempool,
+    # but a client-side retry could still race a nonce bump — keep it
+    # non-idempotent so the pool never auto-retries it.
+    registry.register("node.submit_tx", node_submit_tx)
+    return registry

@@ -1,0 +1,58 @@
+"""A background asyncio event loop usable from synchronous code.
+
+The platform's orchestration layer (`GlobalQueryService`, the benchmarks,
+the examples) is synchronous, while the RPC transport is asyncio.
+:class:`EventLoopThread` bridges the two: one daemon thread runs a private
+event loop; ``run()`` submits a coroutine and blocks for its result.  The
+gateway owns one of these so sync callers never touch asyncio directly —
+and code already inside a running loop can still use the async API natively.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import Future
+from typing import Any, Coroutine, Optional
+
+
+class EventLoopThread:
+    """A dedicated event loop on a daemon thread."""
+
+    def __init__(self, name: str = "repro-rpc-loop"):
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_forever, name=name, daemon=True
+        )
+        self._started = threading.Event()
+        self._thread.start()
+        self._started.wait()
+
+    def _run_forever(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.call_soon(self._started.set)
+        self._loop.run_forever()
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        return self._loop
+
+    def submit(self, coro: Coroutine[Any, Any, Any]) -> Future:
+        """Schedule a coroutine; returns a concurrent future."""
+        if not self._loop.is_running():
+            raise RuntimeError("event loop thread is stopped")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    def run(self, coro: Coroutine[Any, Any, Any], timeout_s: Optional[float] = None) -> Any:
+        """Run a coroutine to completion from sync code."""
+        return self.submit(coro).result(timeout_s)
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Stop the loop and join the thread (idempotent)."""
+        if self._loop.is_closed():
+            return
+        if self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout_s)
+        if not self._loop.is_running():
+            self._loop.close()

@@ -1,0 +1,96 @@
+"""Run one hospital site as a standalone RPC server process.
+
+    PYTHONPATH=src python -m repro.rpc.site_server --site hospital-0 \
+        --sites 3 --records 120 --seed 2026 --port 0
+
+The process boots the deterministic demo network (see
+:mod:`repro.rpc.demo`), serves the named site's method surface on the
+given address, and prints one machine-readable line to stdout once bound::
+
+    LISTENING 127.0.0.1 43571
+
+It exits cleanly — draining in-flight requests — when its stdin reaches
+EOF (the supervisor closed the pipe) or on SIGTERM/SIGINT.  The E15
+benchmark and the CI smoke job supervise fleets of these processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+
+from repro.rpc.demo import DEFAULT_SEED, build_demo_network, build_site_server
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--site", required=True, help="site name, e.g. hospital-0")
+    parser.add_argument("--sites", type=int, default=3, help="sites in the demo network")
+    parser.add_argument("--records", type=int, default=120, help="records per site")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    parser.add_argument("--max-inflight", type=int, default=64)
+    parser.add_argument("--default-timeout-s", type=float, default=30.0)
+    return parser.parse_args(argv)
+
+
+async def _watch_stdin(stop: asyncio.Event) -> None:
+    """Set ``stop`` when stdin reaches EOF (supervisor closed the pipe)."""
+    loop = asyncio.get_running_loop()
+    try:
+        at_eof = await loop.run_in_executor(None, _stdin_at_eof)
+    except Exception:
+        at_eof = True
+    if at_eof:
+        stop.set()
+
+
+def _stdin_at_eof() -> bool:
+    try:
+        while sys.stdin.buffer.read(4096):
+            pass
+    except Exception:
+        pass
+    return True
+
+
+async def serve(args: argparse.Namespace) -> int:
+    platform, _researcher = build_demo_network(
+        site_count=args.sites, records_per_site=args.records, seed=args.seed
+    )
+    if args.site not in platform.sites:
+        print(f"unknown site {args.site!r}; have {platform.site_names}", file=sys.stderr)
+        return 2
+    server = build_site_server(
+        platform,
+        args.site,
+        max_inflight=args.max_inflight,
+        default_timeout_s=args.default_timeout_s,
+    )
+    host, port = await server.start(args.host, args.port)
+    print(f"LISTENING {host} {port}", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError, ValueError):
+            loop.add_signal_handler(signum, stop.set)
+    watcher = asyncio.create_task(_watch_stdin(stop))
+    await stop.wait()
+    watcher.cancel()
+    with contextlib.suppress(asyncio.CancelledError):
+        await watcher
+    await server.close()
+    return 0
+
+
+def main(argv=None) -> int:
+    return asyncio.run(serve(parse_args(argv)))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Oracle error paths: typed failures, and a complete audit log.
+
+Regression coverage for the bug where a handler-raised ``OracleError``
+escaped ``DataOracle.call`` without being recorded in ``call_log`` —
+breaking the paper's "traceable and auditable" property exactly on the
+failing calls, the ones an audit most needs to see.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import OracleError
+from repro.offchain.oracle import DataOracle, OracleEndpointError
+
+
+def test_unknown_endpoint_is_typed_and_logged():
+    oracle = DataOracle()
+    with pytest.raises(OracleEndpointError) as err:
+        oracle.call("no.such.endpoint", {"x": 1})
+    assert err.value.kind == "unknown_endpoint"
+    assert err.value.endpoint == "no.such.endpoint"
+    assert isinstance(err.value, OracleError)  # back-compat for catchers
+    assert len(oracle.call_log) == 1
+    record = oracle.call_log[0]
+    assert not record.ok and "unknown_endpoint" in record.error
+    assert record.request == {"x": 1}
+
+
+def test_handler_failure_is_typed_and_logged():
+    oracle = DataOracle()
+
+    def broken(request):
+        raise ValueError("upstream exploded")
+
+    oracle.register_endpoint("labs.fetch", broken)
+    with pytest.raises(OracleEndpointError) as err:
+        oracle.call("labs.fetch")
+    assert err.value.kind == "handler_error"
+    assert "upstream exploded" in err.value.detail
+    assert len(oracle.call_log) == 1
+    assert not oracle.call_log[0].ok
+
+
+def test_handler_raised_oracle_error_is_still_logged():
+    # The original bug: OracleError took the bare `raise` path, skipping the log.
+    oracle = DataOracle()
+
+    def refuses(request):
+        raise OracleError("politely refusing")
+
+    oracle.register_endpoint("refuser", refuses)
+    with pytest.raises(OracleEndpointError) as err:
+        oracle.call("refuser")
+    assert err.value.kind == "handler_error"
+    assert len(oracle.call_log) == 1
+    assert not oracle.call_log[0].ok
+    assert "politely refusing" in oracle.call_log[0].error
+
+
+def test_non_dict_response_is_bad_response():
+    oracle = DataOracle()
+    oracle.register_endpoint("scalar", lambda request: 42)
+    with pytest.raises(OracleEndpointError) as err:
+        oracle.call("scalar")
+    assert err.value.kind == "bad_response"
+    assert len(oracle.call_log) == 1
+
+
+def test_success_still_logs_ok():
+    oracle = DataOracle()
+    oracle.register_endpoint("ok", lambda request: {"value": request.get("a", 0)})
+    assert oracle.call("ok", {"a": 5}) == {"value": 5}
+    assert [record.ok for record in oracle.call_log] == [True]
+
+
+def test_rpc_layer_forwards_endpoint_and_kind():
+    from repro.rpc.errors import RemoteOracleError, to_rpc_error
+
+    error = to_rpc_error(OracleEndpointError("labs.fetch", "handler_error", "x"))
+    assert isinstance(error, RemoteOracleError)
+    assert error.code == -32010
+    assert error.data == {"endpoint": "labs.fetch", "kind": "handler_error"}

@@ -1,0 +1,124 @@
+"""JSON-RPC 2.0 codec: parsing, validation, and typed error round trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rpc import codec
+from repro.rpc.codec import NO_ID, Request, Response
+from repro.rpc.errors import (
+    InvalidRequestError,
+    MethodNotFoundError,
+    OverloadedError,
+    ParseError,
+    RpcError,
+    ServerRpcError,
+    error_from_wire,
+)
+
+jsonables = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**31), max_value=2**31)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=10,
+)
+
+
+@given(params=st.dictionaries(st.text(min_size=1, max_size=8), jsonables, max_size=4))
+@settings(max_examples=100, deadline=None)
+def test_request_wire_roundtrip(params):
+    request = Request(method="site.query", params=params, request_id=7)
+    data = codec.encode_payload(request.to_wire())
+    parsed = codec.parse_request(codec.decode_payload(data))
+    assert parsed.method == "site.query"
+    assert parsed.request_id == 7
+    assert parsed.params == params
+
+
+def test_notification_has_no_id_on_the_wire():
+    wire = Request(method="ping", request_id=NO_ID).to_wire()
+    assert "id" not in wire
+    assert codec.parse_request(wire).is_notification
+
+
+def test_malformed_json_is_parse_error():
+    with pytest.raises(ParseError) as err:
+        codec.decode_payload(b'{"jsonrpc": "2.0", "method": ')
+    assert err.value.code == -32700
+
+
+def test_non_utf8_is_parse_error():
+    with pytest.raises(ParseError):
+        codec.decode_payload(b"\xff\xfe{}")
+
+
+@pytest.mark.parametrize(
+    "wire",
+    [
+        42,
+        "hello",
+        {"method": "m"},  # missing jsonrpc version
+        {"jsonrpc": "1.0", "method": "m"},
+        {"jsonrpc": "2.0"},  # missing method
+        {"jsonrpc": "2.0", "method": ""},
+        {"jsonrpc": "2.0", "method": 5},
+        {"jsonrpc": "2.0", "method": "m", "params": "positional-ish"},
+        {"jsonrpc": "2.0", "method": "m", "id": [1]},
+    ],
+)
+def test_invalid_requests_rejected(wire):
+    with pytest.raises(InvalidRequestError):
+        codec.parse_request(wire)
+
+
+def test_parse_batch_distinguishes_batch_and_single():
+    single = Request(method="a", request_id=1).to_wire()
+    objs, was_batch = codec.parse_batch(single)
+    assert not was_batch and len(objs) == 1
+    objs, was_batch = codec.parse_batch([single, single])
+    assert was_batch and len(objs) == 2
+
+
+def test_empty_batch_is_invalid_request():
+    with pytest.raises(InvalidRequestError):
+        codec.parse_batch([])
+
+
+def test_response_roundtrip_with_result():
+    wire = Response(request_id=3, result={"count": 9}).to_wire()
+    parsed = codec.parse_response(wire)
+    assert parsed.result == {"count": 9}
+    assert parsed.error is None
+
+
+def test_response_roundtrip_with_error_restores_type_and_data():
+    error = OverloadedError(data={"inflight": 64, "limit": 64})
+    wire = codec.error_response(5, error).to_wire()
+    parsed = codec.parse_response(wire)
+    assert isinstance(parsed.error, OverloadedError)
+    assert parsed.error.code == -32001
+    assert parsed.error.data == {"inflight": 64, "limit": 64}
+
+
+def test_unknown_error_code_degrades_to_server_error():
+    error = error_from_wire({"code": -32099, "message": "mystery"})
+    assert isinstance(error, ServerRpcError)
+    assert error.code == -32099
+    assert isinstance(error, RpcError)
+
+
+def test_error_from_wire_maps_spec_codes():
+    assert isinstance(error_from_wire({"code": -32601, "message": "x"}),
+                      MethodNotFoundError)
+
+
+def test_bytes_params_serialize_deterministically():
+    request = Request(method="m", params={"blob": b"\x00\x01"}, request_id=1)
+    first = codec.encode_payload(request.to_wire())
+    second = codec.encode_payload(request.to_wire())
+    assert first == second

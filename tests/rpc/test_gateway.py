@@ -1,0 +1,112 @@
+"""Gateway: inproc/tcp equivalence, query-service integration, tracing."""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.core.queryservice import GlobalQueryService
+from repro.obs.tracer import Tracer, tracer_override, trace_span
+from repro.query.parser import parse_query
+from repro.rpc.demo import build_demo_network, build_inproc_gateway, build_site_server
+from repro.rpc.errors import MethodNotFoundError
+from repro.rpc.gateway import TcpGateway
+
+QUERIES = (
+    "how many patients have diabetes",
+    "prevalence of stroke among smokers",
+    "average systolic blood pressure for women over 50",
+    "histogram of bmi between 15 and 55 with 4 bins",
+)
+
+
+@pytest.fixture(scope="module")
+def demo():
+    return build_demo_network(site_count=2, records_per_site=40, seed=77)
+
+
+def test_tcp_and_inproc_compose_identical_hashes(demo):
+    platform, _ = demo
+    inproc = build_inproc_gateway(platform)
+
+    async def over_tcp():
+        servers, addrs = [], {}
+        for site in platform.site_names:
+            server = build_site_server(platform, site)
+            host, port = await server.start()
+            servers.append(server)
+            addrs[site] = (host, port)
+        gateway = TcpGateway(addrs)
+        try:
+            return [
+                (await gateway.aexecute(parse_query(text))) for text in QUERIES
+            ]
+        finally:
+            await gateway.aclose()
+            for server in servers:
+                await server.close()
+
+    tcp_answers = asyncio.run(over_tcp())
+    for text, tcp_answer in zip(QUERIES, tcp_answers):
+        inproc_answer = inproc.execute(parse_query(text))
+        assert tcp_answer.result_hash == inproc_answer.result_hash, text
+        assert tcp_answer.result == inproc_answer.result
+        assert tcp_answer.transport == "tcp"
+        assert inproc_answer.transport == "inproc"
+    inproc.close()
+
+
+def test_gateway_backed_query_service_matches_simulated_path(demo):
+    platform, researcher = demo
+    gateway = build_inproc_gateway(platform)
+    via_gateway = GlobalQueryService(platform, researcher, gateway=gateway)
+    simulated = GlobalQueryService(platform, researcher)
+    for text in QUERIES[:2]:
+        gw_answer = via_gateway.ask(text)
+        sim_answer = simulated.ask(text)
+        assert gw_answer.result == sim_answer.result, text
+        assert sorted(gw_answer.site_partials) == sorted(sim_answer.site_partials)
+    gateway.close()
+
+
+def test_gateway_catalog_matches_platform_catalog(demo):
+    platform, _ = demo
+    gateway = build_inproc_gateway(platform)
+    served = {(r.site, r.dataset_id, r.record_count) for r in gateway.catalog()}
+    registered = {
+        (r.site, r.dataset_id, r.record_count) for r in platform.catalog()
+    }
+    assert served == registered
+    gateway.close()
+
+
+def test_unknown_site_raises_query_error(demo):
+    platform, _ = demo
+    gateway = build_inproc_gateway(platform)
+    with pytest.raises(QueryError):
+        gateway.call("no-such-hospital", "health")
+    with pytest.raises(MethodNotFoundError):
+        gateway.call(platform.site_names[0], "no.such.method")
+    gateway.close()
+
+
+def test_inproc_gateway_adopts_server_spans(demo):
+    platform, _ = demo
+    gateway = build_inproc_gateway(platform)
+    tracer = Tracer()
+    with tracer_override(tracer):
+        with trace_span("test.root"):
+            gateway.execute(parse_query(QUERIES[0]))
+    gateway.close()
+    by_id = {span.span_id: span for span in tracer.spans}
+    serves = [span for span in tracer.spans if span.name == "rpc.serve"]
+    assert len(serves) == len(platform.site_names) + len(platform.site_names)
+    for span in serves:  # every server-side span re-parented under rpc.call
+        assert by_id[span.parent_id].name == "rpc.call"
+    calls = [span for span in tracer.spans if span.name == "rpc.call"]
+    roots = [span for span in tracer.spans if span.parent_id is None]
+    assert [root.name for root in roots] == ["test.root"]
+    assert all(span.pid == os.getpid() for span in calls)
