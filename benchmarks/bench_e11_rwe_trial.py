@@ -15,10 +15,11 @@ batch-analysis day (end of follow-up).
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, format_table
+from _common import emit, emit_json, format_table
 
 from repro.datamgmt.cohort import CohortGenerator, default_site_profiles
 from repro.trial.monitor import RWEMonitor
@@ -108,5 +109,18 @@ def test_e11_rwe_trial(benchmark):
     assert batch["subgroup_efficacy_carriers"] < 0.05
 
 
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a {bench, params, metrics, timestamp} "
+                             "envelope to PATH")
+    args = parser.parse_args(argv)
+    summary, detection, batch = report(run_experiment())
+    emit_json(args.json, "e11_rwe_trial",
+              {"enrollment": ENROLLMENT, "follow_up_days": FOLLOW_UP_DAYS},
+              {"summary": summary, "detection": detection, "batch": batch})
+    return 0
+
+
 if __name__ == "__main__":
-    report(run_experiment())
+    sys.exit(main())

@@ -13,10 +13,11 @@ energy, and the per-node gas (identical across engines and across nodes).
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, format_table
+from _common import emit, emit_json, format_table
 
 from repro.chain.blocks import make_genesis
 from repro.chain.state import StateDB
@@ -134,5 +135,18 @@ def test_e12_consensus_ablation(benchmark):
     assert len(set(gas_totals.values())) == 1  # identical across engines
 
 
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a {bench, params, metrics, timestamp} "
+                             "envelope to PATH")
+    args = parser.parse_args(argv)
+    rows = report(run_experiment())
+    emit_json(args.json, "e12_consensus_ablation",
+              {"nodes": NODES, "calls": CALLS},
+              {"rows": rows})
+    return 0
+
+
 if __name__ == "__main__":
-    report(run_experiment())
+    sys.exit(main())

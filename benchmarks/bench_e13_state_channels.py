@@ -13,10 +13,11 @@ executed by every node (duplication survives).
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, format_table, human_bytes
+from _common import emit, emit_json, format_table, human_bytes
 
 from repro.chain.blocks import make_genesis
 from repro.chain.channels import StateChannel
@@ -138,5 +139,18 @@ def test_e13_state_channels(benchmark):
     assert channel["settlement_duplicated"]
 
 
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a {bench, params, metrics, timestamp} "
+                             "envelope to PATH")
+    args = parser.parse_args(argv)
+    rows = report(run_experiment())
+    emit_json(args.json, "e13_state_channels",
+              {"payments": PAYMENTS, "nodes": NODES},
+              {"rows": rows})
+    return 0
+
+
 if __name__ == "__main__":
-    report(run_experiment())
+    sys.exit(main())

@@ -13,10 +13,11 @@ attempts, energy in joules, and energy per committed transaction.
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import emit, format_table
+from _common import emit, emit_json, format_table
 
 from repro.chain.blocks import make_genesis
 from repro.chain.state import StateDB
@@ -109,5 +110,18 @@ def test_e2_duplicated_energy(benchmark):
     assert pos["hashes"] < 0.01 * eight["hashes"]
 
 
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a {bench, params, metrics, timestamp} "
+                             "envelope to PATH")
+    args = parser.parse_args(argv)
+    rows = report(run_experiment())
+    emit_json(args.json, "e2_duplicated_energy",
+              {"tx_count": TX_COUNT, "miner_counts": list(MINER_COUNTS)},
+              {"rows": rows})
+    return 0
+
+
 if __name__ == "__main__":
-    report(run_experiment())
+    sys.exit(main())

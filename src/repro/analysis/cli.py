@@ -1,0 +1,137 @@
+"""``python -m repro.analysis`` — static analysis CLI.
+
+Examples::
+
+    # repo conventions + embedded contract audit over the source tree
+    python -m repro.analysis src/repro examples --format json
+
+    # verify a standalone MedScript contract file before deployment
+    python -m repro.analysis --contract my_contract.py --max-gas 2000000
+
+    # print the rule catalog
+    python -m repro.analysis --list-rules
+
+Exit status: 0 when no finding reaches the ``--fail-on`` threshold
+(default: error), 1 otherwise, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.engine import analyze_contract_source, analyze_paths
+from repro.analysis.findings import AnalysisResult, Severity
+from repro.analysis.report import render_json, render_rules, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static contract verifier and repo convention linter "
+        "(rule codes MED0xx/MED1xx).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (repo rules + embedded "
+        "contract audit)",
+    )
+    parser.add_argument(
+        "--contract",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="treat FILE as standalone MedScript contract source and run "
+        "the contract verifier over it (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the report to PATH (useful as a CI artifact)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info"),
+        default="error",
+        help="exit non-zero when any finding reaches this severity "
+        "(default: error)",
+    )
+    parser.add_argument(
+        "--max-gas",
+        type=int,
+        default=None,
+        metavar="GAS",
+        help="enable MED008: flag entrypoints whose static worst-case gas "
+        "exceeds GAS",
+    )
+    parser.add_argument(
+        "--no-embedded",
+        action="store_true",
+        help="skip the embedded *_SOURCE contract audit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    if not args.paths and not args.contract:
+        parser.print_usage(sys.stderr)
+        print(
+            "error: provide paths to lint, --contract FILE, or --list-rules",
+            file=sys.stderr,
+        )
+        return 2
+
+    result = AnalysisResult()
+    if args.paths:
+        result = analyze_paths(
+            args.paths,
+            max_gas=args.max_gas,
+            audit_embedded=not args.no_embedded,
+        )
+    for contract_path in args.contract:
+        try:
+            with open(contract_path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {contract_path}: {exc}", file=sys.stderr)
+            return 2
+        result.extend(
+            analyze_contract_source(
+                source, file=contract_path, max_gas=args.max_gas
+            )
+        )
+        result.files_analyzed += 1
+        result.contracts_analyzed += 1
+
+    rendered = (
+        render_json(result) if args.format == "json" else render_text(result)
+    )
+    print(rendered)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    threshold = Severity.parse(args.fail_on)
+    return 1 if result.has_at_least(threshold) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

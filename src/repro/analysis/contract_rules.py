@@ -1,0 +1,576 @@
+"""Contract-verification checkers (MED0xx).
+
+These run over MedScript contract source *before* deployment — the
+off-chain admission gate the MediChain-style architectures put in front of
+on-chain registration.  Every rule protects the consensus-critical
+property the paper relies on: the identical contract code must execute
+identically (and boundedly) on every node.
+
+Rule catalog:
+
+- MED001 — reference to a nondeterministic / forbidden name
+- MED002 — float (or complex) literal
+- MED003 — true division ``/`` (yields floats under Python semantics)
+- MED004 — loop with no gas-reachable bound (``while`` on a constant-true
+  test with no ``break``/``return`` in the body: guaranteed gas exhaustion)
+- MED005 — aliasable mutable value written to storage twice without
+  rebinding (aliasing hazard for any runtime without copy-on-bridge)
+- MED006 — call to a function that exists neither in the contract, the
+  VM's pure builtins, nor :data:`repro.contracts.runtime.HOST_FUNCTION_NAMES`
+- MED007 — unreachable statements after ``return`` / ``break`` / ``continue``
+- MED008 — static worst-case gas estimate exceeds the configured ceiling
+- MED009 — syntax the VM forbids (imports, attributes, comprehensions, ...)
+- MED010 — read of a name that is never bound
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding, RuleInfo, Severity
+from repro.analysis.gasmodel import GasEstimator, format_gas
+from repro.analysis.registry import (
+    CONTRACT_FAMILY,
+    ContractChecker,
+    ContractContext,
+    register,
+)
+
+#: Names whose appearance in contract code signals nondeterminism (or an
+#: attempt to reach outside the sandbox).  The VM would raise ``undefined
+#: name`` at runtime; the analyzer rejects them at admission time with a
+#: specific diagnosis.
+FORBIDDEN_NAMES = frozenset(
+    {
+        "random",
+        "time",
+        "datetime",
+        "id",
+        "hash",
+        "float",
+        "complex",
+        "set",
+        "frozenset",
+        "input",
+        "open",
+        "print",
+        "eval",
+        "exec",
+        "compile",
+        "globals",
+        "locals",
+        "vars",
+        "getattr",
+        "setattr",
+        "delattr",
+        "object",
+        "type",
+        "super",
+        "uuid",
+        "uuid4",
+        "urandom",
+        "__import__",
+    }
+)
+
+_TERMINATORS = (ast.Return, ast.Break, ast.Continue)
+
+_DISALLOWED_NODE_LABELS: Dict[type, str] = {
+    ast.Import: "import",
+    ast.ImportFrom: "import",
+    ast.Attribute: "attribute access",
+    ast.Lambda: "lambda",
+    ast.GeneratorExp: "generator expression",
+    ast.ListComp: "list comprehension",
+    ast.SetComp: "set comprehension",
+    ast.DictComp: "dict comprehension",
+    ast.With: "with block",
+    ast.Try: "try block",
+    ast.Raise: "raise",
+    ast.Global: "global declaration",
+    ast.Nonlocal: "nonlocal declaration",
+    ast.ClassDef: "class definition",
+    ast.AsyncFunctionDef: "async function",
+    ast.Await: "await",
+    ast.Yield: "yield",
+    ast.YieldFrom: "yield from",
+    ast.Starred: "starred expression",
+    ast.NamedExpr: "walrus assignment",
+    ast.Set: "set literal",
+}
+
+
+def _bound_names(func: ast.FunctionDef) -> Set[str]:
+    """Every name the function can bind: params plus assignment targets."""
+    bound: Set[str] = {arg.arg for arg in func.args.args}
+    for node in ast.walk(func):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        elif isinstance(node, ast.For):
+            targets = [node.target]
+        for target in targets:
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Name):
+                    bound.add(sub.id)
+    return bound
+
+
+def _known_names(ctx: ContractContext, func: ast.FunctionDef) -> Set[str]:
+    return (
+        _bound_names(func)
+        | set(ctx.constants)
+        | set(ctx.functions)
+        | set(ctx.pure_builtins)
+        | set(ctx.host_functions)
+    )
+
+
+def _walk_functions(
+    ctx: ContractContext,
+) -> Iterable[Tuple[str, ast.FunctionDef]]:
+    for name, func in sorted(ctx.functions.items()):
+        yield name, func
+
+
+@register
+class ForbiddenNameChecker(ContractChecker):
+    rule = RuleInfo(
+        code="MED001",
+        name="nondeterministic-name",
+        family=CONTRACT_FAMILY,
+        default_severity=Severity.ERROR,
+        summary="reference to a nondeterministic or sandbox-escaping name "
+        "(random, time, id, eval, ...)",
+    )
+
+    def check(self, ctx: ContractContext) -> Iterable[Finding]:
+        for name, func in _walk_functions(ctx):
+            local = _bound_names(func)
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in FORBIDDEN_NAMES
+                    and node.id not in local
+                ):
+                    yield Finding(
+                        code=self.rule.code,
+                        message=f"use of forbidden name {node.id!r} "
+                        "(nondeterministic or outside the VM sandbox)",
+                        severity=self.rule.default_severity,
+                        file=ctx.file,
+                        line=ctx.map_line(node.lineno),
+                        col=node.col_offset,
+                        symbol=name,
+                    )
+
+
+@register
+class FloatLiteralChecker(ContractChecker):
+    rule = RuleInfo(
+        code="MED002",
+        name="float-literal",
+        family=CONTRACT_FAMILY,
+        default_severity=Severity.ERROR,
+        summary="float/complex literal (floats are nondeterministic across "
+        "nodes; use milli-unit integers)",
+    )
+
+    def check(self, ctx: ContractContext) -> Iterable[Finding]:
+        for name, func in _walk_functions(ctx):
+            for node in ast.walk(func):
+                if isinstance(node, ast.Constant) and isinstance(
+                    node.value, (float, complex)
+                ):
+                    yield Finding(
+                        code=self.rule.code,
+                        message=f"float literal {node.value!r} is forbidden; "
+                        "use scaled integers (e.g. value_milli)",
+                        severity=self.rule.default_severity,
+                        file=ctx.file,
+                        line=ctx.map_line(node.lineno),
+                        col=node.col_offset,
+                        symbol=name,
+                    )
+
+
+@register
+class TrueDivisionChecker(ContractChecker):
+    rule = RuleInfo(
+        code="MED003",
+        name="true-division",
+        family=CONTRACT_FAMILY,
+        default_severity=Severity.ERROR,
+        summary="true division `/` yields floats; use `//`",
+    )
+
+    def check(self, ctx: ContractContext) -> Iterable[Finding]:
+        for name, func in _walk_functions(ctx):
+            for node in ast.walk(func):
+                op = None
+                if isinstance(node, (ast.BinOp, ast.AugAssign)):
+                    op = node.op
+                if isinstance(op, ast.Div):
+                    yield Finding(
+                        code=self.rule.code,
+                        message="true division `/` is forbidden "
+                        "(float result); use floor division `//`",
+                        severity=self.rule.default_severity,
+                        file=ctx.file,
+                        line=ctx.map_line(node.lineno),
+                        col=node.col_offset,
+                        symbol=name,
+                    )
+
+
+def _has_escape(body: List[ast.stmt]) -> bool:
+    """True when any path out of the loop body exists (break/return)."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Break, ast.Return)):
+                return True
+    return False
+
+
+def _is_constant_true(test: ast.expr) -> bool:
+    if isinstance(test, ast.Constant):
+        return bool(test.value)
+    return False
+
+
+@register
+class UnboundedLoopChecker(ContractChecker):
+    rule = RuleInfo(
+        code="MED004",
+        name="unbounded-loop",
+        family=CONTRACT_FAMILY,
+        default_severity=Severity.ERROR,
+        summary="while-loop on a constant-true test with no break/return: "
+        "terminates only by gas exhaustion",
+    )
+
+    def check(self, ctx: ContractContext) -> Iterable[Finding]:
+        for name, func in _walk_functions(ctx):
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.While)
+                    and _is_constant_true(node.test)
+                    and not _has_escape(node.body)
+                ):
+                    yield Finding(
+                        code=self.rule.code,
+                        message="loop has no gas-reachable bound: the test "
+                        "is constant-true and the body never breaks or "
+                        "returns, so every call burns its entire gas limit",
+                        severity=self.rule.default_severity,
+                        file=ctx.file,
+                        line=ctx.map_line(node.lineno),
+                        col=node.col_offset,
+                        symbol=name,
+                    )
+
+
+@register
+class StorageAliasChecker(ContractChecker):
+    rule = RuleInfo(
+        code="MED005",
+        name="storage-alias-write",
+        family=CONTRACT_FAMILY,
+        default_severity=Severity.WARNING,
+        summary="same mutable local written to storage twice without "
+        "rebinding (aliasing hazard)",
+    )
+
+    def check(self, ctx: ContractContext) -> Iterable[Finding]:
+        for name, func in _walk_functions(ctx):
+            written: Dict[str, int] = {}  # value name -> first write line
+            for node in self._statements_in_order(func):
+                rebound = self._rebound_names(node)
+                for rebound_name in rebound:
+                    written.pop(rebound_name, None)
+                for call in self._storage_set_calls(node):
+                    if len(call.args) < 2:
+                        continue
+                    value = call.args[1]
+                    if not isinstance(value, ast.Name):
+                        continue
+                    if value.id in written:
+                        yield Finding(
+                            code=self.rule.code,
+                            message=f"{value.id!r} was already written to "
+                            f"storage on line "
+                            f"{ctx.map_line(written[value.id])} and has not "
+                            "been rebound: two storage slots would alias "
+                            "the same mutable value on runtimes without "
+                            "copy-on-write bridges",
+                            severity=self.rule.default_severity,
+                            file=ctx.file,
+                            line=ctx.map_line(call.lineno),
+                            col=call.col_offset,
+                            symbol=name,
+                        )
+                    else:
+                        written[value.id] = call.lineno
+
+    @staticmethod
+    def _statements_in_order(func: ast.FunctionDef) -> List[ast.stmt]:
+        out: List[ast.stmt] = []
+
+        def visit(body: List[ast.stmt]) -> None:
+            for stmt in body:
+                out.append(stmt)
+                for attr in ("body", "orelse", "finalbody"):
+                    inner = getattr(stmt, attr, None)
+                    if inner:
+                        visit(inner)
+
+        visit(func.body)
+        return out
+
+    @staticmethod
+    def _rebound_names(stmt: ast.stmt) -> Set[str]:
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.AugAssign):
+            # MedScript AugAssign re-evaluates `a <op> b` and rebinds: it
+            # produces a fresh object, so it clears the alias.
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.For):
+            targets = [stmt.target]
+        names: Set[str] = set()
+        for target in targets:
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+        return names
+
+    @staticmethod
+    def _storage_set_calls(stmt: ast.stmt) -> List[ast.Call]:
+        calls = []
+        # Only look at this statement's own expression, not nested blocks
+        # (nested statements are visited separately, in order).
+        nodes: List[ast.AST] = []
+        if isinstance(stmt, ast.Expr):
+            nodes = [stmt.value]
+        elif isinstance(stmt, ast.Assign):
+            nodes = [stmt.value]
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            nodes = [stmt.value]
+        for root in nodes:
+            for node in ast.walk(root):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "storage_set"
+                ):
+                    calls.append(node)
+        return calls
+
+
+@register
+class UnknownHostFunctionChecker(ContractChecker):
+    rule = RuleInfo(
+        code="MED006",
+        name="unknown-host-function",
+        family=CONTRACT_FAMILY,
+        default_severity=Severity.ERROR,
+        summary="call to a function not defined by the contract, the VM "
+        "builtins, or the HostBridge",
+    )
+
+    def check(self, ctx: ContractContext) -> Iterable[Finding]:
+        for name, func in _walk_functions(ctx):
+            known = _known_names(ctx, func)
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id not in known
+                    and node.func.id not in FORBIDDEN_NAMES  # MED001's job
+                ):
+                    yield Finding(
+                        code=self.rule.code,
+                        message=f"call to {node.func.id!r}: no such contract "
+                        "function, VM builtin, or HostBridge host function",
+                        severity=self.rule.default_severity,
+                        file=ctx.file,
+                        line=ctx.map_line(node.lineno),
+                        col=node.col_offset,
+                        symbol=name,
+                    )
+
+
+@register
+class UnreachableCodeChecker(ContractChecker):
+    rule = RuleInfo(
+        code="MED007",
+        name="unreachable-code",
+        family=CONTRACT_FAMILY,
+        default_severity=Severity.WARNING,
+        summary="statements after return/break/continue never execute",
+    )
+
+    def check(self, ctx: ContractContext) -> Iterable[Finding]:
+        for name, func in _walk_functions(ctx):
+            yield from self._check_block(ctx, name, func.body)
+
+    def _check_block(
+        self, ctx: ContractContext, symbol: str, body: List[ast.stmt]
+    ) -> Iterable[Finding]:
+        terminated_at: Optional[ast.stmt] = None
+        for stmt in body:
+            if terminated_at is not None:
+                yield Finding(
+                    code=self.rule.code,
+                    message="unreachable: execution cannot continue past "
+                    f"the {type(terminated_at).__name__.lower()} on line "
+                    f"{ctx.map_line(terminated_at.lineno)}",
+                    severity=self.rule.default_severity,
+                    file=ctx.file,
+                    line=ctx.map_line(stmt.lineno),
+                    col=stmt.col_offset,
+                    symbol=symbol,
+                )
+                break  # one finding per dead block is enough
+            if isinstance(stmt, _TERMINATORS):
+                terminated_at = stmt
+            for attr in ("body", "orelse"):
+                inner = getattr(stmt, attr, None)
+                if inner:
+                    yield from self._check_block(ctx, symbol, inner)
+
+
+@register
+class GasCeilingChecker(ContractChecker):
+    rule = RuleInfo(
+        code="MED008",
+        name="gas-ceiling",
+        family=CONTRACT_FAMILY,
+        default_severity=Severity.ERROR,
+        summary="static worst-case gas estimate exceeds the configured "
+        "ceiling (only runs when a ceiling is set)",
+    )
+
+    def check(self, ctx: ContractContext) -> Iterable[Finding]:
+        if ctx.max_gas is None:
+            return
+        estimator = GasEstimator(ctx.functions)
+        for name, cost in estimator.estimate_all().items():
+            if cost > ctx.max_gas:
+                func = ctx.functions[name]
+                yield Finding(
+                    code=self.rule.code,
+                    message=f"worst-case gas {format_gas(cost)} exceeds the "
+                    f"ceiling {format_gas(ctx.max_gas)}"
+                    + (
+                        " (unbounded: recursion or VM-limit loops)"
+                        if math.isinf(cost)
+                        else ""
+                    ),
+                    severity=self.rule.default_severity,
+                    file=ctx.file,
+                    line=ctx.map_line(func.lineno),
+                    col=func.col_offset,
+                    symbol=name,
+                )
+
+
+@register
+class DisallowedSyntaxChecker(ContractChecker):
+    rule = RuleInfo(
+        code="MED009",
+        name="disallowed-syntax",
+        family=CONTRACT_FAMILY,
+        default_severity=Severity.ERROR,
+        summary="syntax outside the MedScript subset (imports, attribute "
+        "access, comprehensions, try/except, ...)",
+    )
+
+    def check(self, ctx: ContractContext) -> Iterable[Finding]:
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.Assign)):
+                continue
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Constant):
+                continue  # module docstring
+            yield self._finding(
+                ctx, node, "", f"disallowed top-level statement "
+                f"({self._label(node)})"
+            )
+        for name, func in _walk_functions(ctx):
+            if func.args.vararg or func.args.kwarg or func.args.kwonlyargs:
+                yield self._finding(
+                    ctx, func, name,
+                    "only plain positional parameters are allowed",
+                )
+            for node in ast.walk(func):
+                if isinstance(node, tuple(_DISALLOWED_NODE_LABELS)):
+                    yield self._finding(
+                        ctx, node, name,
+                        f"disallowed syntax: {self._label(node)}",
+                    )
+                elif isinstance(node, ast.FunctionDef) and node is not func:
+                    yield self._finding(
+                        ctx, node, name, "nested functions are not allowed"
+                    )
+
+    @staticmethod
+    def _label(node: ast.AST) -> str:
+        return _DISALLOWED_NODE_LABELS.get(type(node), type(node).__name__)
+
+    def _finding(
+        self, ctx: ContractContext, node: ast.AST, symbol: str, message: str
+    ) -> Finding:
+        return Finding(
+            code=self.rule.code,
+            message=message,
+            severity=self.rule.default_severity,
+            file=ctx.file,
+            line=ctx.map_line(getattr(node, "lineno", 1)),
+            col=getattr(node, "col_offset", 0),
+            symbol=symbol,
+        )
+
+
+@register
+class UndefinedNameChecker(ContractChecker):
+    rule = RuleInfo(
+        code="MED010",
+        name="undefined-name",
+        family=CONTRACT_FAMILY,
+        default_severity=Severity.ERROR,
+        summary="read of a name that is never bound in the function, "
+        "constants, builtins, or host functions",
+    )
+
+    def check(self, ctx: ContractContext) -> Iterable[Finding]:
+        for name, func in _walk_functions(ctx):
+            known = _known_names(ctx, func)
+            call_targets = {
+                node.func
+                for node in ast.walk(func)
+                if isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            }
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id not in known
+                    and node.id not in FORBIDDEN_NAMES  # MED001's job
+                    and node not in call_targets  # MED006's job
+                ):
+                    yield Finding(
+                        code=self.rule.code,
+                        message=f"name {node.id!r} is never bound; the VM "
+                        "would raise at runtime on every node",
+                        severity=self.rule.default_severity,
+                        file=ctx.file,
+                        line=ctx.map_line(node.lineno),
+                        col=node.col_offset,
+                        symbol=name,
+                    )

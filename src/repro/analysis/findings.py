@@ -1,0 +1,146 @@
+"""Findings model for the static-analysis framework.
+
+A :class:`Finding` is one diagnostic: a stable rule code (``MED0xx`` for
+contract verification, ``MED1xx`` for repo convention lints), a severity, a
+``file:line:col`` anchor, and a human-readable message.  Findings are plain
+data — reporters (text / JSON) and gates (deploy-time ``verify=True``, the
+CI ``--fail-on`` threshold) all consume the same objects.
+
+Severity semantics:
+
+- ``ERROR``   — the construct breaks a consensus-critical property
+  (nondeterminism, unbounded execution, unknown host call).  Deploy gates
+  and CI fail on these.
+- ``WARNING`` — legal but dangerous; merge gates may fail on these with
+  ``--fail-on warning``.
+- ``INFO``    — advisory (e.g. the static worst-case gas estimate).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity so gates can compare with ``>=``."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[member.name.lower() for member in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a checker."""
+
+    code: str  # stable rule code, e.g. "MED001"
+    message: str
+    severity: Severity = Severity.ERROR
+    file: str = "<contract>"
+    line: int = 0  # 1-based; 0 means "whole file"
+    col: int = 0  # 0-based, matching ast's col_offset
+    end_line: Optional[int] = None
+    symbol: str = ""  # enclosing function, when known
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.name.lower(),
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+        }
+        if self.end_line is not None:
+            out["end_line"] = self.end_line
+        if self.symbol:
+            out["symbol"] = self.symbol
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        return cls(
+            code=data["code"],
+            message=data["message"],
+            severity=Severity.parse(data.get("severity", "error")),
+            file=data.get("file", "<contract>"),
+            line=data.get("line", 0),
+            col=data.get("col", 0),
+            end_line=data.get("end_line"),
+            symbol=data.get("symbol", ""),
+        )
+
+    def render(self) -> str:
+        """One-line ``file:line:col CODE severity message`` rendering."""
+        where = f"{self.file}:{self.line}:{self.col}"
+        prefix = f"{where} {self.code} [{self.severity.name.lower()}]"
+        if self.symbol:
+            return f"{prefix} {self.symbol}: {self.message}"
+        return f"{prefix} {self.message}"
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Catalog entry describing one rule (for ``--list-rules`` and docs)."""
+
+    code: str
+    name: str
+    family: str  # "contract" | "repo"
+    default_severity: Severity
+    summary: str
+
+
+def max_severity(findings: List[Finding]) -> Optional[Severity]:
+    """Highest severity present, or ``None`` for an empty list."""
+    return max((f.severity for f in findings), default=None)
+
+
+def count_by_severity(findings: List[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        key = finding.severity.name.lower()
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+@dataclass
+class AnalysisResult:
+    """All findings from one run, plus enough context to report them."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_analyzed: int = 0
+    contracts_analyzed: int = 0
+
+    def extend(self, findings: List[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def worst(self) -> Optional[Severity]:
+        return max_severity(self.findings)
+
+    def has_at_least(self, severity: Severity) -> bool:
+        return any(f.severity >= severity for f in self.findings)
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(
+            self.findings, key=lambda f: (f.file, f.line, f.col, f.code)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "findings": [f.to_dict() for f in self.sorted_findings()],
+            "files_analyzed": self.files_analyzed,
+            "contracts_analyzed": self.contracts_analyzed,
+            "counts": count_by_severity(self.findings),
+        }

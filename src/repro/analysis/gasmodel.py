@@ -1,0 +1,247 @@
+"""Static worst-case gas estimation for MedScript contracts.
+
+Walks the contract AST and charges the *same* cost constants the runtime
+meter uses (``repro.contracts.gas``), taking the most expensive path through
+every branch and the largest statically-derivable bound for every loop.  The
+result is a sound upper bound on what :class:`~repro.contracts.vm.GasMeter`
+can observe for a call that supplies worst-case arguments:
+
+- ``if``: ``max(body, orelse)``;
+- ``for`` over ``range(k)`` / a literal collection: the literal bound;
+- any other loop: :data:`~repro.contracts.gas.MAX_ITERATIONS_PER_LOOP`
+  (the VM's hard iteration ceiling — the only bound gas is guaranteed to
+  reach);
+- contract-internal calls: callee's worst case, memoized; recursive cycles
+  are unbounded (``math.inf``);
+- data-dependent host costs (``sha256_hex``, ``storage_keys``) use the
+  documented assumption constants below.
+
+Estimates are used two ways: the MED008 checker compares them against a
+configured gas ceiling, and tests cross-check ``estimate >= meter.used`` on
+real executions of the shipped contract library.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from typing import Dict, List, Optional, Union
+
+from repro.contracts import gas as G
+
+#: Bytes assumed hashed per ``sha256_hex`` call (worst-case payloads are
+#: unbounded in principle; this matches the largest payloads the platform
+#: contracts hash in practice).
+ASSUMED_HASH_BYTES = 4096
+#: Keys assumed returned per ``storage_keys`` call.
+ASSUMED_STORAGE_KEYS = 1024
+
+#: Extra cost charged by host functions on top of the generic GAS_CALL that
+#: the interpreter charges for every callable invocation.
+HOST_CALL_COSTS: Dict[str, int] = {
+    "storage_get": G.GAS_STORAGE_READ,
+    "storage_set": G.GAS_STORAGE_WRITE,
+    "storage_has": G.GAS_STORAGE_READ,
+    "storage_delete": G.GAS_STORAGE_WRITE,
+    "storage_keys": G.GAS_STORAGE_READ * ASSUMED_STORAGE_KEYS,
+    "emit": G.GAS_EMIT_EVENT,
+    "sha256_hex": G.GAS_HASH_PER_BYTE * ASSUMED_HASH_BYTES,
+}
+
+Gas = Union[int, float]  # int, or math.inf for "unbounded"
+
+
+def format_gas(value: Gas) -> str:
+    return "unbounded" if math.isinf(value) else f"{int(value):,}"
+
+
+def static_loop_bound(node: ast.stmt) -> Gas:
+    """Largest statically-knowable iteration count for a loop statement."""
+    if isinstance(node, ast.While):
+        test = node.test
+        if isinstance(test, ast.Constant) and not test.value:
+            return 0
+        return G.MAX_ITERATIONS_PER_LOOP
+    if isinstance(node, ast.For):
+        iterable = node.iter
+        if (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id == "range"
+            and iterable.args
+        ):
+            bounds = [_const_int(arg) for arg in iterable.args]
+            if all(b is not None for b in bounds):
+                if len(bounds) == 1:
+                    return max(0, bounds[0])
+                step = bounds[2] if len(bounds) > 2 else 1
+                if step == 0:
+                    return G.MAX_ITERATIONS_PER_LOOP
+                span = bounds[1] - bounds[0]
+                return max(0, math.ceil(span / step) if step > 0 else math.ceil(-span / -step))
+        if isinstance(iterable, (ast.List, ast.Tuple)):
+            return len(iterable.elts)
+        if isinstance(iterable, ast.Constant) and isinstance(iterable.value, (str, tuple)):
+            return len(iterable.value)
+        return G.MAX_ITERATIONS_PER_LOOP
+    raise TypeError(f"not a loop statement: {type(node).__name__}")
+
+
+def _const_int(node: ast.expr) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _const_int(node.operand)
+        return -inner if inner is not None else None
+    return None
+
+
+class GasEstimator:
+    """Estimates worst-case gas per entrypoint of one contract module."""
+
+    def __init__(self, functions: Dict[str, ast.FunctionDef]):
+        self.functions = functions
+        self._memo: Dict[str, Gas] = {}
+        self._in_progress: set = set()
+
+    def estimate_all(self) -> Dict[str, Gas]:
+        """Worst-case gas for every public entrypoint."""
+        return {
+            name: self.estimate(name)
+            for name in sorted(self.functions)
+            if not name.startswith("_")
+        }
+
+    def estimate(self, name: str) -> Gas:
+        """Worst-case gas for one function, including the entry GAS_CALL."""
+        if name in self._memo:
+            return self._memo[name]
+        if name in self._in_progress:
+            return math.inf  # recursion: no static bound
+        func = self.functions.get(name)
+        if func is None:
+            return 0
+        self._in_progress.add(name)
+        try:
+            cost: Gas = G.GAS_CALL + self._block(func.body)
+        finally:
+            self._in_progress.discard(name)
+        self._memo[name] = cost
+        return cost
+
+    # -- statements -------------------------------------------------------
+    def _block(self, body: List[ast.stmt]) -> Gas:
+        return sum(self._stmt(stmt) for stmt in body)
+
+    def _stmt(self, stmt: ast.stmt) -> Gas:
+        cost: Gas = G.GAS_STATEMENT
+        if isinstance(stmt, ast.If):
+            return cost + self._expr(stmt.test) + max(
+                self._block(stmt.body), self._block(stmt.orelse)
+            )
+        if isinstance(stmt, (ast.While, ast.For)):
+            bound = static_loop_bound(stmt)
+            if isinstance(stmt, ast.While):
+                # test evaluated once per iteration plus the exiting check
+                per_iteration = (
+                    self._expr(stmt.test)
+                    + G.GAS_LOOP_ITERATION
+                    + self._block(stmt.body)
+                )
+                head = self._expr(stmt.test)
+            else:
+                per_iteration = G.GAS_LOOP_ITERATION + self._block(stmt.body)
+                head = self._expr(stmt.iter)
+            return cost + head + bound * per_iteration + self._block(stmt.orelse)
+        if isinstance(stmt, ast.Return):
+            return cost + (self._expr(stmt.value) if stmt.value else 0)
+        if isinstance(stmt, ast.Assign):
+            return cost + self._expr(stmt.value) + sum(
+                self._target(target) for target in stmt.targets
+            )
+        if isinstance(stmt, ast.AugAssign):
+            # target is both read (_eval_target) and written (_assign)
+            return (
+                cost
+                + self._expr(stmt.value)
+                + 2 * self._target(stmt.target)
+                + (G.GAS_POW if isinstance(stmt.op, ast.Pow) else 0)
+            )
+        if isinstance(stmt, ast.Expr):
+            return cost + self._expr(stmt.value)
+        if isinstance(stmt, ast.Assert):
+            return cost + self._expr(stmt.test) + (
+                self._expr(stmt.msg) if stmt.msg else 0
+            )
+        # Pass / Break / Continue and anything the VM will reject anyway.
+        return cost
+
+    def _target(self, target: ast.expr) -> Gas:
+        """Cost of evaluating an assignment target's sub-expressions."""
+        if isinstance(target, ast.Name):
+            return 0
+        if isinstance(target, ast.Subscript):
+            return self._expr(target.value) + self._expr(target.slice)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            return sum(self._target(element) for element in target.elts)
+        return 0
+
+    # -- expressions ------------------------------------------------------
+    def _expr(self, node: Optional[ast.expr]) -> Gas:
+        if node is None:
+            return 0
+        cost: Gas = G.GAS_EXPRESSION
+        if isinstance(node, ast.BinOp):
+            extra = G.GAS_POW if isinstance(node.op, ast.Pow) else 0
+            return cost + extra + self._expr(node.left) + self._expr(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return cost + self._expr(node.operand)
+        if isinstance(node, ast.BoolOp):
+            return cost + sum(self._expr(value) for value in node.values)
+        if isinstance(node, ast.Compare):
+            return cost + self._expr(node.left) + sum(
+                self._expr(comparator) for comparator in node.comparators
+            )
+        if isinstance(node, ast.Call):
+            return cost + self._call(node)
+        if isinstance(node, ast.Subscript):
+            return cost + self._expr(node.value) + self._expr(node.slice)
+        if isinstance(node, ast.Slice):
+            return cost + self._expr(node.lower) + self._expr(node.upper) + self._expr(node.step)
+        if isinstance(node, (ast.List, ast.Tuple)):
+            return cost + sum(self._expr(element) for element in node.elts)
+        if isinstance(node, ast.Dict):
+            return cost + sum(
+                self._expr(key) for key in node.keys if key is not None
+            ) + sum(self._expr(value) for value in node.values)
+        if isinstance(node, ast.IfExp):
+            return cost + self._expr(node.test) + max(
+                self._expr(node.body), self._expr(node.orelse)
+            )
+        if isinstance(node, ast.JoinedStr):
+            return cost + sum(
+                self._expr(value.value)
+                for value in node.values
+                if isinstance(value, ast.FormattedValue)
+            )
+        return cost  # Constant, Name, and anything else: one eval charge
+
+    def _call(self, node: ast.Call) -> Gas:
+        args_cost: Gas = self._expr(node.func) - G.GAS_EXPRESSION  # func eval
+        args_cost += G.GAS_EXPRESSION  # _eval(node.func) itself
+        args_cost += sum(self._expr(arg) for arg in node.args)
+        args_cost += sum(self._expr(kw.value) for kw in node.keywords)
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name in self.functions:
+                return args_cost + self.estimate(name)
+            host_extra = HOST_CALL_COSTS.get(name, 0)
+            return args_cost + G.GAS_CALL + host_extra
+        return args_cost + G.GAS_CALL
+
+
+def estimate_contract_gas(
+    functions: Dict[str, ast.FunctionDef],
+) -> Dict[str, Gas]:
+    """Worst-case gas per public entrypoint of a parsed contract module."""
+    return GasEstimator(functions).estimate_all()

@@ -1,0 +1,209 @@
+"""Repo convention lints (MED1xx) over the ``repro`` codebase itself.
+
+These encode conventions that the runtime depends on but nothing enforced
+until now:
+
+- MED101 — blocking calls (``time.sleep``, sync subprocess/socket/file I/O)
+  inside ``async def``: one blocking call stalls every connection the
+  event loop is serving;
+- MED102 — direct ``json.dumps`` in consensus/chain/rpc paths: anything
+  that feeds hashes or wire frames must go through
+  ``repro.common.serialize.canonical_bytes`` so byte output is canonical
+  across nodes;
+- MED103 — wall-clock reads (``time.time`` / ``datetime.now``) outside
+  ``repro/common/clock.py`` and the obs layer: simulation determinism
+  requires all time to flow from the kernel clock (monotonic interval
+  timing like ``perf_counter`` is fine and not flagged).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.findings import Finding, RuleInfo, Severity
+from repro.analysis.registry import (
+    REPO_FAMILY,
+    ModuleContext,
+    RepoChecker,
+    register,
+)
+
+#: Dotted call paths that block the calling thread.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "requests.put",
+        "requests.delete",
+        "requests.request",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+    }
+)
+
+#: Wall-clock reads; interval clocks (monotonic/perf_counter) are allowed.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Package subtrees where canonical serialization is mandatory.
+CANONICAL_ONLY_PACKAGES = ("chain", "consensus", "rpc")
+
+#: Modules allowed to read the wall clock.
+WALL_CLOCK_ALLOWED = ("common/clock.py", "obs/")
+
+
+class _ImportMap:
+    """Resolves names in one module back to dotted import paths."""
+
+    def __init__(self, tree: ast.Module):
+        self.aliases: Dict[str, str] = {}  # local name -> dotted path
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve_call(self, func: ast.expr) -> Optional[str]:
+        """Dotted path of a call target, e.g. ``time.sleep``; None if unknown."""
+        parts: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.aliases.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+def _finding(
+    rule: RuleInfo, ctx: ModuleContext, node: ast.AST, message: str, symbol: str = ""
+) -> Finding:
+    return Finding(
+        code=rule.code,
+        message=message,
+        severity=rule.default_severity,
+        file=ctx.file,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        symbol=symbol,
+    )
+
+
+@register
+class BlockingCallInAsyncChecker(RepoChecker):
+    rule = RuleInfo(
+        code="MED101",
+        name="blocking-call-in-async",
+        family=REPO_FAMILY,
+        default_severity=Severity.ERROR,
+        summary="blocking call (time.sleep, sync subprocess/socket I/O) "
+        "inside async def stalls the event loop",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        imports = _ImportMap(ctx.tree)
+        for outer in ast.walk(ctx.tree):
+            if not isinstance(outer, ast.AsyncFunctionDef):
+                continue
+            for node in ast.walk(outer):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = imports.resolve_call(node.func)
+                if resolved in BLOCKING_CALLS:
+                    yield _finding(
+                        self.rule,
+                        ctx,
+                        node,
+                        f"blocking call {resolved}() inside async def "
+                        f"{outer.name!r}; use the asyncio equivalent or "
+                        "run_in_executor",
+                        symbol=outer.name,
+                    )
+
+
+@register
+class NonCanonicalJsonChecker(RepoChecker):
+    rule = RuleInfo(
+        code="MED102",
+        name="non-canonical-json",
+        family=REPO_FAMILY,
+        default_severity=Severity.ERROR,
+        summary="json.dumps in chain/consensus/rpc paths; hashes and wire "
+        "frames must use canonical_bytes",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_package(*CANONICAL_ONLY_PACKAGES):
+            return
+        imports = _ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve_call(node.func)
+            if resolved in ("json.dumps", "json.dump"):
+                yield _finding(
+                    self.rule,
+                    ctx,
+                    node,
+                    f"{resolved}() in a consensus-critical path: key order "
+                    "and separators are not canonical across versions; use "
+                    "repro.common.serialize.canonical_bytes",
+                )
+
+
+@register
+class WallClockChecker(RepoChecker):
+    rule = RuleInfo(
+        code="MED103",
+        name="wall-clock-read",
+        family=REPO_FAMILY,
+        default_severity=Severity.ERROR,
+        summary="time.time()/datetime.now() outside repro/common/clock.py "
+        "and the obs layer breaks simulation determinism",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.package_path.startswith("repro/"):
+            return
+        relative = ctx.package_path[len("repro/"):]
+        if any(relative.startswith(allowed) for allowed in WALL_CLOCK_ALLOWED):
+            return
+        imports = _ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve_call(node.func)
+            if resolved in WALL_CLOCK_CALLS:
+                yield _finding(
+                    self.rule,
+                    ctx,
+                    node,
+                    f"wall-clock read {resolved}(): route time through the "
+                    "kernel clock (repro.common.clock) so simulated runs "
+                    "stay deterministic",
+                )

@@ -1,0 +1,56 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.findings import AnalysisResult, count_by_severity
+from repro.analysis.registry import all_rules
+
+
+def render_text(result: AnalysisResult) -> str:
+    lines: List[str] = [f.render() for f in result.sorted_findings()]
+    counts = count_by_severity(result.findings)
+    summary = (
+        f"{result.files_analyzed} file(s), "
+        f"{result.contracts_analyzed} embedded contract(s) analyzed; "
+        + (
+            ", ".join(
+                f"{counts[key]} {key}"
+                for key in ("error", "warning", "info")
+                if key in counts
+            )
+            or "no findings"
+        )
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    return json.dumps(result.to_dict(), indent=2, sort_keys=True)
+
+
+def render_rules() -> str:
+    """The rule catalog (``--list-rules``)."""
+    lines = []
+    for rule in all_rules():
+        lines.append(
+            f"{rule.code}  {rule.name:<26} [{rule.family}] "
+            f"{rule.default_severity.name.lower():<7} {rule.summary}"
+        )
+    return "\n".join(lines)
+
+
+def rules_as_dict() -> List[Dict[str, str]]:
+    return [
+        {
+            "code": rule.code,
+            "name": rule.name,
+            "family": rule.family,
+            "severity": rule.default_severity.name.lower(),
+            "summary": rule.summary,
+        }
+        for rule in all_rules()
+    ]

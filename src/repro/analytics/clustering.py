@@ -43,7 +43,8 @@ def kmeans(
     labels = np.zeros(len(X), dtype=int)
     inertia = float("inf")
     iteration = 0
-    for iteration in range(1, max_iter + 1):
+    while iteration < max_iter:
+        iteration += 1
         distances = ((X[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
         labels = distances.argmin(axis=1)
         new_inertia = float(distances[np.arange(len(X)), labels].sum())

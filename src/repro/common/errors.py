@@ -39,6 +39,18 @@ class OutOfGasError(ContractError):
     """Contract execution exceeded its gas limit."""
 
 
+class ContractVerificationError(ContractError):
+    """Static verification rejected a contract before deployment.
+
+    Carries the list of :class:`repro.analysis.findings.Finding` objects
+    that caused the rejection, so deploy tooling can render them.
+    """
+
+    def __init__(self, message: str, findings=None):
+        super().__init__(message)
+        self.findings = list(findings or [])
+
+
 class AccessDeniedError(MedchainError):
     """An on-chain access policy rejected a data or analytics request."""
 

@@ -9,7 +9,13 @@ from repro.contracts.library import (
     DATA_REGISTRY_SOURCE,
     PATIENT_CONSENT_SOURCE,
 )
-from repro.contracts.runtime import ContractExecutor, ContractInfo, HostBridge
+from repro.contracts.registry import ContractRegistry, DeploymentRecord
+from repro.contracts.runtime import (
+    HOST_FUNCTION_NAMES,
+    ContractExecutor,
+    ContractInfo,
+    HostBridge,
+)
 from repro.contracts.vm import (
     ContractSource,
     GasMeter,
@@ -25,8 +31,11 @@ __all__ = [
     "COUNTER_SOURCE",
     "ContractExecutor",
     "ContractInfo",
+    "ContractRegistry",
     "ContractSource",
     "DATA_REGISTRY_SOURCE",
+    "DeploymentRecord",
+    "HOST_FUNCTION_NAMES",
     "PATIENT_CONSENT_SOURCE",
     "GasMeter",
     "HostBridge",

@@ -1,0 +1,120 @@
+"""Contract registry: the deployment front door with a static-verify gate.
+
+MediChain-style architectures admit a contract on chain only after an
+off-chain validation pass; :class:`ContractRegistry` reproduces that gate.
+It wraps deploy-transaction construction (nonce tracking, signing,
+submission) and, with ``verify=True``, runs the ``repro.analysis`` contract
+verifier first — a failing contract never produces a transaction, and the
+caller gets a typed :class:`~repro.common.errors.ContractVerificationError`
+carrying the findings.
+
+The registry is transport-agnostic: it needs only an object exposing
+``submit_tx(tx)`` and ``state.nonce(address)`` (a
+:class:`~repro.consensus.node.BlockchainNode` does), so it works against a
+live node, a simulation node, or a test double.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.chain.transactions import DEFAULT_GAS_LIMIT, Transaction, make_deploy
+from repro.common.hashing import sha256_hex
+from repro.common.signatures import KeyPair
+
+
+@dataclass
+class DeploymentRecord:
+    """Book-keeping for one deploy attempt made through the registry."""
+
+    name: str
+    source_hash: str
+    tx_id: str
+    verified: bool
+    finding_count: int = 0
+
+
+@dataclass
+class ContractRegistry:
+    """Builds, verifies, and submits contract deployments.
+
+    ``verify=True`` (per call, or ``verify_by_default=True`` for the whole
+    registry) rejects contracts that fail static verification *before* any
+    transaction is signed or submitted.
+    """
+
+    node: Any  # needs .submit_tx(tx) and .state.nonce(address)
+    deployer: KeyPair
+    timestamp_source: Optional[Callable[[], int]] = None
+    verify_by_default: bool = False
+    max_gas: Optional[int] = None  # MED008 ceiling used when verifying
+    records: List[DeploymentRecord] = field(default_factory=list)
+    _next_nonce: Dict[str, int] = field(default_factory=dict)
+
+    def verify(self, source: str, name: str = "<contract>") -> List[Any]:
+        """Run the static contract verifier; raises on error findings.
+
+        Returns the (possibly warning-level) findings when the contract
+        passes, so callers can surface advisories.
+        """
+        # Imported lazily so the contracts package does not depend on the
+        # analysis package unless the gate is actually used.
+        from repro.analysis.verify import verify_contract
+
+        return verify_contract(source, name=name, max_gas=self.max_gas)
+
+    def deploy(
+        self,
+        name: str,
+        source: str,
+        *,
+        init: Optional[Dict[str, Any]] = None,
+        verify: Optional[bool] = None,
+        gas_limit: int = DEFAULT_GAS_LIMIT,
+        timestamp_ms: Optional[int] = None,
+    ) -> Transaction:
+        """Build, sign, and submit a deploy transaction for ``source``.
+
+        With ``verify=True`` the contract is statically verified first;
+        a :class:`~repro.common.errors.ContractVerificationError` aborts
+        the deployment with no transaction created.
+        """
+        do_verify = self.verify_by_default if verify is None else verify
+        finding_count = 0
+        if do_verify:
+            finding_count = len(self.verify(source, name=name))
+        tx = make_deploy(
+            self.deployer,
+            name,
+            source,
+            init=init,
+            nonce=self._claim_nonce(),
+            gas_limit=gas_limit,
+            timestamp_ms=self._timestamp(timestamp_ms),
+        )
+        self.node.submit_tx(tx)
+        self.records.append(
+            DeploymentRecord(
+                name=name,
+                source_hash=sha256_hex(source.encode("utf-8")),
+                tx_id=tx.tx_id,
+                verified=do_verify,
+                finding_count=finding_count,
+            )
+        )
+        return tx
+
+    def _claim_nonce(self) -> int:
+        address = self.deployer.address
+        chain_nonce = self.node.state.nonce(address)
+        nonce = max(chain_nonce, self._next_nonce.get(address, 0))
+        self._next_nonce[address] = nonce + 1
+        return nonce
+
+    def _timestamp(self, explicit: Optional[int]) -> int:
+        if explicit is not None:
+            return explicit
+        if self.timestamp_source is not None:
+            return int(self.timestamp_source())
+        return 0

@@ -71,6 +71,29 @@ def _isolate(value: Any) -> Any:
     return copy.deepcopy(value)
 
 
+#: Every name the bridge injects into contract scope.  The static analyzer
+#: (``repro.analysis``) treats calls to names outside this set (and outside
+#: the VM's pure builtins / the contract's own functions) as MED006 errors,
+#: so keep it in lockstep with :meth:`HostBridge.functions` — a unit test
+#: cross-checks the two.
+HOST_FUNCTION_NAMES = frozenset(
+    {
+        "storage_get",
+        "storage_set",
+        "storage_has",
+        "storage_delete",
+        "storage_keys",
+        "emit",
+        "require",
+        "sender",
+        "contract_id",
+        "block_height",
+        "timestamp_ms",
+        "sha256_hex",
+    }
+)
+
+
 class HostBridge:
     """Host functions exposed to contract code, bound to one execution."""
 

@@ -23,7 +23,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.chain.blocks import make_genesis
 from repro.chain.state import StateDB
-from repro.chain.transactions import Transaction, make_call, make_deploy
+from repro.chain.transactions import Transaction, make_call
 from repro.common.errors import ChainError, MedchainError
 from repro.common.hashing import hash_value_hex
 from repro.common.signatures import KeyPair
@@ -38,6 +38,7 @@ from repro.contracts.library import (
     DATA_REGISTRY_SOURCE,
     PATIENT_CONSENT_SOURCE,
 )
+from repro.contracts.registry import ContractRegistry
 from repro.datamgmt.store import HospitalDataStore
 from repro.datamgmt.virtual import DatasetRef
 from repro.offchain.anchoring import DatasetAnchor
@@ -69,6 +70,10 @@ class PlatformConfig:
     max_txs_per_block: int = 200
     funding: int = 1_000_000_000
     register_tools: bool = True  # auto-register the standard tool suite at boot
+    # Statically verify platform contracts (repro.analysis) before the boot
+    # deployments are signed; a failing contract aborts the boot with a
+    # ContractVerificationError instead of reaching the chain.
+    verify_contracts: bool = True
     # Finality window for per-block state retention (see NodeConfig); long
     # platform runs keep state memory bounded by chain width, not length.
     state_prune_window: int = 64
@@ -133,6 +138,7 @@ class MedicalBlockchainNetwork:
         )
         self.keypairs = {name: KeyPair.generate(name) for name in self.node_names}
         self.contracts: Optional[PlatformContracts] = None
+        self.contract_registry: Optional[ContractRegistry] = None
         self.sites: Dict[str, Site] = {}
         self.fda: Optional[TrustedThirdParty] = None
         self.nodes: Dict[str, BlockchainNode] = {}
@@ -205,22 +211,22 @@ class MedicalBlockchainNetwork:
         }
         ids: Dict[str, str] = {}
         entry_node = self.nodes[self.node_names[0]]
+        # Platform contracts go through the verifying registry: a
+        # nondeterministic or unbounded contract never reaches the chain
+        # (and the shipped library dogfoods the static analyzer at boot).
+        registry = ContractRegistry(
+            node=entry_node,
+            deployer=self.deployer,
+            timestamp_source=lambda: int(self.kernel.now * 1000),
+            verify_by_default=self.config.verify_contracts,
+        )
         for name, source in sources.items():
-            nonce = self._deployer_nonces.next_nonce(
-                self.deployer.address, entry_node.state.nonce(self.deployer.address)
-            )
-            tx = make_deploy(
-                self.deployer,
-                name,
-                source,
-                nonce=nonce,
-                timestamp_ms=int(self.kernel.now * 1000),
-            )
-            entry_node.submit_tx(tx)
+            tx = registry.deploy(name, source)
             receipt = self.run_until_committed(tx, timeout_s=600)
             if not receipt.success:
                 raise ChainError(f"failed to deploy {name}: {receipt.error}")
             ids[name] = receipt.output
+        self.contract_registry = registry
         return PlatformContracts(
             data_contract_id=ids["data-registry"],
             analytics_contract_id=ids["analytics"],

@@ -16,7 +16,7 @@ carrying a national id degrades.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -35,9 +35,10 @@ class LinkageWeights:
 
 
 def pair_score(
-    a: Dict[str, Any], b: Dict[str, Any], weights: LinkageWeights = LinkageWeights()
+    a: Dict[str, Any], b: Dict[str, Any], weights: Optional[LinkageWeights] = None
 ) -> float:
     """Probabilistic match score between two canonical records."""
+    weights = weights or LinkageWeights()
     score = 0.0
     score += (
         weights.birth_year_agree
@@ -71,8 +72,8 @@ class LinkageResult:
 class RecordLinker:
     """Links records from many sites into per-person clusters."""
 
-    def __init__(self, weights: LinkageWeights = LinkageWeights()):
-        self.weights = weights
+    def __init__(self, weights: Optional[LinkageWeights] = None):
+        self.weights = weights or LinkageWeights()
 
     def link(self, records: Sequence[Dict[str, Any]]) -> LinkageResult:
         """Union-find over deterministic and probabilistic matches.

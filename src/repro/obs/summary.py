@@ -17,7 +17,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.obs.export import read_trace_jsonl
 from repro.obs.tracer import Span
@@ -34,9 +34,10 @@ _SORT_KEYS = {
 
 
 def summarize(
-    spans: Sequence[Span], energy_model: EnergyModel = EnergyModel()
+    spans: Sequence[Span], energy_model: Optional[EnergyModel] = None
 ) -> List[Dict[str, Any]]:
     """Aggregate spans by name into one breakdown row per scope."""
+    energy_model = energy_model or EnergyModel()
     groups: Dict[str, List[Span]] = {}
     for span in spans:
         groups.setdefault(span.name, []).append(span)

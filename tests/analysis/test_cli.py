@@ -1,0 +1,93 @@
+"""CLI tests: ``python -m repro.analysis`` exit codes and report formats."""
+
+import json
+
+from repro.analysis.cli import main
+
+BAD_CONTRACT = "def f():\n    return 1.5\n"
+CLEAN_CONTRACT = "def f(a, b):\n    return a + b\n"
+
+
+class TestListRules:
+    def test_catalog_printed(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "MED001" in out
+        assert "MED103" in out
+
+
+class TestContractMode:
+    def test_bad_contract_fails_gate(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text(BAD_CONTRACT)
+        assert main(["--contract", str(path)]) == 1
+        assert "MED002" in capsys.readouterr().out
+
+    def test_clean_contract_passes(self, tmp_path, capsys):
+        path = tmp_path / "ok.py"
+        path.write_text(CLEAN_CONTRACT)
+        assert main(["--contract", str(path)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_missing_contract_file_is_usage_error(self, tmp_path):
+        assert main(["--contract", str(tmp_path / "absent.py")]) == 2
+
+    def test_max_gas_enables_ceiling(self, tmp_path):
+        path = tmp_path / "heavy.py"
+        path.write_text(
+            "def f():\n"
+            "    total = 0\n"
+            "    for i in range(1000):\n"
+            '        total = total + storage_get("k", 0)\n'
+            "    return total\n"
+        )
+        assert main(["--contract", str(path)]) == 0
+        assert main(["--contract", str(path), "--max-gas", "1000"]) == 1
+
+
+class TestPathMode:
+    def test_json_format_and_output_artifact(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "chain" / "wire.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import json\ndef f(p):\n    return json.dumps(p)\n")
+        artifact = tmp_path / "findings.json"
+        code = main(
+            [str(tmp_path), "--format", "json", "--output", str(artifact)]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_analyzed"] == 1
+        assert [f["code"] for f in payload["findings"]] == ["MED102"]
+        on_disk = json.loads(artifact.read_text())
+        assert on_disk == payload
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        clean = tmp_path / "mod.py"
+        clean.write_text("def f():\n    return 1\n")
+        assert main([str(tmp_path)]) == 0
+
+    def test_fail_on_warning_threshold(self, tmp_path):
+        host = tmp_path / "mod.py"
+        # MED005 (storage alias) is warning severity.
+        host.write_text(
+            "C_SOURCE = '''\n"
+            "def f(entry):\n"
+            '    storage_set("a", entry)\n'
+            '    storage_set("b", entry)\n'
+            "    return 1\n"
+            "'''\n"
+        )
+        assert main([str(tmp_path)]) == 0
+        assert main([str(tmp_path), "--fail-on", "warning"]) == 1
+
+    def test_no_embedded_skips_contract_audit(self, tmp_path):
+        host = tmp_path / "mod.py"
+        host.write_text("C_SOURCE = '''\ndef f():\n    return 1.5\n'''\n")
+        assert main([str(tmp_path)]) == 1
+        assert main([str(tmp_path), "--no-embedded"]) == 0
+
+
+class TestUsage:
+    def test_no_inputs_is_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "provide paths" in capsys.readouterr().err

@@ -1,0 +1,182 @@
+"""Contract-verifier tests: the known-bad corpus, noqa, and zero-FP audit.
+
+The corpus holds one minimal bad snippet per rule; each must be flagged
+with exactly its own code (no cross-rule noise), which is the acceptance
+bar for the analyzer: findings precise enough to gate deployments on.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import analyze_contract_source, analyze_file, analyze_paths
+from repro.analysis.findings import Severity
+from repro.analysis.registry import all_rules
+from repro.contracts import library
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+#: One minimal known-bad snippet per contract rule.  Each fires exactly its
+#: own code.  MED008 needs a gas ceiling and is parameterized separately.
+BAD_CORPUS = {
+    "MED001": "def f(x):\n    return x + time\n",
+    "MED002": "def f():\n    return 1.5\n",
+    "MED003": "def f(a, b):\n    return a / b\n",
+    "MED004": "def f(n):\n    while True:\n        n = n + 1\n    return n\n",
+    "MED005": (
+        "def f(entry):\n"
+        '    storage_set("a", entry)\n'
+        '    storage_set("b", entry)\n'
+        "    return 1\n"
+    ),
+    "MED006": "def f():\n    return helper(1)\n",
+    "MED007": 'def f():\n    return 1\n    storage_set("k", 2)\n',
+    "MED009": "def f(x):\n    return x.append\n",
+    "MED010": "def f():\n    return unknown_var + 1\n",
+}
+
+
+class TestBadCorpus:
+    @pytest.mark.parametrize("code", sorted(BAD_CORPUS))
+    def test_snippet_flagged_with_exactly_its_code(self, code):
+        findings = analyze_contract_source(BAD_CORPUS[code])
+        assert {f.code for f in findings} == {code}
+
+    def test_med008_gas_ceiling(self):
+        source = (
+            "def f():\n"
+            "    total = 0\n"
+            "    for i in range(100):\n"
+            '        total = total + storage_get("k", 0)\n'
+            "    return total\n"
+        )
+        findings = analyze_contract_source(source, max_gas=100)
+        assert {f.code for f in findings} == {"MED008"}
+        # Without a ceiling the rule stays silent.
+        assert analyze_contract_source(source) == []
+
+    def test_syntax_error_reported_as_med009(self):
+        findings = analyze_contract_source("def f(:\n    return 1\n")
+        assert len(findings) == 1
+        assert findings[0].code == "MED009"
+        assert findings[0].severity is Severity.ERROR
+
+    def test_findings_carry_location_and_symbol(self):
+        findings = analyze_contract_source(BAD_CORPUS["MED002"])
+        (finding,) = findings
+        assert finding.line == 2
+        assert finding.symbol == "f"
+        assert finding.severity is Severity.ERROR
+
+    def test_storage_alias_cleared_by_rebinding(self):
+        source = (
+            "def f(entry):\n"
+            '    storage_set("a", entry)\n'
+            '    entry = storage_get("a")\n'
+            '    storage_set("b", entry)\n'
+            "    return 1\n"
+        )
+        assert analyze_contract_source(source) == []
+
+    def test_bounded_while_not_flagged(self):
+        source = (
+            "def f(n):\n"
+            "    while True:\n"
+            "        n = n - 1\n"
+            "        if n <= 0:\n"
+            "            break\n"
+            "    return n\n"
+        )
+        assert analyze_contract_source(source) == []
+
+
+class TestSuppressions:
+    def test_targeted_noqa_suppresses_only_listed_code(self):
+        source = "def f(a, b):\n    return a / 2.0  # repro: noqa[MED002]\n"
+        findings = analyze_contract_source(source)
+        assert {f.code for f in findings} == {"MED003"}
+
+    def test_blanket_noqa_suppresses_everything_on_line(self):
+        source = "def f(a, b):\n    return a / 2.0  # repro: noqa\n"
+        assert analyze_contract_source(source) == []
+
+    def test_noqa_on_other_line_does_not_suppress(self):
+        source = "def f():  # repro: noqa\n    return 1.5\n"
+        findings = analyze_contract_source(source)
+        assert {f.code for f in findings} == {"MED002"}
+
+
+class TestZeroFalsePositives:
+    """The acceptance bar: no findings on the shipped contract library."""
+
+    def test_library_contracts_all_clean(self):
+        sources = {
+            name: getattr(library, name)
+            for name in dir(library)
+            if name.endswith("_SOURCE")
+        }
+        assert len(sources) >= 6
+        for name, source in sources.items():
+            findings = analyze_contract_source(source, file=name)
+            assert findings == [], [f.render() for f in findings]
+
+    def test_library_file_embedded_audit_clean(self):
+        path = os.path.join(REPO_ROOT, "src", "repro", "contracts", "library.py")
+        assert analyze_file(path) == []
+
+    def test_src_repro_and_examples_clean(self):
+        paths = [
+            os.path.join(REPO_ROOT, "src", "repro"),
+            os.path.join(REPO_ROOT, "examples"),
+        ]
+        result = analyze_paths([p for p in paths if os.path.exists(p)])
+        assert result.files_analyzed > 50
+        assert result.contracts_analyzed >= 6
+        assert result.findings == [], [f.render() for f in result.findings]
+
+
+class TestEmbeddedContracts:
+    def test_embedded_finding_maps_to_host_line(self, tmp_path):
+        host = tmp_path / "mod.py"
+        host.write_text(
+            "X = 1\n"
+            "BAD_SOURCE = '''\n"
+            "def f():\n"
+            "    return 1.5\n"
+            "'''\n"
+        )
+        findings = analyze_file(str(host))
+        (finding,) = findings
+        assert finding.code == "MED002"
+        assert finding.file == str(host)
+        assert finding.line == 4  # the literal's `return 1.5` line in mod.py
+
+    def test_noqa_inside_embedded_literal(self, tmp_path):
+        host = tmp_path / "mod.py"
+        host.write_text(
+            "BAD_SOURCE = '''\n"
+            "def f():\n"
+            "    return 1.5  # repro: noqa[MED002]\n"
+            "'''\n"
+        )
+        assert analyze_file(str(host)) == []
+
+    def test_non_contract_string_constants_ignored(self, tmp_path):
+        host = tmp_path / "mod.py"
+        host.write_text('QUERY_SOURCE = "just a plain string"\n')
+        assert analyze_file(str(host)) == []
+
+
+class TestRuleCatalog:
+    def test_every_contract_rule_has_a_corpus_entry(self):
+        contract_codes = {
+            rule.code for rule in all_rules() if rule.family == "contract"
+        }
+        covered = set(BAD_CORPUS) | {"MED008"}
+        assert covered == contract_codes
+
+    def test_rule_codes_unique_and_stable(self):
+        rules = all_rules()
+        codes = [rule.code for rule in rules]
+        assert codes == sorted(set(codes))
+        assert all(code.startswith("MED") for code in codes)

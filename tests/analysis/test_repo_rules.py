@@ -1,0 +1,184 @@
+"""Repo convention lint tests (MED101/102/103) on synthetic modules."""
+
+import os
+
+from repro.analysis import analyze_file
+from repro.contracts.runtime import HOST_FUNCTION_NAMES
+
+
+def write_module(tmp_path, package_relpath, source):
+    """Materialize ``repro/<package_relpath>`` under tmp_path."""
+    path = tmp_path / "repro" / package_relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return str(path)
+
+
+class TestBlockingCallInAsync:
+    def test_time_sleep_in_async_def_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "rpc/server.py",
+            "import time\n"
+            "async def handle(request):\n"
+            "    time.sleep(1)\n"
+            "    return request\n",
+        )
+        findings = analyze_file(path)
+        assert {f.code for f in findings} == {"MED101"}
+        assert findings[0].symbol == "handle"
+
+    def test_asyncio_sleep_allowed(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "rpc/server.py",
+            "import asyncio\n"
+            "async def handle(request):\n"
+            "    await asyncio.sleep(1)\n"
+            "    return request\n",
+        )
+        assert analyze_file(path) == []
+
+    def test_sync_function_may_sleep(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "tools/poll.py",
+            "import time\n"
+            "def wait():\n"
+            "    time.sleep(1)\n",
+        )
+        assert analyze_file(path) == []
+
+
+class TestNonCanonicalJson:
+    def test_json_dumps_in_chain_path_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "chain/encode.py",
+            "import json\n"
+            "def frame(payload):\n"
+            "    return json.dumps(payload)\n",
+        )
+        findings = analyze_file(path)
+        assert {f.code for f in findings} == {"MED102"}
+
+    def test_json_dumps_outside_consensus_paths_allowed(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "obs/export.py",
+            "import json\n"
+            "def dump(payload):\n"
+            "    return json.dumps(payload)\n",
+        )
+        assert analyze_file(path) == []
+
+    def test_aliased_import_still_resolved(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "consensus/wire.py",
+            "import json as j\n"
+            "def frame(payload):\n"
+            "    return j.dumps(payload)\n",
+        )
+        findings = analyze_file(path)
+        assert {f.code for f in findings} == {"MED102"}
+
+
+class TestWallClock:
+    def test_time_time_outside_clock_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "core/scheduler.py",
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()\n",
+        )
+        findings = analyze_file(path)
+        assert {f.code for f in findings} == {"MED103"}
+
+    def test_datetime_now_via_from_import_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "trial/monitor2.py",
+            "from datetime import datetime\n"
+            "def stamp():\n"
+            "    return datetime.now()\n",
+        )
+        findings = analyze_file(path)
+        assert {f.code for f in findings} == {"MED103"}
+
+    def test_clock_module_and_obs_layer_exempt(self, tmp_path):
+        for relpath in ("common/clock.py", "obs/tracer2.py"):
+            path = write_module(
+                tmp_path,
+                relpath,
+                "import time\n"
+                "def stamp():\n"
+                "    return time.time()\n",
+            )
+            assert analyze_file(path) == []
+
+    def test_monotonic_clocks_allowed_everywhere(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "core/scheduler.py",
+            "import time\n"
+            "def tick():\n"
+            "    return time.perf_counter() + time.monotonic()\n",
+        )
+        assert analyze_file(path) == []
+
+    def test_files_outside_repro_package_ignored(self, tmp_path):
+        path = tmp_path / "script.py"
+        path.write_text("import time\ndef stamp():\n    return time.time()\n")
+        assert analyze_file(str(path)) == []
+
+
+class TestNoqaOnRepoRules:
+    def test_targeted_noqa_suppresses_repo_finding(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "core/scheduler.py",
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()  # repro: noqa[MED103]\n",
+        )
+        assert analyze_file(path) == []
+
+
+class TestHostFunctionContract:
+    def test_host_function_names_match_bridge(self):
+        """HOST_FUNCTION_NAMES (used by MED006) must track HostBridge."""
+        from repro.chain.executor import ExecutionContext
+        from repro.chain.state import StateDB
+        from repro.contracts.runtime import HostBridge
+        from repro.contracts.vm import GasMeter
+
+        bridge = HostBridge(
+            state=StateDB(),
+            contract_id="c-test",
+            sender="addr",
+            context=ExecutionContext(),
+            meter=GasMeter(10_000),
+            events=[],
+        )
+        assert set(bridge.functions()) == set(HOST_FUNCTION_NAMES)
+
+
+class TestParseFailure:
+    def test_unparseable_file_reports_med100(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n")
+        findings = analyze_file(str(path))
+        assert len(findings) == 1
+        assert findings[0].code == "MED100"
+
+
+def test_package_path_resolution():
+    from repro.analysis.engine import _package_path
+
+    assert _package_path("src/repro/chain/state.py") == "repro/chain/state.py"
+    assert _package_path(os.path.join("a", "b", "repro", "rpc", "x.py")) == (
+        "repro/rpc/x.py"
+    )
+    assert _package_path("scripts/tool.py") == "scripts/tool.py"

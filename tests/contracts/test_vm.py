@@ -205,6 +205,76 @@ class TestGas:
         __, b = run(source, "f", {"n": 50})
         assert a.used == b.used
 
+    def test_loop_gas_exhaustion_mid_iteration(self):
+        """Gas runs dry part-way through a loop, not only at loop heads."""
+        source = "def f(n):\n    total = 0\n    for i in range(n):\n        total = total + i\n    return total\n"
+        __, m10 = run(source, "f", {"n": 10})
+        __, m20 = run(source, "f", {"n": 20})
+        per_iteration = (m20.used - m10.used) // 10
+        # Enough for ~15.5 iterations: the meter must trip inside the 16th.
+        limit = m10.used + 5 * per_iteration + per_iteration // 2
+        contract = compile_contract(source)
+        meter = GasMeter(limit)
+        interpreter = Interpreter(contract, {}, meter)
+        with pytest.raises(OutOfGasError):
+            interpreter.call("f", {"n": 1000})
+        # The failing charge is recorded and the budget is fully spent.
+        assert meter.used > meter.limit
+        assert meter.remaining == 0
+        # It got past the 10-iteration run's usage before dying.
+        assert meter.used > m10.used
+
+
+class TestStorageSubscripts:
+    @staticmethod
+    def make_hosts(storage):
+        return {
+            "storage_get": lambda key, default=None: storage.get(key, default),
+            "storage_set": lambda key, value: storage.__setitem__(key, value),
+        }
+
+    def test_augmented_assign_on_storage_dict_entry(self):
+        source = (
+            "def bump(k):\n"
+            '    entry = storage_get(k, {"n": 0})\n'
+            '    entry["n"] += 5\n'
+            "    storage_set(k, entry)\n"
+            '    return entry["n"]\n'
+        )
+        storage = {}
+        hosts = self.make_hosts(storage)
+        first, __ = run(source, "bump", {"k": "acct"}, hosts=hosts)
+        assert first == 5
+        assert storage["acct"] == {"n": 5}
+        second, __ = run(source, "bump", {"k": "acct"}, hosts=hosts)
+        assert second == 10
+        assert storage["acct"] == {"n": 10}
+
+    def test_augmented_assign_on_list_subscript(self):
+        source = (
+            "def rotate(k):\n"
+            "    values = storage_get(k, [1, 2, 3])\n"
+            "    values[0] += values[2]\n"
+            "    storage_set(k, values)\n"
+            "    return values[0]\n"
+        )
+        storage = {}
+        result, __ = run(source, "rotate", {"k": "v"}, hosts=self.make_hosts(storage))
+        assert result == 4
+        assert storage["v"] == [4, 2, 3]
+
+    def test_augmented_subscript_charges_gas_deterministically(self):
+        source = (
+            "def bump(k):\n"
+            '    entry = storage_get(k, {"n": 0})\n'
+            '    entry["n"] += 1\n'
+            "    storage_set(k, entry)\n"
+            '    return entry["n"]\n'
+        )
+        __, a = run(source, "bump", {"k": "x"}, hosts=self.make_hosts({}))
+        __, b = run(source, "bump", {"k": "x"}, hosts=self.make_hosts({}))
+        assert a.used == b.used
+
 
 class TestDeterminism:
     @settings(max_examples=30)

@@ -57,7 +57,7 @@ def fed_world():
         seed=6,
     )
     last_tx = None
-    for index, site_name in enumerate(platform.site_names):
+    for site_name in platform.site_names:
         site = platform.sites[site_name]
         for record in cohorts[site_name]:
             last_tx = site.control.submit_signed_call(

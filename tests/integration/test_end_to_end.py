@@ -99,7 +99,6 @@ class TestIntegrityEnforcement:
     def test_failed_task_recorded_on_chain(self, world):
         platform, __, ___ = world
         platform.run(30)
-        node = platform.nodes["hospital-0"]
         monitor = platform.sites["hospital-0"].monitor
         failed_events = monitor.events_named("TaskFailed")
         assert failed_events

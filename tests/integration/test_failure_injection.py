@@ -64,6 +64,8 @@ class TestPartitions:
                                  timeout_s=120)
         assert "hospital-0" in answer.site_partials
         assert "hospital-1" in answer.site_partials
+        # The healed node's chain advanced past its partition-era head.
+        assert platform.nodes[isolated].head.height >= head_before
 
 
 class TestCrashes:
@@ -100,7 +102,6 @@ class TestCrashes:
 class TestStragglers:
     def test_slow_site_delays_but_completes(self):
         platform, researcher = build_world(seed=17)
-        fast_times = {}
         platform.sites["hospital-2"].control.compute_rate_flops = 50.0  # glacial
         service = GlobalQueryService(platform, researcher)
         vector = QueryVector(intent="count", purpose="research")
