@@ -22,8 +22,15 @@ from repro.analysis.engine import (
     analyze_contract_source,
     analyze_file,
     analyze_paths,
+    collect_module,
     extract_embedded_contracts,
     parse_suppressions,
+)
+from repro.analysis.rwsets import (
+    MethodRWSet,
+    ResolvedAccess,
+    SlotTemplate,
+    read_write_sets,
 )
 from repro.analysis.findings import AnalysisResult, Finding, RuleInfo, Severity
 from repro.analysis.gasmodel import GasEstimator, estimate_contract_gas
@@ -47,19 +54,24 @@ __all__ = [
     "ContractVerificationError",
     "Finding",
     "GasEstimator",
+    "MethodRWSet",
     "ModuleContext",
     "RepoChecker",
+    "ResolvedAccess",
     "RuleInfo",
     "Severity",
+    "SlotTemplate",
     "all_rules",
     "analyze_contract_source",
     "analyze_file",
     "analyze_paths",
+    "collect_module",
     "contract_checkers",
     "contract_rules",
     "estimate_contract_gas",
     "extract_embedded_contracts",
     "parse_suppressions",
+    "read_write_sets",
     "register",
     "repo_checkers",
     "repo_rules",

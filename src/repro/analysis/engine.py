@@ -79,9 +79,15 @@ def apply_suppressions(
     return kept
 
 
-def _collect_module(
+def collect_module(
     tree: ast.Module,
 ) -> Tuple[Dict[str, ast.FunctionDef], Dict[str, ast.expr]]:
+    """Top-level functions and single-name constant assignments of a module.
+
+    The shared front half of every contract-source consumer: the MED-rule
+    engine below and the read/write-set deriver (``repro.analysis.rwsets``)
+    both build on this instead of growing second parsers.
+    """
     functions: Dict[str, ast.FunctionDef] = {}
     constants: Dict[str, ast.expr] = {}
     for node in tree.body:
@@ -115,7 +121,7 @@ def analyze_contract_source(
                 col=exc.offset or 0,
             )
         ]
-    functions, constants = _collect_module(tree)
+    functions, constants = collect_module(tree)
     ctx = ContractContext(
         source=source,
         tree=tree,

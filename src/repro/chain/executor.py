@@ -10,12 +10,15 @@ substrate independent of the contract layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Protocol, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Protocol, Tuple
 
 from repro.chain.state import StateDB, StateOverlay
 from repro.chain.transactions import TX_TRANSFER, Transaction
 from repro.common.errors import ChainError
 from repro.obs.tracer import trace_span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see scheduler.py)
+    from repro.chain.scheduler import BlockScheduler
 
 
 @dataclass
@@ -133,6 +136,7 @@ def speculate_block_transactions(
     base_state: StateDB,
     transactions: List[Transaction],
     context: ExecutionContext,
+    scheduler: Optional["BlockScheduler"] = None,
 ) -> Tuple[StateOverlay, List[Receipt]]:
     """Execute a block's transactions against an overlay of ``base_state``.
 
@@ -147,7 +151,15 @@ def speculate_block_transactions(
     long as the overlay is live: dropping the last reference to a losing
     overlay (or calling ``overlay.discard()`` for a deterministic release)
     unfreezes the base automatically.
+
+    Passing a ``repro.chain.scheduler.BlockScheduler`` routes execution
+    through optimistic parallel scheduling instead of the serial loop; the
+    result (state root and receipts) is bit-identical either way.
     """
+    if scheduler is not None:
+        return scheduler.execute_block(
+            base_state, transactions, context, validate=True
+        )
     overlay = base_state.fork()
     receipts = apply_block_transactions(executor, overlay, transactions, context)
     return overlay, receipts

@@ -667,6 +667,24 @@ class StateDB:
         """From-scratch bucketed Merkle root, ignoring every cache."""
         return bucketed_root_of_dict(self._effective_dict())
 
+    def local_delta(self) -> Tuple[Dict[str, Any], List[str]]:
+        """This layer's own writes and deletion tombstones.
+
+        Returns ``(writes, deleted_keys)`` where ``writes`` maps keys to the
+        stored value *references* (immutable-value convention applies) and
+        ``deleted_keys`` lists tombstoned keys in sorted order.  Used by the
+        parallel block scheduler to harvest a speculative overlay's effect
+        as plain data that can be replayed onto (or shipped between) states.
+        """
+        writes: Dict[str, Any] = {}
+        deletes: List[str] = []
+        for key, value in self._data.items():
+            if value is _DELETED:
+                deletes.append(key)
+            else:
+                writes[key] = value
+        return writes, sorted(deletes)
+
     # -- copies and exports ------------------------------------------------
     def copy(self) -> "StateDB":
         """Independent deep copy of the *effective* state.

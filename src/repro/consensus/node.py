@@ -61,6 +61,19 @@ class NodeConfig:
     state_collapse_interval: int = 16
     # Cap on the ChainStore orphan buffer (oldest-first eviction).
     max_orphan_blocks: int = 512
+    # Optimistic parallel block execution (repro.chain.scheduler): derive
+    # static read/write sets, execute non-conflicting transactions
+    # concurrently, validate observed reads at commit.  Off by default —
+    # results are bit-identical to serial execution either way, so this is
+    # purely a throughput knob.  ``parallel_backend`` is one of "serial"
+    # (full speculate/validate path without concurrency), "thread", or
+    # "process" (real cores; the win for CPU-bound contract code).
+    parallel_execution: bool = False
+    parallel_backend: str = "thread"
+    # Worker pool size (None = available cores) and the smallest wave worth
+    # dispatching to the pool instead of executing inline.
+    parallel_max_workers: Optional[int] = None
+    parallel_min_wave_size: int = 2
 
 
 class BlockchainNode(Process):
@@ -101,6 +114,7 @@ class BlockchainNode(Process):
         self._proposal_handle: Optional[EventHandle] = None
         self._round_start: Optional[float] = None
         self._started = False
+        self._scheduler = None  # built lazily when parallel_execution is on
         self.events: List[ContractEvent] = []
         network.register(name, self._on_message)
 
@@ -113,6 +127,22 @@ class BlockchainNode(Process):
     def stop(self) -> None:
         self._started = False
         self._cancel_round()
+        if self._scheduler is not None:
+            self._scheduler.shutdown()
+            self._scheduler = None
+
+    def _block_scheduler(self):
+        """The node's parallel block scheduler (lazy; owns a worker pool)."""
+        if self._scheduler is None:
+            from repro.chain.scheduler import BlockScheduler
+
+            self._scheduler = BlockScheduler(
+                self.executor,
+                backend=self.config.parallel_backend,
+                max_workers=self.config.parallel_max_workers,
+                min_wave_size=self.config.parallel_min_wave_size,
+            )
+        return self._scheduler
 
     # -- public API --------------------------------------------------------
     @property
@@ -281,13 +311,31 @@ class BlockchainNode(Process):
     def _execute_transactions(
         self, parent_state: StateDB, txs: List[Transaction], block: Block
     ):
-        state = parent_state.fork()
         context = ExecutionContext(
             block_height=block.height,
             timestamp_ms=block.header.timestamp_ms,
             proposer=block.header.proposer,
             node_name=self.name,
         )
+        state, receipts = self._apply_block(parent_state, txs, context)
+        return state, receipts
+
+    def _apply_block(
+        self,
+        parent_state: StateDB,
+        txs: List[Transaction],
+        context: ExecutionContext,
+    ):
+        """Fork the parent and apply ``txs``, serially or via the parallel
+        scheduler per config; results are bit-identical either way."""
+        if self.config.parallel_execution:
+            state, receipts = self._block_scheduler().execute_block(
+                parent_state, txs, context
+            )
+            for receipt in receipts:
+                self.metrics.add_gas(receipt.gas_used, scope=self.name)
+            return state, receipts
+        state = parent_state.fork()
         receipts = []
         for tx in txs:
             receipt = self.executor.apply(state, tx, context)
@@ -472,18 +520,13 @@ class BlockchainNode(Process):
         if not txs and not self.config.mine_empty:
             # Nothing executable (nonce gaps); wait for new txs or a new head.
             return
-        state = parent_state.fork()
         context = ExecutionContext(
             block_height=parent.height + 1,
             timestamp_ms=int(self.now * 1000),
             proposer=self.name,
             node_name=self.name,
         )
-        receipts = []
-        for tx in txs:
-            receipt = self.executor.apply(state, tx, context)
-            self.metrics.add_gas(receipt.gas_used, scope=self.name)
-            receipts.append(receipt)
+        state, receipts = self._apply_block(parent_state, txs, context)
         block = build_block(
             parent=parent,
             transactions=txs,

@@ -6,11 +6,29 @@ are module-scoped; tests that mutate platform state build their own.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings as hypothesis_settings
 
 from repro.common.ids import reset_ids
 from repro.common.signatures import KeyPair
 from repro.datamgmt.cohort import CohortGenerator, default_site_profiles
+
+
+# Hypothesis profiles: "default" keeps local/CI runs fast; "ci-stress" is
+# the scheduled deep-fuzz profile (see the cron job in ci.yml).  Tests that
+# pin explicit @settings keep their own example counts; profile selection
+# applies to bare @given tests.
+hypothesis_settings.register_profile("default", hypothesis_settings())
+hypothesis_settings.register_profile(
+    "ci-stress",
+    max_examples=500,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(autouse=True)
