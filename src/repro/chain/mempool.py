@@ -33,6 +33,10 @@ class Mempool:
         self._txs[tx.tx_id] = tx
         return True
 
+    def get(self, tx_id: str) -> Optional[Transaction]:
+        """Pending transaction by id (None when absent); serves p2p get_data."""
+        return self._txs.get(tx_id)
+
     def remove(self, tx_id: str) -> None:
         self._txs.pop(tx_id, None)
 

@@ -138,6 +138,27 @@ class ChainStore:
                 return block
         return None
 
+    def headers_after(self, locator_ids: List[str], limit: int = 256) -> List[Block]:
+        """Canonical blocks after the best locator match, oldest first.
+
+        ``locator_ids`` is ordered newest-first (dense near the requester's
+        head, exponentially sparse toward genesis); the first entry found on
+        our canonical chain anchors the reply.  An empty or entirely-unknown
+        locator anchors at genesis, so a fresh node always makes progress.
+        The p2p headers-first sync protocol serves ``chain.get_headers``
+        from this.
+        """
+        chain = self.canonical_chain()
+        index = {block.block_id: i for i, block in enumerate(chain)}
+        anchor = 0
+        for block_id in locator_ids:
+            position = index.get(block_id)
+            if position is not None:
+                anchor = position
+                break
+        limit = max(1, min(int(limit), 1024))
+        return chain[anchor + 1 : anchor + 1 + limit]
+
     def canonical_tx_ids(self) -> List[str]:
         """Every tx id on the canonical chain, in execution order."""
         out: List[str] = []

@@ -74,6 +74,12 @@ class NodeConfig:
     # dispatching to the pool instead of executing inline.
     parallel_max_workers: Optional[int] = None
     parallel_min_wave_size: int = 2
+    # Peer-to-peer settings (repro.p2p.P2PConfig).  When a P2PService is
+    # attached, tx/block dissemination switches from the sim network's
+    # full-body flood to announce-by-hash gossip with fetch-on-miss, and
+    # missing ancestors are repaired by headers-first sync instead of
+    # point get_block requests.  None keeps the legacy flood behaviour.
+    p2p: Optional[Any] = None
 
 
 class BlockchainNode(Process):
@@ -115,6 +121,7 @@ class BlockchainNode(Process):
         self._round_start: Optional[float] = None
         self._started = False
         self._scheduler = None  # built lazily when parallel_execution is on
+        self._p2p = None  # P2PService, attached via attach_p2p
         self.events: List[ContractEvent] = []
         network.register(name, self._on_message)
 
@@ -161,6 +168,32 @@ class BlockchainNode(Process):
         """Register a contract-event callback (the monitor node hook, Fig. 3)."""
         self._event_subscribers.append(subscriber)
 
+    def attach_p2p(self, service) -> None:
+        """Route this node's dissemination through a ``P2PService``.
+
+        Gossip becomes announce-by-hash (ids to ``fanout`` peers, bodies
+        fetched once on miss) instead of the full-body network flood, and
+        missing-ancestor repair goes through headers-first sync.
+        """
+        self._p2p = service
+
+    # -- dissemination -------------------------------------------------------
+    def _broadcast_tx(self, tx: Transaction) -> None:
+        if self._p2p is not None:
+            self._p2p.announce_tx(tx)
+        else:
+            self.network.broadcast(
+                self.name, "tx", tx, size_bytes=tx.estimated_size_bytes()
+            )
+
+    def _broadcast_block(self, block: Block) -> None:
+        if self._p2p is not None:
+            self._p2p.announce_block(block)
+        else:
+            self.network.broadcast(
+                self.name, "block", block, size_bytes=block.estimated_size_bytes()
+            )
+
     def submit_tx(self, tx: Transaction) -> bool:
         """Inject a transaction locally and gossip it to every peer."""
         tx.validate()
@@ -169,9 +202,7 @@ class BlockchainNode(Process):
         self._seen_txs.add(tx.tx_id)
         self._tx_submit_times[tx.tx_id] = self.now
         added = self.mempool.add(tx)
-        self.network.broadcast(
-            self.name, "tx", tx, size_bytes=tx.estimated_size_bytes()
-        )
+        self._broadcast_tx(tx)
         if added and self._started and self._proposal_handle is None:
             self._plan_round()
         return added
@@ -205,6 +236,10 @@ class BlockchainNode(Process):
             self._handle_gossip_block(message.payload, sender)
         elif message.kind == "get_block":
             self._handle_get_block(message.payload, sender)
+        elif message.kind.startswith("p2p.") and self._p2p is not None:
+            # SimTransport shares this node's network endpoint; hand its
+            # request/response envelopes to the p2p transport.
+            self._p2p.transport.handle_message(sender, message)
 
     def _handle_gossip_tx(self, tx: Transaction) -> None:
         if tx.tx_id in self._seen_txs:
@@ -216,9 +251,7 @@ class BlockchainNode(Process):
         self._seen_txs.add(tx.tx_id)
         added = self.mempool.add(tx)
         if self.config.rebroadcast_txs:
-            self.network.broadcast(
-                self.name, "tx", tx, size_bytes=tx.estimated_size_bytes()
-            )
+            self._broadcast_tx(tx)
         if added and self._started and self._proposal_handle is None:
             self._plan_round()
 
@@ -228,14 +261,52 @@ class BlockchainNode(Process):
         self._seen_blocks.add(block.block_id)
         parent_id = block.header.parent_hash.hex()
         if parent_id not in self._states:
+            if parent_id in self.store and self._recover_states(parent_id):
+                # Parent block known but its state was pruned or skipped
+                # (e.g. after a restart): re-executing the gap recovers it,
+                # so the block need not be rejected.
+                self._ingest_block(block)
+                return
             # We missed an ancestor (e.g. during a partition): buffer the
-            # block and back-fill the gap from whoever sent it.
+            # block, then back-fill the gap — headers-first sync when p2p
+            # is attached, a point get_block request from the sender on
+            # the legacy flood path.
             self._pending_blocks.setdefault(parent_id, []).append(block)
-            if sender and parent_id not in self._requested_blocks:
+            self.metrics.add("blocks_waiting_parent", 1, scope=self.name)
+            if self._p2p is not None:
+                self._p2p.request_backfill()
+            elif sender and parent_id not in self._requested_blocks:
                 self._requested_blocks.add(parent_id)
                 self.network.send(self.name, sender, "get_block", parent_id)
             return
         self._ingest_block(block)
+
+    def _recover_states(self, block_id: str, max_depth: Optional[int] = None) -> bool:
+        """Rebuild the post-state of a stored block by re-executing forward.
+
+        Walks parent links back to the nearest ancestor whose state is
+        still held (bounded by the prune window — states older than that
+        are gone by design), then verifies and re-executes each block on
+        the path.  Returns True when ``block_id``'s state is available
+        afterwards.
+        """
+        if block_id in self._states:
+            return True
+        if max_depth is None:
+            max_depth = self.config.state_prune_window or len(self.store)
+        path: List[Block] = []
+        current_id = block_id
+        while current_id not in self._states:
+            if current_id not in self.store or len(path) >= max_depth:
+                return False  # gap reaches below the retained window
+            block = self.store.get(current_id)
+            path.append(block)
+            current_id = block.header.parent_hash.hex()
+        for block in reversed(path):
+            if not self._verify_and_execute(block):
+                return False
+            self.metrics.add("states_recovered", 1, scope=self.name)
+        return True
 
     def _ingest_block(self, block: Block) -> None:
         """Verify, execute, adopt, and drain any blocks waiting on this one."""
@@ -245,9 +316,7 @@ class BlockchainNode(Process):
         self.store.add(block)
         self._report_orphan_evictions()
         if self.config.rebroadcast_blocks:
-            self.network.broadcast(
-                self.name, "block", block, size_bytes=block.estimated_size_bytes()
-            )
+            self._broadcast_block(block)
         if self.store.head.block_id != old_head.block_id:
             self._on_new_head(old_head)
         for child in self._pending_blocks.pop(block.block_id, []):
@@ -292,7 +361,15 @@ class BlockchainNode(Process):
         parent_id = block.header.parent_hash.hex()
         parent_state = self._states.get(parent_id)
         if parent_state is None:
-            return False  # unknown parent; ignore (no sync protocol needed here)
+            # The parent block may be stored with its state pruned/skipped;
+            # re-execute the gap rather than silently rejecting the block.
+            if parent_id in self.store and self._recover_states(parent_id):
+                parent_state = self._states[parent_id]
+            else:
+                self.metrics.add(
+                    "blocks_missing_parent_state", 1, scope=self.name
+                )
+                return False
         parent = self.store.get(parent_id)
         try:
             block.validate_structure()
@@ -547,13 +624,15 @@ class BlockchainNode(Process):
         old_head = self.store.head
         self.store.add(sealed)
         self.metrics.add("blocks_proposed", 1, scope=self.name)
-        self.network.broadcast(
-            self.name, "block", sealed, size_bytes=sealed.estimated_size_bytes()
-        )
+        self._broadcast_block(sealed)
         if self.store.head.block_id != old_head.block_id:
             self._on_new_head(old_head)
         else:
             self._plan_round()
+        # A gossiped block buffered on us may have been waiting for exactly
+        # this proposal (we re-proposed a parent another branch built on).
+        for child in self._pending_blocks.pop(sealed.block_id, []):
+            self._ingest_block(child)
 
 
 def make_network_nodes(

@@ -1,0 +1,56 @@
+"""repro.p2p — peer discovery, gossip propagation, and chain sync.
+
+The protocol engines (:class:`PeerManager`, :class:`Gossip`,
+:class:`ChainSync`) are sans-IO callback state machines over a tiny
+:class:`Transport` protocol, so the identical logic runs deterministically
+on the simulation kernel (:class:`SimTransport`) and over real framed TCP
+(:class:`RpcTransport` + :class:`P2PHost`).  See DESIGN.md §11.
+
+Exports resolve lazily (PEP 562) so importing light pieces (``P2PConfig``
+from consensus code) never drags in the asyncio RPC stack.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "P2PConfig": "repro.p2p.config",
+    "Transport": "repro.p2p.transport",
+    "SimTransport": "repro.p2p.transport",
+    "P2PError": "repro.p2p.transport",
+    "PeerUnreachable": "repro.p2p.transport",
+    "PeerManager": "repro.p2p.peer",
+    "PeerState": "repro.p2p.peer",
+    "Gossip": "repro.p2p.gossip",
+    "SeenCache": "repro.p2p.gossip",
+    "ChainSync": "repro.p2p.sync",
+    "build_locator": "repro.p2p.sync",
+    "P2PService": "repro.p2p.service",
+    "P2P_METHODS": "repro.p2p.service",
+    "RpcTransport": "repro.p2p.rpc_transport",
+    "KernelPump": "repro.p2p.host",
+    "P2PHost": "repro.p2p.host",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.p2p' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+if TYPE_CHECKING:  # pragma: no cover - for type checkers only
+    from repro.p2p.config import P2PConfig
+    from repro.p2p.gossip import Gossip, SeenCache
+    from repro.p2p.host import KernelPump, P2PHost
+    from repro.p2p.peer import PeerManager, PeerState
+    from repro.p2p.rpc_transport import RpcTransport
+    from repro.p2p.service import P2P_METHODS, P2PService
+    from repro.p2p.sync import ChainSync, build_locator
+    from repro.p2p.transport import P2PError, PeerUnreachable, SimTransport, Transport

@@ -1,0 +1,122 @@
+"""CLI: run one blockchain node as a real TCP process.
+
+Every process derives the *same* genesis and validator set from the same
+flags — key pairs are deterministic in their label and the genesis block
+hashes only the funded state — so independently-launched processes form
+one network with no shared files.  Example (three validators):
+
+    python -m repro.p2p.node_server --name v0 --listen 127.0.0.1:9101 \
+        --validators v0,v1,v2 --base-port 9101 --fund alice:1000000000
+    python -m repro.p2p.node_server --name v1 --listen 127.0.0.1:9102 \
+        --validators v0,v1,v2 --base-port 9101 --fund alice:1000000000
+    python -m repro.p2p.node_server --name v2 --listen 127.0.0.1:9103 \
+        --validators v0,v1,v2 --base-port 9101 --fund alice:1000000000
+
+``--base-port`` maps validator i to port base+i, so each process can
+compute every seed address itself; ``--seeds`` overrides explicitly.  A
+late joiner (any ``--name`` outside ``--validators``) cold-syncs the
+chain and follows along without proposing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+from typing import Dict, List
+
+from repro.chain.blocks import make_genesis
+from repro.chain.state import StateDB
+from repro.common.signatures import KeyPair
+from repro.consensus.node import NodeConfig
+from repro.consensus.poa import ProofOfAuthority
+from repro.p2p.config import P2PConfig
+from repro.p2p.host import P2PHost
+
+
+def build_world(validators: List[str], fund: Dict[str, int], block_interval_s: float):
+    """Deterministic genesis + PoA engine shared by every process."""
+    state = StateDB()
+    for label in sorted(fund):
+        state.credit(KeyPair.generate(label).address, fund[label])
+    genesis = make_genesis(state.state_root())
+    keypairs = {name: KeyPair.generate(name) for name in validators}
+    engine = ProofOfAuthority(validators, keypairs, block_interval_s=block_interval_s)
+    return genesis, state, engine
+
+
+def parse_fund(specs: List[str]) -> Dict[str, int]:
+    fund: Dict[str, int] = {}
+    for spec in specs:
+        label, _, amount = spec.partition(":")
+        if not label or not amount:
+            raise SystemExit(f"--fund expects label:amount, got {spec!r}")
+        fund[label] = int(amount)
+    return fund
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--name", required=True, help="node name (validator label)")
+    parser.add_argument("--listen", required=True, help="host:port to serve on")
+    parser.add_argument(
+        "--validators", required=True, help="comma-separated validator names, in order"
+    )
+    parser.add_argument(
+        "--base-port",
+        type=int,
+        default=0,
+        help="validator i listens on base+i; used to derive seed addresses",
+    )
+    parser.add_argument(
+        "--seeds", default="", help="comma-separated host:port seed addresses"
+    )
+    parser.add_argument(
+        "--fund",
+        action="append",
+        default=[],
+        help="label:amount funded at genesis (repeatable; must match peers)",
+    )
+    parser.add_argument("--block-interval", type=float, default=0.5)
+    parser.add_argument("--fanout", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0, help="kernel RNG seed")
+    args = parser.parse_args(argv)
+
+    validators = [v for v in args.validators.split(",") if v]
+    genesis, state, engine = build_world(
+        validators, parse_fund(args.fund), args.block_interval
+    )
+
+    host_part = args.listen.rpartition(":")[0] or "127.0.0.1"
+    if args.seeds:
+        seeds = [s for s in args.seeds.split(",") if s]
+    elif args.base_port:
+        seeds = [f"{host_part}:{args.base_port + i}" for i in range(len(validators))]
+    else:
+        raise SystemExit("pass --seeds or --base-port")
+    seeds = [s for s in seeds if s != args.listen]
+
+    host = P2PHost(
+        name=args.name,
+        listen_addr=args.listen,
+        genesis=genesis,
+        genesis_state=state,
+        consensus=engine,
+        node_config=NodeConfig(mine_empty=False),
+        p2p_config=P2PConfig(seeds=seeds, fanout=args.fanout),
+        seed=args.seed,
+    )
+    bound = host.start()
+    role = "validator" if args.name in validators else "observer"
+    print(f"[{args.name}] {role} serving on {bound}, seeds={seeds}", flush=True)
+    try:
+        threading.Event().wait()  # serve until interrupted
+    except KeyboardInterrupt:
+        print(f"[{args.name}] shutting down", flush=True)
+    finally:
+        host.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

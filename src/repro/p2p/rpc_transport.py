@@ -1,0 +1,141 @@
+"""RpcTransport — the p2p Transport over PR 4's framed-TCP JSON-RPC stack.
+
+The protocol engine stays single-threaded: it runs on a discrete-event
+kernel driven against the wall clock by a :class:`~repro.p2p.host.KernelPump`.
+``request`` submits the async pool call to the shared asyncio loop thread
+and marshals the completion back onto the kernel thread via
+``pump.inject``, so engine callbacks never race.  Timers are real: the
+pump advances the kernel clock with wall time, so the same
+``schedule``-based ping/backoff/timeout logic that runs in simulation
+runs here unchanged.
+
+Retries are owned by the engine (redial backoff, fetch-from-next-source),
+so the pools are built with a single-attempt policy — stacking the RPC
+layer's own retries underneath would double-apply announcements.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.p2p.transport import DispatchFn, ErrorCallback, P2PError, PeerUnreachable, ResultCallback
+from repro.rpc.client import ConnectionPool, RetryPolicy
+from repro.rpc.errors import RpcError
+
+
+def split_addr(addr: str) -> tuple:
+    """``host:port`` → (host, port); the p2p address format over TCP."""
+    host, _, port = addr.rpartition(":")
+    return host or "127.0.0.1", int(port)
+
+
+class RpcTransport:
+    """Engine-facing transport speaking framed TCP to peer RPC servers."""
+
+    def __init__(
+        self,
+        pump,
+        loop,
+        local_addr: str,
+        *,
+        connect_timeout_s: float = 3.0,
+        max_connections: int = 2,
+    ):
+        self.pump = pump
+        self.loop = loop  # repro.rpc.runtime.EventLoopThread
+        self.local_addr = local_addr
+        self.connect_timeout_s = connect_timeout_s
+        self.max_connections = max_connections
+        self.dispatch: Optional[DispatchFn] = None
+        self._pools: Dict[str, ConnectionPool] = {}
+        self._closed = False
+
+    # -- Transport surface ---------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.pump.kernel.now
+
+    @property
+    def rng(self):
+        return self.pump.kernel.rng
+
+    def schedule(self, delay_s: float, callback: Callable[[], None], label: str = ""):
+        return self.pump.kernel.schedule(delay_s, callback, label or "p2p")
+
+    def request(
+        self,
+        peer: str,
+        method: str,
+        params: Dict[str, Any],
+        on_result: ResultCallback,
+        on_error: Optional[ErrorCallback] = None,
+        timeout_s: float = 5.0,
+    ) -> None:
+        if self._closed:
+            self._deliver_error(on_error, PeerUnreachable("transport closed"))
+            return
+        pool = self._pool(peer)
+
+        async def roundtrip() -> Any:
+            return await pool.call(method, params, timeout_s=timeout_s)
+
+        future = self.loop.submit(roundtrip())
+        future.add_done_callback(
+            lambda f: self.pump.inject(lambda: self._complete(f, on_result, on_error))
+        )
+
+    def close(self) -> None:
+        self._closed = True
+        pools, self._pools = list(self._pools.values()), {}
+
+        async def shutdown() -> None:
+            for pool in pools:
+                await pool.close()
+
+        try:
+            self.loop.run(shutdown(), timeout_s=self.connect_timeout_s + 2.0)
+        except Exception:
+            pass  # sockets die with the loop thread anyway
+
+    # -- plumbing ------------------------------------------------------------
+    def _pool(self, peer: str) -> ConnectionPool:
+        pool = self._pools.get(peer)
+        if pool is None:
+            host, port = split_addr(peer)
+            pool = ConnectionPool(
+                host,
+                port,
+                max_connections=self.max_connections,
+                connect_timeout_s=self.connect_timeout_s,
+                retry=RetryPolicy(attempts=1),
+            )
+            self._pools[peer] = pool
+        return pool
+
+    def _complete(
+        self,
+        future,
+        on_result: ResultCallback,
+        on_error: Optional[ErrorCallback],
+    ) -> None:
+        error = future.exception()
+        if error is None:
+            on_result(future.result())
+            return
+        if on_error is None:
+            return
+        if isinstance(error, RpcError) and not _is_transient(error):
+            on_error(P2PError(str(error)))
+        else:
+            on_error(PeerUnreachable(str(error)))
+
+    def _deliver_error(self, on_error: Optional[ErrorCallback], error: Exception) -> None:
+        if on_error is not None:
+            self.pump.inject(lambda: on_error(error))
+
+
+def _is_transient(error: RpcError) -> bool:
+    """Failures where the peer may simply be down/busy, not wrong."""
+    from repro.rpc.errors import OverloadedError, RpcTimeoutError, ShuttingDownError
+
+    return isinstance(error, (OverloadedError, RpcTimeoutError, ShuttingDownError))

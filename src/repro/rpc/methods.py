@@ -81,6 +81,32 @@ def transaction_from_wire(tx: Dict[str, Any]):
         raise InvalidParamsError(f"malformed transaction: {exc}") from exc
 
 
+def register_p2p_methods(registry: MethodRegistry, dispatch: Any) -> None:
+    """Expose the p2p method surface on an RPC server.
+
+    ``dispatch(method, params)`` is the host's bridge onto its node's
+    single-threaded kernel executor (``KernelPump.call`` into
+    ``P2PService.dispatch``).  Reads are idempotent; ``p2p.announce`` is
+    kept non-retryable — the gossip engine owns redundancy, and an RPC
+    retry would inflate the duplicate-announcement counters it measures.
+    """
+    from repro.p2p.service import P2P_METHODS
+
+    def make_handler(method: str):
+        def handler(**params: Any) -> Any:
+            return dispatch(method, params)
+
+        return handler
+
+    for method in P2P_METHODS:
+        registry.register(
+            method,
+            make_handler(method),
+            idempotent=(method != "p2p.announce"),
+            timeout_s=15.0,
+        )
+
+
 @dataclass
 class SiteService:
     """The components of one site that the method surface binds to.
@@ -221,6 +247,33 @@ def build_site_registry(
         wire["block_id"] = block.block_id
         return wire
 
+    def chain_get_headers(
+        locator: Optional[List[str]] = None, limit: int = 256, **_extra: Any
+    ) -> Dict[str, Any]:
+        if service.node is None:
+            raise InvalidParamsError(f"site {service.name!r} serves no chain node")
+        from repro.p2p.wire import header_to_wire
+
+        blocks = service.node.store.headers_after(
+            [b for b in (locator or []) if isinstance(b, str)], limit=limit
+        )
+        return {"headers": [header_to_wire(b.header, b.block_id) for b in blocks]}
+
+    def chain_get_blocks(
+        ids: Optional[List[str]] = None, **_extra: Any
+    ) -> Dict[str, Any]:
+        if service.node is None:
+            raise InvalidParamsError(f"site {service.name!r} serves no chain node")
+        from repro.p2p.wire import block_to_wire
+
+        store = service.node.store
+        bodies = [
+            block_to_wire(store.get(block_id))
+            for block_id in (ids or [])[:256]
+            if isinstance(block_id, str) and block_id in store
+        ]
+        return {"blocks": bodies}
+
     def node_submit_tx(tx: Dict[str, Any]) -> Dict[str, Any]:
         if service.node is None:
             raise InvalidParamsError(f"site {service.name!r} serves no chain node")
@@ -241,6 +294,8 @@ def build_site_registry(
     )
     registry.register("oracle.fetch", oracle_fetch, idempotent=True)
     registry.register("chain.get_block", chain_get_block, idempotent=True)
+    registry.register("chain.get_headers", chain_get_headers, idempotent=True)
+    registry.register("chain.get_blocks", chain_get_blocks, idempotent=True)
     # Submitting the same *signed* tx twice is deduplicated by the mempool,
     # but a client-side retry could still race a nonce bump — keep it
     # non-idempotent so the pool never auto-retries it.

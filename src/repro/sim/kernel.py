@@ -139,6 +139,15 @@ class Kernel:
             self._running = False
         return ran
 
+    def next_event_time(self) -> Optional[float]:
+        """Absolute time of the next live event (None when idle).
+
+        Lets an external driver (e.g. the p2p wall-clock pump) sleep
+        exactly until the kernel has work, instead of polling.
+        """
+        event = self._peek()
+        return event.time if event is not None else None
+
     def _peek(self) -> Optional[_ScheduledEvent]:
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)

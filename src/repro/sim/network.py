@@ -100,13 +100,28 @@ class Network:
         """Remove all partitions."""
         self._partitions = []
 
+    def _group_of(self, name: str) -> Optional[int]:
+        for index, group in enumerate(self._partitions):
+            if name in group:
+                return index
+        return None
+
     def _partitioned(self, a: str, b: str) -> bool:
+        """Symmetric partition check.
+
+        Two endpoints communicate iff they are in the same group, or both
+        are outside every group.  (An earlier version answered only from
+        the sender's side, so an ungrouped sender could reach a group
+        member while the reply was dropped — a one-way partition no real
+        network split produces.)
+        """
         if not self._partitions:
             return False
-        for group in self._partitions:
-            if a in group:
-                return b not in group
-        return False  # endpoints outside any group reach everyone in none
+        group_a = self._group_of(a)
+        group_b = self._group_of(b)
+        if group_a is None and group_b is None:
+            return False
+        return group_a != group_b
 
     # -- delivery ---------------------------------------------------------
     def send(

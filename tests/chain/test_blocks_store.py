@@ -148,6 +148,43 @@ class TestChainStore:
             store.get("ff" * 32)
 
 
+class TestHeadersAfter:
+    def _store_with_chain(self, genesis, alice, length):
+        store = ChainStore(genesis)
+        parent = genesis
+        for i in range(length):
+            parent = _child(parent, alice, ts=1000 + i)
+            store.add(parent)
+        return store
+
+    def test_empty_locator_anchors_at_genesis(self, genesis, alice):
+        store = self._store_with_chain(genesis, alice, 5)
+        headers = store.headers_after([])
+        assert [b.height for b in headers] == [1, 2, 3, 4, 5]  # oldest first
+
+    def test_first_locator_hit_anchors_reply(self, genesis, alice):
+        store = self._store_with_chain(genesis, alice, 6)
+        chain = store.canonical_chain()
+        locator = [chain[3].block_id, chain[1].block_id, genesis.block_id]
+        headers = store.headers_after(locator)
+        assert [b.height for b in headers] == [4, 5, 6]
+
+    def test_unknown_locator_falls_back_to_genesis(self, genesis, alice):
+        store = self._store_with_chain(genesis, alice, 3)
+        headers = store.headers_after(["ee" * 32, "ff" * 32])
+        assert [b.height for b in headers] == [1, 2, 3]
+
+    def test_limit_clamped_and_applied(self, genesis, alice):
+        store = self._store_with_chain(genesis, alice, 5)
+        assert len(store.headers_after([], limit=2)) == 2
+        assert len(store.headers_after([], limit=0)) == 1  # clamped up to 1
+        assert len(store.headers_after([], limit=10_000)) == 5
+
+    def test_caught_up_requester_gets_nothing(self, genesis, alice):
+        store = self._store_with_chain(genesis, alice, 4)
+        assert store.headers_after([store.head.block_id]) == []
+
+
 class TestOrphanBound:
     def _disconnected_chain(self, genesis, alice, length):
         """Build a chain off genesis and return it without its first block."""

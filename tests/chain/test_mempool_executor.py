@@ -61,6 +61,15 @@ class TestMempool:
         selected = pool.select(10, nonces={alice.address: 0})
         assert [tx.nonce for tx in selected] == [0, 1]
 
+    def test_get_by_id(self, alice):
+        pool = Mempool()
+        tx = make_transfer(alice, "r", 1, nonce=0)
+        pool.add(tx)
+        assert pool.get(tx.tx_id) is tx
+        assert pool.get("ff" * 32) is None
+        pool.remove_all([tx.tx_id])
+        assert pool.get(tx.tx_id) is None
+
     def test_remove_all(self, alice):
         pool = Mempool()
         txs = [make_transfer(alice, "r", 1, nonce=n) for n in range(3)]

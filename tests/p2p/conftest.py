@@ -1,0 +1,110 @@
+"""Shared builders for p2p tests: a PoA network speaking gossip over the sim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.blocks import make_genesis
+from repro.chain.state import StateDB
+from repro.common.signatures import KeyPair
+from repro.consensus.node import BlockchainNode, NodeConfig, make_network_nodes
+from repro.consensus.poa import ProofOfAuthority
+from repro.p2p.config import P2PConfig
+from repro.p2p.service import P2PService
+from repro.p2p.transport import SimTransport
+from repro.sim.kernel import Kernel
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import Network
+
+
+def attach_sim_p2p(network, node, seeds, **overrides) -> P2PService:
+    """Wire one node's p2p stack over the shared sim network."""
+    settings = dict(fanout=2, ping_interval_s=2.0, request_timeout_s=3.0)
+    settings.update(overrides)
+    transport = SimTransport(network, node.name, register=False)
+    return P2PService(node, transport, P2PConfig(seeds=list(seeds), **settings))
+
+
+class P2PWorld:
+    """A PoA validator network where dissemination runs through repro.p2p."""
+
+    def __init__(self, alice, n_validators: int = 3, seed: int = 31, **p2p_overrides):
+        self.kernel = Kernel(seed=seed)
+        self.metrics = MetricsRegistry()
+        self.network = Network(self.kernel, self.metrics)
+        self.alice = alice
+        self.genesis_state = StateDB()
+        self.genesis_state.credit(alice.address, 10**9)
+        self.genesis = make_genesis(self.genesis_state.state_root())
+        self.names = [f"n{i}" for i in range(n_validators)]
+        keypairs = {name: KeyPair.generate(name) for name in self.names}
+        self.engine = ProofOfAuthority(self.names, keypairs, block_interval_s=0.5)
+        self.nodes = make_network_nodes(
+            self.kernel,
+            self.network,
+            self.names,
+            self.genesis,
+            self.genesis_state,
+            lambda: self.engine,
+            metrics=self.metrics,
+            config=NodeConfig(max_txs_per_block=3),
+        )
+        self.services = {}
+        for name, node in self.nodes.items():
+            seeds = [n for n in self.names if n != name]
+            self.services[name] = attach_sim_p2p(
+                self.network, node, seeds, **p2p_overrides
+            )
+        for node in self.nodes.values():
+            node.start()
+        for service in self.services.values():
+            service.start()
+        self.kernel.run(until=2.0)  # let handshakes settle
+
+    def add_observer(self, name: str, seeds, **p2p_overrides) -> BlockchainNode:
+        """A fresh non-validator node joining the running network."""
+        node = BlockchainNode(
+            kernel=self.kernel,
+            network=self.network,
+            name=name,
+            genesis=self.genesis,
+            genesis_state=self.genesis_state,
+            consensus=self.engine,
+            metrics=self.metrics,
+            config=NodeConfig(),
+        )
+        self.nodes[name] = node
+        self.services[name] = attach_sim_p2p(
+            self.network, node, seeds, **p2p_overrides
+        )
+        node.start()
+        self.services[name].start()
+        return node
+
+    def crash(self, name: str) -> None:
+        """Kill a node mid-run: it stops scheduling and leaves the network."""
+        self.nodes[name].stop()
+        self.services[name].stop()
+        self.network.unregister(name)
+        del self.nodes[name]
+        del self.services[name]
+
+    def commit(self, tx, names=None, timeout: float = 300.0) -> None:
+        wanted = names or list(self.nodes)
+        self.kernel.run(
+            until=self.kernel.now + timeout,
+            stop_when=lambda: all(
+                self.nodes[name].receipt(tx.tx_id) for name in wanted
+            ),
+        )
+
+    def converged(self, names=None) -> bool:
+        wanted = names or list(self.nodes)
+        heads = {self.nodes[name].head.block_id for name in wanted}
+        roots = {self.nodes[name].state.state_root() for name in wanted}
+        return len(heads) == 1 and len(roots) == 1
+
+
+@pytest.fixture()
+def p2p_world(alice):
+    return P2PWorld(alice)

@@ -82,6 +82,28 @@ def test_partition_drops_cross_group_traffic():
     assert len(inbox["c"]) == 1
 
 
+def test_partition_is_symmetric_for_ungrouped_endpoints():
+    # Regression: the old check only consulted the sender's group, so an
+    # ungrouped sender could reach a grouped peer while the reply dropped.
+    kernel, network, inbox = _pair()
+    network.partition({"a"}, {"b"})  # c belongs to no group
+    assert not network.send("c", "a", "ping", None)
+    assert not network.send("a", "c", "pong", None)
+    kernel.run()
+    assert len(inbox["a"]) == 0
+    assert len(inbox["c"]) == 0
+
+
+def test_two_ungrouped_endpoints_still_reach_each_other():
+    kernel, network, inbox = _pair()
+    network.partition({"a"})  # b and c are both outside every group
+    assert network.send("b", "c", "ping", None)
+    assert network.send("c", "b", "pong", None)
+    kernel.run()
+    assert len(inbox["b"]) == 1
+    assert len(inbox["c"]) == 1
+
+
 def test_heal_restores_delivery():
     kernel, network, inbox = _pair()
     network.partition({"a"}, {"b"})
