@@ -12,7 +12,7 @@ from repro.chain.executor import (
     apply_block_transactions,
     speculate_block_transactions,
 )
-from repro.chain.mempool import Mempool
+from repro.chain.mempool import AdmissionResult, Mempool, MempoolConfig
 from repro.chain.state import (
     StateAliasingError,
     StateDB,
@@ -61,9 +61,11 @@ __all__ = [
     "StateChannel",
     "ContractEvent",
     "DEFAULT_GAS_LIMIT",
+    "AdmissionResult",
     "ExecutionContext",
     "Executor",
     "Mempool",
+    "MempoolConfig",
     "Receipt",
     "StateAliasingError",
     "StateDB",

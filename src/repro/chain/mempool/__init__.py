@@ -1,0 +1,48 @@
+"""Fee-market mempool package (priced admission, RBF, eviction, shedding).
+
+Public surface re-exported here so ``from repro.chain.mempool import
+Mempool`` keeps working exactly as it did when this was a single module.
+"""
+
+from repro.chain.mempool.config import MempoolConfig
+from repro.chain.mempool.fee_market import (
+    effective_fee,
+    fee_percentiles,
+    rbf_threshold,
+)
+from repro.chain.mempool.limiter import RateLimiter
+from repro.chain.mempool.pool import Mempool
+from repro.chain.mempool.result import (
+    ACCEPTED,
+    ADMISSION_CODES,
+    DUPLICATE,
+    POOL_FULL,
+    RATE_LIMITED,
+    REPLACED,
+    STALE_NONCE,
+    UNDERPRICED,
+    AdmissionResult,
+)
+from repro.chain.mempool.sequence import SenderSequence, TxEntry
+from repro.chain.mempool.watermark import WatermarkTracker
+
+__all__ = [
+    "ACCEPTED",
+    "ADMISSION_CODES",
+    "AdmissionResult",
+    "DUPLICATE",
+    "Mempool",
+    "MempoolConfig",
+    "POOL_FULL",
+    "RATE_LIMITED",
+    "REPLACED",
+    "RateLimiter",
+    "STALE_NONCE",
+    "SenderSequence",
+    "TxEntry",
+    "UNDERPRICED",
+    "WatermarkTracker",
+    "effective_fee",
+    "fee_percentiles",
+    "rbf_threshold",
+]

@@ -1,0 +1,58 @@
+"""Mempool tunables.
+
+Defaults are permissive — zero fee floor, no rate limiting, watermarks
+high — so a development simulation with unfee'd transactions behaves like
+the old FIFO pool.  Production deployments (and the E19 benchmark) tighten
+every knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class MempoolConfig:
+    """Fee-market admission and eviction policy for one node's pool."""
+
+    # Hard capacity: the pool never holds more transactions than this.
+    max_size: int = 100_000
+    # Static admission floor on the effective fee per gas; 0 admits free
+    # transactions (development default).
+    min_fee_per_gas: int = 0
+    # Base fee the pool charges bids against (EIP-1559 style); bids whose
+    # max_fee_per_gas is below it are underpriced outright.
+    base_fee_per_gas: int = 0
+    # Replace-by-fee: a same-sender same-nonce replacement must bid at
+    # least ``old_fee * (1 + bump_pct/100)`` (and strictly more than the
+    # old fee) or it is rejected as underpriced.
+    replace_bump_pct: int = 10
+    # Watermarks as fractions of max_size.  Crossing ``high`` flips the
+    # pool into shedding mode (new bids must beat the shed floor, RPC
+    # reports OVERLOADED); it only clears once depth falls below ``low``.
+    high_watermark: float = 0.90
+    low_watermark: float = 0.75
+    # While shedding, the admission floor is this percentile of the pooled
+    # effective fees (0.5 = median).
+    shed_percentile: float = 0.50
+    # Transactions older than this (seconds on the pool's injected clock)
+    # are evicted lazily; None disables age eviction.
+    max_age_s: Optional[float] = None
+    # Per-sender token bucket: ``rate_limit_rate`` admissions per second
+    # with ``rate_limit_burst`` of burst headroom; None disables.
+    rate_limit_rate: Optional[float] = None
+    rate_limit_burst: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_size <= 0:
+            raise ValueError("max_size must be positive")
+        if not 0.0 < self.low_watermark <= self.high_watermark <= 1.0:
+            raise ValueError(
+                "watermarks must satisfy 0 < low <= high <= 1, got "
+                f"low={self.low_watermark} high={self.high_watermark}"
+            )
+        if self.replace_bump_pct < 0:
+            raise ValueError("replace_bump_pct must be non-negative")
+        if not 0.0 <= self.shed_percentile <= 1.0:
+            raise ValueError("shed_percentile must be in [0, 1]")

@@ -1,0 +1,80 @@
+"""Capacity eviction: who leaves when a better-paying bid arrives.
+
+The victim is always some sender's *tail* (highest-nonce) transaction —
+evicting mid-sequence would strand the nonces above it — and among tails
+the cheapest bid goes first, newest arrival breaking ties (a late cheap
+bid should not displace an old one of equal price).
+
+Victim lookup is a lazy min-heap over tail entries keyed by
+``(fee, -seq)``: every tail change pushes a fresh candidate, stale heap
+records are skipped at pop time by validating against the live
+sequences.  Amortized cost per eviction is O(log n); the heap is rebuilt
+from scratch on the rare occasion lazy garbage outgrows the pool 4:1.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Optional, Tuple
+
+from repro.chain.mempool.sequence import SenderSequence, TxEntry
+
+
+class EvictionIndex:
+    """Lazy min-heap of eviction candidates (sender tails)."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+
+    def push(self, entry: TxEntry) -> None:
+        """Offer a (possibly new) tail entry as an eviction candidate."""
+        heapq.heappush(
+            self._heap, (entry.fee, -entry.seq, entry.sender, entry.nonce)
+        )
+
+    def find_victim(
+        self, senders: Dict[str, SenderSequence]
+    ) -> Optional[TxEntry]:
+        """The live entry that would be evicted next, or None.
+
+        Pops stale heap records as a side effect; the returned candidate
+        is left on the heap (the caller may decide not to evict).
+        """
+        while self._heap:
+            fee, negseq, sender, nonce = self._heap[0]
+            entry = self._validate(senders, fee, negseq, sender, nonce)
+            if entry is not None:
+                return entry
+            heapq.heappop(self._heap)
+        return None
+
+    @staticmethod
+    def _validate(
+        senders: Dict[str, SenderSequence],
+        fee: int,
+        negseq: int,
+        sender: str,
+        nonce: int,
+    ) -> Optional[TxEntry]:
+        sequence = senders.get(sender)
+        if sequence is None or sequence.highest() != nonce:
+            return None
+        entry = sequence.get(nonce)
+        if entry is None or entry.seq != -negseq or entry.fee != fee:
+            return None
+        return entry
+
+    def maybe_rebuild(self, senders: Dict[str, SenderSequence], pool_len: int) -> None:
+        """Compact away lazy garbage once it dominates the heap."""
+        if len(self._heap) <= 4 * pool_len + 64:
+            return
+        rebuilt: list[Tuple[int, int, str, int]] = []
+        for sequence in senders.values():
+            tail = sequence.tail()
+            if tail is not None:
+                rebuilt.append((tail.fee, -tail.seq, tail.sender, tail.nonce))
+        heapq.heapify(rebuilt)
+        self._heap = rebuilt
+
+    def __len__(self) -> int:
+        return len(self._heap)

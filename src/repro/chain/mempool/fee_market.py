@@ -1,0 +1,48 @@
+"""Fee-market arithmetic: effective bids, RBF thresholds, percentile floors.
+
+All integer math (fees are per-gas integers like gas itself); percentiles
+use the nearest-rank method so a floor quoted to clients is always a fee
+that actually exists in the pool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.chain.transactions import Transaction
+
+
+def effective_fee(tx: Transaction, base_fee: int = 0) -> int:
+    """The per-gas price a bid realizes against ``base_fee``."""
+    return tx.effective_fee_per_gas(base_fee)
+
+
+def rbf_threshold(old_fee: int, bump_pct: int) -> int:
+    """Smallest effective fee that may replace a pooled bid of ``old_fee``.
+
+    The bump is at least one fee unit so a zero-fee transaction cannot be
+    replaced for free, and proportional above that so replacement spam
+    costs real money as fees rise.
+    """
+    return old_fee + max(1, (old_fee * bump_pct) // 100)
+
+
+def percentile(fees: Sequence[int], fraction: float) -> int:
+    """Nearest-rank percentile of ``fees`` (0 when empty)."""
+    if not fees:
+        return 0
+    ordered = sorted(fees)
+    if fraction <= 0.0:
+        return ordered[0]
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+def fee_percentiles(fees: Sequence[int]) -> Dict[str, int]:
+    """The p10/p50/p90 summary quoted by ``mempool.status``."""
+    ordered: List[int] = sorted(fees)
+    return {
+        "p10": percentile(ordered, 0.10),
+        "p50": percentile(ordered, 0.50),
+        "p90": percentile(ordered, 0.90),
+    }

@@ -1,0 +1,58 @@
+"""Per-account token-bucket rate limiting.
+
+One bucket per sender address, refilled continuously at ``rate`` tokens
+per second up to ``burst``.  Buckets run on the pool's injected clock
+(simulated or wall), never on a direct wall-clock read.  Idle buckets are
+swept once they are full again, so the limiter's memory is proportional
+to the set of *currently active* senders rather than every address ever
+seen — at millions-of-users scale that distinction is the whole game.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+_SWEEP_EVERY = 4096
+
+
+class RateLimiter:
+    """Token buckets keyed by sender address."""
+
+    def __init__(self, rate: float, burst: int):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = float(rate)
+        self.burst = max(1, int(burst))
+        # sender -> (tokens, last refill time)
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+        self._ops = 0
+
+    def allow(self, sender: str, now: float) -> bool:
+        """Consume one token for ``sender``; False when the bucket is dry."""
+        tokens, last = self._buckets.get(sender, (float(self.burst), now))
+        tokens = min(float(self.burst), tokens + (now - last) * self.rate)
+        if tokens < 1.0:
+            self._buckets[sender] = (tokens, now)
+            return False
+        self._buckets[sender] = (tokens - 1.0, now)
+        self._ops += 1
+        if self._ops % _SWEEP_EVERY == 0:
+            self._sweep(now)
+        return True
+
+    def _sweep(self, now: float) -> None:
+        """Drop buckets that have refilled completely (idle senders).
+
+        A full bucket is indistinguishable from no bucket (a fresh one
+        starts full), so dropping it is semantically lossless.
+        """
+        idle = [
+            sender
+            for sender, (tokens, last) in self._buckets.items()
+            if tokens + (now - last) * self.rate >= self.burst
+        ]
+        for sender in idle:
+            del self._buckets[sender]
+
+    def __len__(self) -> int:
+        return len(self._buckets)

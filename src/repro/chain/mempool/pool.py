@@ -1,0 +1,410 @@
+"""Priority fee-market transaction pool.
+
+The mempool is the front door of the whole architecture: at
+millions-of-users traffic it must admit by price, shed load before it
+falls over, and never let one sender starve the rest.  This pool replaces
+the old FIFO ``OrderedDict`` with:
+
+- **price-priority selection** — block building drains senders by the
+  effective fee of their next executable transaction via a heap, with
+  arrival order as the deterministic tie-break (a zero-fee workload
+  therefore selects in exactly the old FIFO order);
+- **replace-by-fee** — one transaction per (sender, nonce); a replacement
+  must bump the old bid by ``replace_bump_pct`` (``fee_market.py``);
+- **bounded capacity** — at ``max_size`` a newcomer must outbid the
+  cheapest pooled tail, which is evicted (``evict.py``); the pool never
+  exceeds its capacity;
+- **watermark backpressure** — above the high watermark the pool sheds
+  cheap bids until depth falls under the low watermark
+  (``watermark.py``), surfaced upstream as RPC ``OVERLOADED``;
+- **per-account rate limiting** — a token bucket per sender
+  (``limiter.py``) so a spamming key dies at the first hop;
+- **stale-nonce hygiene** — ``commit()`` purges transactions whose nonce
+  fell behind the account nonce (``sequence.py``), fixing the old pool's
+  unbounded stale-entry leak.
+
+Every admission outcome is a typed :class:`AdmissionResult` and every
+decision is counted in the node's :class:`MetricsRegistry`.  The pool is
+clock-agnostic: callers inject a time source (the sim kernel's clock in
+consensus nodes, a wall clock in servers); it never reads wall time
+itself.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Deque, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.chain.mempool import result as res
+from repro.chain.mempool.config import MempoolConfig
+from repro.chain.mempool.evict import EvictionIndex
+from repro.chain.mempool.fee_market import (
+    fee_percentiles,
+    percentile,
+    rbf_threshold,
+)
+from repro.chain.mempool.limiter import RateLimiter
+from repro.chain.mempool.sequence import SenderSequence, TxEntry
+from repro.chain.mempool.watermark import WatermarkTracker
+from repro.chain.transactions import Transaction
+from repro.obs.tracer import trace_span
+from repro.sim.metrics import MetricsRegistry
+
+#: Account-nonce lookup accepted by ``select``/``add``: a mapping, a
+#: callable, or None (treat each sender's lowest pooled nonce as ready).
+NonceSource = Union[None, Mapping[str, int], Callable[[str], int]]
+
+_FLOOR_REFRESH_OPS = 64
+
+
+class Mempool:
+    """Bounded fee-market pool of pending transactions."""
+
+    def __init__(
+        self,
+        max_size: Optional[int] = None,
+        *,
+        config: Optional[MempoolConfig] = None,
+        time_source: Optional[Callable[[], float]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        scope: str = "",
+    ):
+        config = config or MempoolConfig()
+        if max_size is not None:
+            import dataclasses
+
+            config = dataclasses.replace(config, max_size=max_size)
+        self.config = config
+        self.metrics = metrics or MetricsRegistry()
+        self.scope = scope
+        self._time = time_source or (lambda: 0.0)
+        self._entries: Dict[str, TxEntry] = {}
+        self._senders: Dict[str, SenderSequence] = {}
+        self._evict_index = EvictionIndex()
+        self._watermark = WatermarkTracker(
+            config.high_watermark, config.low_watermark, config.max_size
+        )
+        self._limiter = (
+            RateLimiter(config.rate_limit_rate, config.rate_limit_burst)
+            if config.rate_limit_rate
+            else None
+        )
+        # Arrival FIFO for age eviction: (added_at, tx_id).
+        self._age_fifo: Deque[Tuple[float, str]] = deque()
+        self._seq = 0
+        self._ops = 0  # mutations since construction (floor-cache key)
+        self._floor_cache = 0
+        self._floor_ops = -1
+        self.max_depth_seen = 0
+
+    # -- basic container protocol -------------------------------------------
+    @property
+    def max_size(self) -> int:
+        return self.config.max_size
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, tx_id: str) -> bool:
+        return tx_id in self._entries
+
+    def get(self, tx_id: str) -> Optional[Transaction]:
+        """Pending transaction by id (None when absent); serves p2p get_data."""
+        entry = self._entries.get(tx_id)
+        return entry.tx if entry is not None else None
+
+    def all_ids(self) -> List[str]:
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._senders.clear()
+        self._age_fifo.clear()
+        self._evict_index = EvictionIndex()
+        self._watermark.shedding = False
+
+    # -- admission -----------------------------------------------------------
+    def add(
+        self,
+        tx: Transaction,
+        *,
+        account_nonce: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> res.AdmissionResult:
+        """Offer one transaction; returns a typed :class:`AdmissionResult`.
+
+        ``account_nonce`` (when the caller knows it) rejects
+        already-executed nonces at the door instead of letting them rot
+        in the pool.  The result is truthy iff the pool now holds the
+        transaction (accepted or replaced).
+        """
+        now = self._time() if now is None else now
+        self._expire(now)
+        outcome = self._admit(tx, account_nonce, now)
+        self._count_admission(outcome)
+        return outcome
+
+    def _admit(
+        self, tx: Transaction, account_nonce: Optional[int], now: float
+    ) -> res.AdmissionResult:
+        tx_id = tx.tx_id
+        if tx_id in self._entries:
+            return res.rejected(res.DUPLICATE, tx_id)
+        if account_nonce is not None and tx.nonce < account_nonce:
+            return res.rejected(
+                res.STALE_NONCE,
+                tx_id,
+                reason=f"account nonce is {account_nonce}, tx nonce {tx.nonce}",
+            )
+        config = self.config
+        fee = tx.effective_fee_per_gas(config.base_fee_per_gas)
+        static_floor = max(config.min_fee_per_gas, config.base_fee_per_gas)
+        if tx.max_fee_per_gas < config.base_fee_per_gas or fee < config.min_fee_per_gas:
+            return res.rejected(
+                res.UNDERPRICED,
+                tx_id,
+                reason="below static fee floor",
+                fee_floor=static_floor,
+            )
+        if self._limiter is not None and not self._limiter.allow(tx.sender, now):
+            return res.rejected(
+                res.RATE_LIMITED, tx_id, reason="sender token bucket exhausted"
+            )
+        sequence = self._senders.get(tx.sender)
+        incumbent = sequence.get(tx.nonce) if sequence is not None else None
+        if incumbent is not None:
+            return self._replace(tx, fee, incumbent, now)
+        if len(self._entries) >= config.max_size:
+            victim = self._evict_index.find_victim(self._senders)
+            if victim is None or victim.fee >= fee:
+                return res.rejected(
+                    res.POOL_FULL,
+                    tx_id,
+                    reason="at capacity",
+                    fee_floor=(victim.fee + 1) if victim is not None else None,
+                )
+            self._evict_entry(victim, reason="capacity")
+        elif self._watermark.shedding:
+            floor = self._shed_floor()
+            if fee < floor:
+                return res.rejected(
+                    res.POOL_FULL, tx_id, reason="shedding", fee_floor=floor
+                )
+        self._insert(tx, fee, now)
+        return res.accepted(tx_id)
+
+    def _replace(
+        self, tx: Transaction, fee: int, incumbent: TxEntry, now: float
+    ) -> res.AdmissionResult:
+        """Replace-by-fee on an occupied (sender, nonce) slot."""
+        threshold = rbf_threshold(incumbent.fee, self.config.replace_bump_pct)
+        if fee < threshold:
+            return res.rejected(
+                res.UNDERPRICED,
+                tx.tx_id,
+                reason="replacement bump too small",
+                fee_floor=threshold,
+            )
+        del self._entries[incumbent.tx_id]
+        self._insert(tx, fee, now)
+        return res.replaced(tx.tx_id, incumbent.tx_id)
+
+    def _insert(self, tx: Transaction, fee: int, now: float) -> None:
+        self._seq += 1
+        self._ops += 1
+        entry = TxEntry(tx=tx, fee=fee, seq=self._seq, added_at=now)
+        sequence = self._senders.setdefault(tx.sender, SenderSequence())
+        sequence.put(entry)
+        self._entries[entry.tx_id] = entry
+        if self.config.max_age_s is not None:
+            self._age_fifo.append((now, entry.tx_id))
+        if sequence.highest() == entry.nonce:
+            self._evict_index.push(entry)
+        self._evict_index.maybe_rebuild(self._senders, len(self._entries))
+        depth = len(self._entries)
+        self.max_depth_seen = max(self.max_depth_seen, depth)
+        self._watermark.update(depth)
+
+    # -- removal -------------------------------------------------------------
+    def remove(self, tx_id: str) -> None:
+        entry = self._entries.pop(tx_id, None)
+        if entry is not None:
+            self._unlink(entry)
+
+    def remove_all(self, tx_ids: Iterable[str]) -> None:
+        for tx_id in tx_ids:
+            self.remove(tx_id)
+
+    def _unlink(self, entry: TxEntry) -> None:
+        """Detach an entry already popped from ``_entries``."""
+        self._ops += 1
+        sequence = self._senders.get(entry.sender)
+        if sequence is None:
+            return
+        was_tail = sequence.highest() == entry.nonce
+        sequence.remove(entry.nonce)
+        if len(sequence) == 0:
+            del self._senders[entry.sender]
+        elif was_tail:
+            tail = sequence.tail()
+            if tail is not None:
+                self._evict_index.push(tail)
+        self._watermark.update(len(self._entries))
+
+    def _evict_entry(self, entry: TxEntry, reason: str) -> None:
+        del self._entries[entry.tx_id]
+        self._unlink(entry)
+        self.metrics.add(f"mempool_evicted_{reason}", 1, scope=self.scope)
+
+    def _expire(self, now: float) -> None:
+        """Lazily evict entries past ``max_age_s`` (oldest first)."""
+        max_age = self.config.max_age_s
+        if max_age is None:
+            return
+        fifo = self._age_fifo
+        while fifo and now - fifo[0][0] > max_age:
+            added_at, tx_id = fifo.popleft()
+            entry = self._entries.get(tx_id)
+            # Skip records whose tx was removed or replaced since.
+            if entry is not None and entry.added_at == added_at:
+                self._evict_entry(entry, reason="age")
+
+    def commit(
+        self, tx_ids: Iterable[str], account_nonces: Mapping[str, int]
+    ) -> int:
+        """Block-commit hygiene: drop included txs, purge stale nonces.
+
+        ``account_nonces`` maps each sender touched by the committed
+        block(s) to its *post-block* account nonce; anything pooled below
+        that nonce can never execute and is purged (the stale-nonce leak
+        fix).  Returns the number of stale entries purged.
+        """
+        with trace_span(
+            "mempool.commit", scope=self.scope, senders=len(account_nonces)
+        ) as span:
+            self.remove_all(tx_ids)
+            purged = 0
+            for sender, nonce in account_nonces.items():
+                sequence = self._senders.get(sender)
+                if sequence is None:
+                    continue
+                for entry in sequence.purge_below(nonce):
+                    del self._entries[entry.tx_id]
+                    self._ops += 1
+                    purged += 1
+                if len(sequence) == 0:
+                    del self._senders[sender]
+            if purged:
+                self.metrics.add("mempool_stale_purged", purged, scope=self.scope)
+            self._watermark.update(len(self._entries))
+            span.set_attr("purged", purged)
+        return purged
+
+    # -- selection -----------------------------------------------------------
+    def select(self, limit: int, nonces: NonceSource = None) -> List[Transaction]:
+        """Up to ``limit`` executable transactions, highest bids first.
+
+        A sender participates only while its next nonce is executable:
+        the heap holds one candidate per sender (its lowest executable
+        transaction) keyed by ``(-fee, seq)``; popping a candidate
+        promotes the sender's next contiguous nonce.  Total cost is
+        O(senders + limit·log senders) — near-linear in pool size, never
+        the old quadratic deferred-queue scan.
+
+        ``nonces`` supplies account nonces (mapping or callable); with
+        None every sender's lowest pooled nonce is considered executable.
+        """
+        with trace_span("mempool.select", scope=self.scope, limit=limit) as span:
+            selected = self._select_inner(limit, nonces)
+            span.set_attr("selected", len(selected))
+        return selected
+
+    def _select_inner(
+        self, limit: int, nonces: NonceSource
+    ) -> List[Transaction]:
+        if limit <= 0 or not self._entries:
+            return []
+        lookup = self._nonce_lookup(nonces)
+        heap: List[Tuple[int, int, str, int]] = []
+        for sender, sequence in self._senders.items():
+            start = lookup(sender)
+            if start is None:
+                start = sequence.lowest()
+            entry = sequence.get(start)
+            if entry is not None:
+                heap.append((-entry.fee, entry.seq, sender, start))
+        heapq.heapify(heap)
+        selected: List[Transaction] = []
+        while heap and len(selected) < limit:
+            _negfee, _seq, sender, nonce = heapq.heappop(heap)
+            sequence = self._senders[sender]
+            selected.append(sequence.get(nonce).tx)
+            succ = sequence.get(nonce + 1)
+            if succ is not None:
+                heapq.heappush(heap, (-succ.fee, succ.seq, sender, nonce + 1))
+        return selected
+
+    @staticmethod
+    def _nonce_lookup(nonces: NonceSource) -> Callable[[str], Optional[int]]:
+        if nonces is None:
+            return lambda _sender: None
+        if callable(nonces):
+            return nonces
+        return lambda sender: nonces.get(sender, 0)
+
+    # -- introspection -------------------------------------------------------
+    def _shed_floor(self) -> int:
+        """Percentile fee floor applied while shedding (cached)."""
+        if self._ops - self._floor_ops >= _FLOOR_REFRESH_OPS or self._floor_ops < 0:
+            fees = [entry.fee for entry in self._entries.values()]
+            self._floor_cache = max(
+                percentile(fees, self.config.shed_percentile),
+                self.config.min_fee_per_gas,
+                1,  # shedding always refuses free transactions
+            )
+            self._floor_ops = self._ops
+        return self._floor_cache
+
+    def fee_hint(self) -> int:
+        """Smallest effective fee per gas a new bid needs right now."""
+        config = self.config
+        if len(self._entries) >= config.max_size:
+            victim = self._evict_index.find_victim(self._senders)
+            if victim is not None:
+                return victim.fee + 1
+        if self._watermark.shedding:
+            return self._shed_floor()
+        return max(config.min_fee_per_gas, config.base_fee_per_gas)
+
+    def status(self) -> Dict[str, object]:
+        """Depth, watermark state, and fee-floor summary (RPC surface)."""
+        fees = [entry.fee for entry in self._entries.values()]
+        return {
+            "depth": len(self._entries),
+            "capacity": self.config.max_size,
+            "senders": len(self._senders),
+            "shedding": self._watermark.shedding,
+            "shed_flips": self._watermark.flips,
+            "high_watermark": self._watermark.high_depth,
+            "low_watermark": self._watermark.low_depth,
+            "base_fee_per_gas": self.config.base_fee_per_gas,
+            "min_fee_per_gas": self.config.min_fee_per_gas,
+            "fee_percentiles": fee_percentiles(fees),
+            "fee_hint": self.fee_hint(),
+            "max_depth_seen": self.max_depth_seen,
+        }
+
+    @property
+    def shedding(self) -> bool:
+        return self._watermark.shedding
+
+    # -- metrics -------------------------------------------------------------
+    def _count_admission(self, outcome: res.AdmissionResult) -> None:
+        if outcome.code == res.ACCEPTED:
+            self.metrics.add("mempool_admitted", 1, scope=self.scope)
+        elif outcome.code == res.REPLACED:
+            self.metrics.add("mempool_replaced", 1, scope=self.scope)
+        else:
+            name = outcome.code.replace("-", "_")
+            self.metrics.add(f"mempool_rejected_{name}", 1, scope=self.scope)

@@ -1,0 +1,68 @@
+"""Typed admission outcomes.
+
+``Mempool.add`` used to return a bare bool; at fee-market scale every
+caller (node, RPC surface, gossip relay, benchmarks) needs to know *why* a
+transaction was refused — an underpriced bid should be told the going
+rate, a rate-limited spammer should not be re-announced, a full pool maps
+to the RPC ``OVERLOADED`` band.  :class:`AdmissionResult` carries the
+decision; its truthiness preserves the old ``if pool.add(tx):`` idiom
+(accepted and replaced are truthy, every rejection falsy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+# Stable admission codes (wire-visible via RPC error payloads; append,
+# never rename).
+ACCEPTED = "accepted"
+REPLACED = "replaced"           # replace-by-fee displaced a same-nonce tx
+DUPLICATE = "duplicate"         # exact tx id already pooled
+UNDERPRICED = "underpriced"     # below fee floor, or RBF bump too small
+POOL_FULL = "pool-full"         # at capacity / shedding and bid too low
+RATE_LIMITED = "rate-limited"   # sender token bucket exhausted
+STALE_NONCE = "stale-nonce"     # nonce below the sender's account nonce
+
+REJECTION_CODES = frozenset(
+    {DUPLICATE, UNDERPRICED, POOL_FULL, RATE_LIMITED, STALE_NONCE}
+)
+ADMISSION_CODES = frozenset({ACCEPTED, REPLACED}) | REJECTION_CODES
+
+
+@dataclass(frozen=True)
+class AdmissionResult:
+    """Outcome of offering one transaction to the pool."""
+
+    code: str
+    tx_id: str = ""
+    reason: str = ""
+    # Set on REPLACED: the tx id the newcomer displaced.
+    replaced_tx_id: Optional[str] = None
+    # Set on fee rejections: the smallest effective fee per gas that would
+    # currently be admitted (the client's retry hint).
+    fee_floor: Optional[int] = None
+
+    def __bool__(self) -> bool:
+        return self.code in (ACCEPTED, REPLACED)
+
+    @property
+    def accepted(self) -> bool:
+        return bool(self)
+
+
+def accepted(tx_id: str) -> AdmissionResult:
+    return AdmissionResult(ACCEPTED, tx_id=tx_id)
+
+
+def replaced(tx_id: str, old_tx_id: str) -> AdmissionResult:
+    return AdmissionResult(REPLACED, tx_id=tx_id, replaced_tx_id=old_tx_id)
+
+
+def rejected(
+    code: str,
+    tx_id: str,
+    reason: str = "",
+    fee_floor: Optional[int] = None,
+) -> AdmissionResult:
+    return AdmissionResult(code, tx_id=tx_id, reason=reason, fee_floor=fee_floor)

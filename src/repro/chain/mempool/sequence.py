@@ -1,0 +1,104 @@
+"""Per-sender nonce sequences.
+
+The pool holds at most one transaction per (sender, nonce) — a second bid
+on the same slot goes through replace-by-fee — and selection only ever
+walks a sender's *contiguous* nonce run starting at the account nonce, so
+the executor never sees a gap.  Nonces are kept in a sorted list
+(bisect-maintained); per-sender counts are small relative to pool size,
+so insertion cost is negligible next to the heap work in the pool.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.chain.transactions import Transaction
+
+
+@dataclass
+class TxEntry:
+    """One pooled transaction plus its admission-time metadata."""
+
+    tx: Transaction
+    fee: int        # effective fee per gas, fixed at admission
+    seq: int        # global arrival counter (deterministic FIFO tie-break)
+    added_at: float  # pool-clock admission time (age eviction)
+
+    @property
+    def tx_id(self) -> str:
+        return self.tx.tx_id
+
+    @property
+    def sender(self) -> str:
+        return self.tx.sender
+
+    @property
+    def nonce(self) -> int:
+        return self.tx.nonce
+
+
+class SenderSequence:
+    """The nonce-indexed transactions of a single sender."""
+
+    def __init__(self) -> None:
+        self._by_nonce: Dict[int, TxEntry] = {}
+        self._nonces: List[int] = []  # sorted
+
+    def __len__(self) -> int:
+        return len(self._by_nonce)
+
+    def get(self, nonce: int) -> Optional[TxEntry]:
+        return self._by_nonce.get(nonce)
+
+    def put(self, entry: TxEntry) -> Optional[TxEntry]:
+        """Insert ``entry``; returns the displaced same-nonce entry if any."""
+        old = self._by_nonce.get(entry.nonce)
+        self._by_nonce[entry.nonce] = entry
+        if old is None:
+            bisect.insort(self._nonces, entry.nonce)
+        return old
+
+    def remove(self, nonce: int) -> Optional[TxEntry]:
+        entry = self._by_nonce.pop(nonce, None)
+        if entry is not None:
+            index = bisect.bisect_left(self._nonces, nonce)
+            del self._nonces[index]
+        return entry
+
+    def lowest(self) -> Optional[int]:
+        return self._nonces[0] if self._nonces else None
+
+    def highest(self) -> Optional[int]:
+        return self._nonces[-1] if self._nonces else None
+
+    def tail(self) -> Optional[TxEntry]:
+        """The entry at the highest nonce (the safe eviction victim —
+        removing it never opens a gap inside the sequence)."""
+        return self._by_nonce[self._nonces[-1]] if self._nonces else None
+
+    def ready(self, start_nonce: int) -> Iterator[TxEntry]:
+        """Entries forming a contiguous run ``start, start+1, ...``."""
+        nonce = start_nonce
+        while True:
+            entry = self._by_nonce.get(nonce)
+            if entry is None:
+                return
+            yield entry
+            nonce += 1
+
+    def purge_below(self, nonce: int) -> List[TxEntry]:
+        """Remove and return every entry with a nonce under ``nonce``.
+
+        This is the stale-nonce fix: once the account nonce advances past
+        a pooled transaction it can never execute again, so it must leave
+        the pool instead of lingering until (never) selected.
+        """
+        cut = bisect.bisect_left(self._nonces, nonce)
+        stale_nonces, self._nonces = self._nonces[:cut], self._nonces[cut:]
+        return [self._by_nonce.pop(n) for n in stale_nonces]
+
+    def entries(self) -> Iterator[TxEntry]:
+        for nonce in self._nonces:
+            yield self._by_nonce[nonce]

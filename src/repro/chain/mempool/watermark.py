@@ -1,0 +1,28 @@
+"""High/low watermark hysteresis for pool backpressure.
+
+Crossing the high watermark flips the pool into *shedding* mode: cheap
+bids are refused (``POOL_FULL``/OVERLOADED upstream) until depth falls
+back below the low watermark.  The gap between the two marks prevents the
+pool from oscillating in and out of shedding on every block commit.
+"""
+
+from __future__ import annotations
+
+
+class WatermarkTracker:
+    """Tracks shedding state from pool depth against capacity."""
+
+    def __init__(self, high: float, low: float, capacity: int):
+        self.high_depth = max(1, int(high * capacity))
+        self.low_depth = int(low * capacity)
+        self.shedding = False
+        self.flips = 0  # times shedding engaged (observability)
+
+    def update(self, depth: int) -> bool:
+        """Feed the current depth; returns the (possibly new) shed state."""
+        if not self.shedding and depth >= self.high_depth:
+            self.shedding = True
+            self.flips += 1
+        elif self.shedding and depth < self.low_depth:
+            self.shedding = False
+        return self.shedding

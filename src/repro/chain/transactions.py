@@ -41,6 +41,13 @@ class Transaction:
     kind: str
     payload: Dict[str, Any]
     gas_limit: int = DEFAULT_GAS_LIMIT
+    # Fee-market bid (per gas unit): ``max_fee_per_gas`` is the absolute
+    # ceiling the sender will pay, ``priority_fee_per_gas`` the tip offered
+    # to the proposer on top of the pool's base fee.  Both are admission /
+    # ordering signals for the mempool fee market; execution semantics are
+    # fee-independent (see DESIGN.md §12).
+    max_fee_per_gas: int = 0
+    priority_fee_per_gas: int = 0
     timestamp_ms: int = 0
     public_key: bytes = b""
     signature: bytes = b""
@@ -57,6 +64,8 @@ class Transaction:
                 "kind": self.kind,
                 "payload": self.payload,
                 "gas_limit": self.gas_limit,
+                "max_fee_per_gas": self.max_fee_per_gas,
+                "priority_fee_per_gas": self.priority_fee_per_gas,
                 "timestamp_ms": self.timestamp_ms,
                 "public_key": self.public_key,
             },
@@ -64,6 +73,19 @@ class Transaction:
         )
         object.__setattr__(self, "_digest_memo", digest)
         return digest
+
+    def effective_fee_per_gas(self, base_fee: int = 0) -> int:
+        """The per-gas price this bid realizes against ``base_fee``.
+
+        Mirrors EIP-1559: the sender pays at most ``max_fee_per_gas``; of
+        that, the proposer tip is ``priority_fee_per_gas`` capped by
+        whatever headroom remains above the base fee.
+        """
+        return min(self.max_fee_per_gas, base_fee + self.priority_fee_per_gas)
+
+    def effective_priority_fee(self, base_fee: int = 0) -> int:
+        """Proposer tip realized against ``base_fee`` (never negative)."""
+        return max(0, self.effective_fee_per_gas(base_fee) - base_fee)
 
     @property
     def tx_id(self) -> str:
@@ -109,6 +131,13 @@ class Transaction:
             raise ValidationError("nonce must be non-negative")
         if self.gas_limit <= 0:
             raise ValidationError("gas limit must be positive")
+        if self.max_fee_per_gas < 0 or self.priority_fee_per_gas < 0:
+            raise ValidationError("fee bids must be non-negative")
+        if self.priority_fee_per_gas > self.max_fee_per_gas:
+            raise ValidationError(
+                "priority fee exceeds max fee "
+                f"({self.priority_fee_per_gas} > {self.max_fee_per_gas})"
+            )
         if not isinstance(self.payload, dict):
             raise ValidationError("payload must be a dict")
         if not self.verify_signature():
@@ -127,7 +156,13 @@ class Transaction:
 
 
 def make_transfer(
-    keypair: KeyPair, to: str, amount: int, nonce: int, timestamp_ms: int = 0
+    keypair: KeyPair,
+    to: str,
+    amount: int,
+    nonce: int,
+    timestamp_ms: int = 0,
+    max_fee_per_gas: int = 0,
+    priority_fee_per_gas: int = 0,
 ) -> Transaction:
     """Build and sign a value-transfer transaction."""
     tx = Transaction(
@@ -135,6 +170,8 @@ def make_transfer(
         nonce=nonce,
         kind=TX_TRANSFER,
         payload={"to": to, "amount": amount},
+        max_fee_per_gas=max_fee_per_gas,
+        priority_fee_per_gas=priority_fee_per_gas,
         timestamp_ms=timestamp_ms,
     )
     return tx.signed_by(keypair)
@@ -148,6 +185,8 @@ def make_deploy(
     nonce: int = 0,
     gas_limit: int = DEFAULT_GAS_LIMIT,
     timestamp_ms: int = 0,
+    max_fee_per_gas: int = 0,
+    priority_fee_per_gas: int = 0,
 ) -> Transaction:
     """Build and sign a contract-deployment transaction."""
     tx = Transaction(
@@ -156,6 +195,8 @@ def make_deploy(
         kind=TX_DEPLOY,
         payload={"contract": contract_name, "source": source, "init": init or {}},
         gas_limit=gas_limit,
+        max_fee_per_gas=max_fee_per_gas,
+        priority_fee_per_gas=priority_fee_per_gas,
         timestamp_ms=timestamp_ms,
     )
     return tx.signed_by(keypair)
@@ -169,6 +210,8 @@ def make_call(
     nonce: int = 0,
     gas_limit: int = DEFAULT_GAS_LIMIT,
     timestamp_ms: int = 0,
+    max_fee_per_gas: int = 0,
+    priority_fee_per_gas: int = 0,
 ) -> Transaction:
     """Build and sign a contract-call transaction."""
     tx = Transaction(
@@ -177,6 +220,8 @@ def make_call(
         kind=TX_CALL,
         payload={"contract": contract_id, "method": method, "args": args or {}},
         gas_limit=gas_limit,
+        max_fee_per_gas=max_fee_per_gas,
+        priority_fee_per_gas=priority_fee_per_gas,
         timestamp_ms=timestamp_ms,
     )
     return tx.signed_by(keypair)

@@ -16,7 +16,12 @@ from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.chain.blocks import Block, build_block
 from repro.chain.executor import ContractEvent, ExecutionContext, Receipt
-from repro.chain.mempool import Mempool
+from repro.chain.mempool import (
+    DUPLICATE,
+    AdmissionResult,
+    Mempool,
+    MempoolConfig,
+)
 from repro.chain.state import StateDB
 from repro.chain.store import ChainStore
 from repro.chain.transactions import Transaction
@@ -74,6 +79,11 @@ class NodeConfig:
     # dispatching to the pool instead of executing inline.
     parallel_max_workers: Optional[int] = None
     parallel_min_wave_size: int = 2
+    # Fee-market mempool policy (repro.chain.mempool.MempoolConfig): price
+    # priority, replace-by-fee, capacity eviction, watermark shedding, and
+    # per-account rate limiting.  None uses permissive defaults that admit
+    # unfee'd development traffic FIFO-style.
+    mempool: Optional[MempoolConfig] = None
     # Peer-to-peer settings (repro.p2p.P2PConfig).  When a P2PService is
     # attached, tx/block dissemination switches from the sim network's
     # full-body flood to announce-by-hash gossip with fetch-on-miss, and
@@ -104,7 +114,12 @@ class BlockchainNode(Process):
         self.metrics = metrics or MetricsRegistry()
         self.config = config or NodeConfig()
         self.store = ChainStore(genesis, max_orphans=self.config.max_orphan_blocks)
-        self.mempool = Mempool()
+        self.mempool = Mempool(
+            config=self.config.mempool,
+            time_source=lambda: self.now,
+            metrics=self.metrics,
+            scope=name,
+        )
         self._orphan_evictions_reported = 0
         self._states: Dict[str, StateDB] = {genesis.block_id: genesis_state.copy()}
         self._block_receipts: Dict[str, List[Receipt]] = {genesis.block_id: []}
@@ -194,18 +209,29 @@ class BlockchainNode(Process):
                 self.name, "block", block, size_bytes=block.estimated_size_bytes()
             )
 
-    def submit_tx(self, tx: Transaction) -> bool:
-        """Inject a transaction locally and gossip it to every peer."""
+    def submit_tx(self, tx: Transaction) -> AdmissionResult:
+        """Inject a transaction locally and gossip it to every peer.
+
+        Returns the pool's typed admission outcome (truthy iff the pool
+        now holds the transaction).  Rejected transactions are *not*
+        announced to peers — an underpriced or rate-limited bid dies
+        here instead of consuming network-wide gossip bandwidth.
+        """
         tx.validate()
         if tx.tx_id in self._seen_txs:
-            return False
+            return AdmissionResult(DUPLICATE, tx_id=tx.tx_id)
         self._seen_txs.add(tx.tx_id)
         self._tx_submit_times[tx.tx_id] = self.now
-        added = self.mempool.add(tx)
-        self._broadcast_tx(tx)
+        added = self._admit_tx(tx)
+        if added:
+            self._broadcast_tx(tx)
         if added and self._started and self._proposal_handle is None:
             self._plan_round()
         return added
+
+    def _admit_tx(self, tx: Transaction) -> AdmissionResult:
+        """Offer a transaction to the pool with the head account nonce."""
+        return self.mempool.add(tx, account_nonce=self.state.nonce(tx.sender))
 
     def call_view(
         self,
@@ -249,8 +275,11 @@ class BlockchainNode(Process):
         except ValidationError:
             return
         self._seen_txs.add(tx.tx_id)
-        added = self.mempool.add(tx)
-        if self.config.rebroadcast_txs:
+        added = self._admit_tx(tx)
+        # Only transactions this node actually pooled are relayed: spam the
+        # fee market refused (underpriced, rate-limited, shed) dies at the
+        # first hop instead of propagating across the network.
+        if added and self.config.rebroadcast_txs:
             self._broadcast_tx(tx)
         if added and self._started and self._proposal_handle is None:
             self._plan_round()
@@ -512,8 +541,24 @@ class BlockchainNode(Process):
         return fresh
 
     def _evict_committed(self, new_blocks: List[Block]) -> None:
+        """Drop committed txs and purge nonces the chain has moved past.
+
+        The post-block account nonce of every sender touched by the new
+        canonical blocks is fed back to the pool, which purges any pooled
+        transaction with a lower nonce — those can never execute and used
+        to leak in the pool forever.
+        """
+        committed: List[str] = []
+        senders: Set[str] = set()
         for block in new_blocks:
-            self.mempool.remove_all(tx.tx_id for tx in block.transactions)
+            for tx in block.transactions:
+                committed.append(tx.tx_id)
+                senders.add(tx.sender)
+        if not committed:
+            return
+        head_state = self._states[self.store.head.block_id]
+        nonces = {sender: head_state.nonce(sender) for sender in senders}
+        self.mempool.commit(committed, nonces)
 
     def _record_commits(self, new_blocks: List[Block]) -> None:
         for block in new_blocks:
@@ -589,11 +634,12 @@ class BlockchainNode(Process):
     def _propose_inner(self, span) -> None:
         parent = self.store.head
         parent_state = self._states[parent.block_id]
-        nonces = {}
-        for tx in self.mempool.select(10_000):
-            if tx.sender not in nonces:
-                nonces[tx.sender] = parent_state.nonce(tx.sender)
-        txs = self.mempool.select(self.config.max_txs_per_block, nonces)
+        # Priority-ordered executable selection: the pool looks up each
+        # candidate sender's account nonce lazily and drains by effective
+        # fee (replaces the old two-pass FIFO scan).
+        txs = self.mempool.select(
+            self.config.max_txs_per_block, nonces=parent_state.nonce
+        )
         if not txs and not self.config.mine_empty:
             # Nothing executable (nonce gaps); wait for new txs or a new head.
             return

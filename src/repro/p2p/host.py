@@ -218,8 +218,12 @@ class P2PHost:
 
         def submit_tx(**params: Any) -> Dict[str, Any]:
             tx = tx_from_wire(params.get("tx"))
-            accepted = self.pump.call(lambda: self.node.submit_tx(tx))
-            return {"accepted": bool(accepted), "tx_id": tx.tx_id}
+            admission = self.pump.call(lambda: self.node.submit_tx(tx))
+            return {
+                "accepted": bool(admission),
+                "status": admission.code,
+                "tx_id": tx.tx_id,
+            }
 
         def status(**_params: Any) -> Dict[str, Any]:
             def read() -> Dict[str, Any]:

@@ -42,6 +42,8 @@ def tx_from_wire(wire: Any) -> Transaction:
             kind=wire["kind"],
             payload=dict(wire["payload"]),
             gas_limit=int(wire["gas_limit"]),
+            max_fee_per_gas=int(wire.get("max_fee_per_gas", 0)),
+            priority_fee_per_gas=int(wire.get("priority_fee_per_gas", 0)),
             timestamp_ms=int(wire["timestamp_ms"]),
             public_key=_bytes_field(wire["public_key"], "public_key"),
             signature=_bytes_field(wire["signature"], "signature"),

@@ -40,6 +40,9 @@ CHAIN_ERROR = -32011
 QUERY_ERROR = -32012
 ACCESS_DENIED = -32013
 INVALID_TX = -32014
+TX_UNDERPRICED = -32015   # fee below the mempool's admission floor
+RATE_LIMITED = -32016     # sender exceeded its mempool admission budget
+STALE_NONCE = -32017      # tx nonce already consumed by committed state
 
 
 class RpcError(MedchainError):
@@ -141,6 +144,27 @@ class InvalidTxError(RpcError):
     default_message = "invalid transaction"
 
 
+class TxUnderpricedError(RpcError):
+    """Fee below the mempool's current admission floor.
+
+    ``data["fee_floor"]`` (when present) is the minimum effective fee per
+    gas a resubmission must bid to be considered right now.
+    """
+
+    code = TX_UNDERPRICED
+    default_message = "transaction underpriced for current fee floor"
+
+
+class RateLimitedError(RpcError):
+    code = RATE_LIMITED
+    default_message = "sender rate limited; retry with backoff"
+
+
+class StaleNonceError(RpcError):
+    code = STALE_NONCE
+    default_message = "transaction nonce already consumed"
+
+
 _CODE_TO_CLASS: Dict[int, Type[RpcError]] = {
     cls.code: cls
     for cls in (
@@ -159,6 +183,9 @@ _CODE_TO_CLASS: Dict[int, Type[RpcError]] = {
         RemoteQueryError,
         RemoteAccessDenied,
         InvalidTxError,
+        TxUnderpricedError,
+        RateLimitedError,
+        StaleNonceError,
     )
 }
 

@@ -28,7 +28,13 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.common.errors import ChainError
 from repro.common.serialize import to_jsonable
 from repro.query.vector import QueryVector
-from repro.rpc.errors import InvalidParamsError
+from repro.rpc.errors import (
+    InvalidParamsError,
+    OverloadedError,
+    RateLimitedError,
+    StaleNonceError,
+    TxUnderpricedError,
+)
 from repro.rpc.server import MethodRegistry
 
 _VECTOR_FIELDS = {field.name for field in dataclasses.fields(QueryVector)}
@@ -73,12 +79,60 @@ def transaction_from_wire(tx: Dict[str, Any]):
             kind=tx["kind"],
             payload=dict(tx["payload"]),
             gas_limit=int(tx.get("gas_limit", 2_000_000)),
+            max_fee_per_gas=int(tx.get("max_fee_per_gas", 0)),
+            priority_fee_per_gas=int(tx.get("priority_fee_per_gas", 0)),
             timestamp_ms=int(tx.get("timestamp_ms", 0)),
             public_key=_bytes(tx.get("public_key", b"")),
             signature=_bytes(tx.get("signature", b"")),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise InvalidParamsError(f"malformed transaction: {exc}") from exc
+
+
+def admission_to_wire(admission: Any, tx_id: str) -> Dict[str, Any]:
+    """Map a mempool :class:`AdmissionResult` onto the RPC error band.
+
+    Accepted/replaced/duplicate outcomes return a result object (duplicate
+    is a no-op success: the tx is already pooled, resubmitting changed
+    nothing).  Every refusal raises the matching typed error so clients
+    branch on stable integer codes, with machine-usable hints — the fee
+    floor for underpriced, the outbid price for a full pool — in ``data``.
+    """
+    from repro.chain.mempool import (
+        DUPLICATE,
+        POOL_FULL,
+        RATE_LIMITED,
+        STALE_NONCE,
+        UNDERPRICED,
+    )
+
+    if admission:
+        wire: Dict[str, Any] = {
+            "accepted": True,
+            "status": admission.code,
+            "tx_id": tx_id,
+        }
+        if admission.replaced_tx_id:
+            wire["replaced_tx_id"] = admission.replaced_tx_id
+        return wire
+    if admission.code == DUPLICATE:
+        return {"accepted": False, "status": DUPLICATE, "tx_id": tx_id}
+    data: Dict[str, Any] = {"tx_id": tx_id}
+    if admission.reason:
+        data["reason"] = admission.reason
+    if admission.fee_floor is not None:
+        data["fee_floor"] = admission.fee_floor
+    if admission.code == UNDERPRICED:
+        raise TxUnderpricedError(admission.reason, data=data)
+    if admission.code == POOL_FULL:
+        raise OverloadedError(
+            admission.reason or "mempool full; raise fee or retry", data=data
+        )
+    if admission.code == RATE_LIMITED:
+        raise RateLimitedError(admission.reason, data=data)
+    if admission.code == STALE_NONCE:
+        raise StaleNonceError(admission.reason, data=data)
+    raise OverloadedError(admission.reason or admission.code, data=data)
 
 
 def register_p2p_methods(registry: MethodRegistry, dispatch: Any) -> None:
@@ -279,8 +333,13 @@ def build_site_registry(
             raise InvalidParamsError(f"site {service.name!r} serves no chain node")
         transaction = transaction_from_wire(tx)
         transaction.validate()  # raises ValidationError -> INVALID_TX
-        accepted = service.node.submit_tx(transaction)
-        return {"accepted": bool(accepted), "tx_id": transaction.tx_id}
+        admission = service.node.submit_tx(transaction)
+        return admission_to_wire(admission, transaction.tx_id)
+
+    def mempool_status() -> Dict[str, Any]:
+        if service.node is None:
+            raise InvalidParamsError(f"site {service.name!r} serves no chain node")
+        return service.node.mempool.status()
 
     registry.register("health", health, idempotent=True, timeout_s=5.0)
     registry.register("rpc.methods", rpc_methods, idempotent=True, timeout_s=5.0)
@@ -296,6 +355,7 @@ def build_site_registry(
     registry.register("chain.get_block", chain_get_block, idempotent=True)
     registry.register("chain.get_headers", chain_get_headers, idempotent=True)
     registry.register("chain.get_blocks", chain_get_blocks, idempotent=True)
+    registry.register("mempool.status", mempool_status, idempotent=True)
     # Submitting the same *signed* tx twice is deduplicated by the mempool,
     # but a client-side retry could still race a nonce bump — keep it
     # non-idempotent so the pool never auto-retries it.

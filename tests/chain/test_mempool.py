@@ -1,0 +1,371 @@
+"""Fee-market mempool unit tests: admission codes, RBF, eviction,
+watermark shedding, rate limiting, commit hygiene, and the selection
+perf-shape gate.
+
+Admission and selection never verify signatures (nodes verify before
+offering), so these tests build unsigned :class:`Transaction` objects
+directly — cheap enough to fill pools with thousands of entries.
+"""
+
+import time
+
+from repro.chain.mempool import (
+    ACCEPTED,
+    DUPLICATE,
+    POOL_FULL,
+    RATE_LIMITED,
+    REPLACED,
+    STALE_NONCE,
+    UNDERPRICED,
+    Mempool,
+    MempoolConfig,
+    RateLimiter,
+    WatermarkTracker,
+    effective_fee,
+    fee_percentiles,
+    rbf_threshold,
+)
+from repro.chain.transactions import TX_TRANSFER, Transaction
+from repro.sim.metrics import MetricsRegistry
+
+
+def tx(sender, nonce, fee=0, *, max_fee=None, priority=None, amount=1):
+    """Unsigned transfer bidding ``fee`` (or explicit max/priority)."""
+    return Transaction(
+        sender=sender,
+        nonce=nonce,
+        kind=TX_TRANSFER,
+        payload={"to": "sink", "amount": amount},
+        max_fee_per_gas=fee if max_fee is None else max_fee,
+        priority_fee_per_gas=fee if priority is None else priority,
+    )
+
+
+def no_watermark(**overrides):
+    """Config with watermark shedding effectively disabled."""
+    overrides.setdefault("high_watermark", 1.0)
+    overrides.setdefault("low_watermark", 0.5)
+    return MempoolConfig(**overrides)
+
+
+class TestAdmissionCodes:
+    def test_accept_then_duplicate(self):
+        pool = Mempool()
+        first = tx("a", 0, fee=1)
+        assert pool.add(first).code == ACCEPTED
+        dup = pool.add(first)
+        assert dup.code == DUPLICATE and not dup
+
+    def test_stale_nonce_rejected_at_door(self):
+        pool = Mempool()
+        result = pool.add(tx("a", 3, fee=1), account_nonce=5)
+        assert result.code == STALE_NONCE
+        assert len(pool) == 0
+
+    def test_current_and_future_nonces_admitted(self):
+        pool = Mempool()
+        assert pool.add(tx("a", 5, fee=1), account_nonce=5)
+        assert pool.add(tx("a", 9, fee=1), account_nonce=5)
+
+    def test_static_floor_underpriced(self):
+        pool = Mempool(config=MempoolConfig(min_fee_per_gas=10))
+        result = pool.add(tx("a", 0, fee=9))
+        assert result.code == UNDERPRICED
+        assert result.fee_floor == 10
+
+    def test_max_fee_below_base_fee_underpriced(self):
+        pool = Mempool(config=MempoolConfig(base_fee_per_gas=100))
+        result = pool.add(tx("a", 0, max_fee=99, priority=99))
+        assert result.code == UNDERPRICED
+        assert result.fee_floor == 100
+
+    def test_effective_fee_capped_by_max(self):
+        # EIP-1559 shape: bid = min(max_fee, base_fee + priority).
+        assert effective_fee(tx("a", 0, max_fee=12, priority=50), 10) == 12
+        assert effective_fee(tx("a", 0, max_fee=100, priority=5), 10) == 15
+
+
+class TestReplaceByFee:
+    def test_bump_threshold(self):
+        assert rbf_threshold(100, 10) == 110
+        assert rbf_threshold(0, 10) == 1  # bump is always at least one unit
+        assert rbf_threshold(5, 10) == 6
+
+    def test_replacement_swaps_in_place(self):
+        pool = Mempool()
+        old = tx("a", 0, fee=100)
+        new = tx("a", 0, fee=110, amount=2)
+        pool.add(old)
+        result = pool.add(new)
+        assert result.code == REPLACED
+        assert result.replaced_tx_id == old.tx_id
+        assert old.tx_id not in pool and new.tx_id in pool
+        assert len(pool) == 1
+
+    def test_insufficient_bump_underpriced_with_floor(self):
+        pool = Mempool()
+        pool.add(tx("a", 0, fee=100))
+        result = pool.add(tx("a", 0, fee=105, amount=2))
+        assert result.code == UNDERPRICED
+        assert result.fee_floor == 110
+
+    def test_zero_fee_slot_needs_any_bump(self):
+        pool = Mempool()
+        pool.add(tx("a", 0, fee=0))
+        assert pool.add(tx("a", 0, fee=0, amount=2)).code == UNDERPRICED
+        assert pool.add(tx("a", 0, fee=1, amount=3)).code == REPLACED
+
+
+class TestEviction:
+    def test_cheapest_tail_evicted_for_better_bid(self):
+        pool = Mempool(config=no_watermark(max_size=3))
+        cheap = tx("a", 0, fee=1)
+        pool.add(cheap)
+        pool.add(tx("b", 0, fee=5))
+        pool.add(tx("c", 0, fee=7))
+        result = pool.add(tx("d", 0, fee=9))
+        assert result.code == ACCEPTED
+        assert cheap.tx_id not in pool
+        assert len(pool) == 3
+
+    def test_full_pool_refuses_non_outbidding_tx(self):
+        pool = Mempool(config=no_watermark(max_size=2))
+        pool.add(tx("a", 0, fee=4))
+        pool.add(tx("b", 0, fee=6))
+        result = pool.add(tx("c", 0, fee=4))
+        assert result.code == POOL_FULL
+        assert result.fee_floor == 5  # outbid the cheapest resident
+        assert len(pool) == 2
+
+    def test_eviction_prefers_sender_tails(self):
+        # A sender's lower nonces are never evicted from under higher
+        # ones: only the highest pooled nonce per sender is a candidate,
+        # so eviction can never open a same-sender nonce gap.
+        pool = Mempool(config=no_watermark(max_size=3))
+        pool.add(tx("a", 0, fee=1))
+        pool.add(tx("a", 1, fee=9))
+        pool.add(tx("b", 0, fee=5))
+        result = pool.add(tx("c", 0, fee=8))
+        assert result.code == ACCEPTED
+        # Victim is b/0 (cheapest tail, fee 5) — NOT a/0 (fee 1, shielded
+        # because a/1 sits above it).
+        assert pool.get(tx("b", 0, fee=5).tx_id) is None
+        assert tx("a", 0, fee=1).tx_id in pool
+
+    def test_age_expiry(self):
+        clock = {"now": 0.0}
+        pool = Mempool(
+            config=no_watermark(max_size=10, max_age_s=5.0),
+            time_source=lambda: clock["now"],
+        )
+        stale = tx("a", 0, fee=1)
+        pool.add(stale)
+        clock["now"] = 6.0
+        pool.add(tx("b", 0, fee=1))
+        assert stale.tx_id not in pool
+        assert len(pool) == 1
+
+    def test_pool_never_exceeds_capacity_under_pressure(self):
+        pool = Mempool(config=no_watermark(max_size=16))
+        for i in range(200):
+            pool.add(tx(f"s{i}", 0, fee=i))
+            assert len(pool) <= 16
+        assert pool.max_depth_seen <= 16
+        # Survivors are the best bids.
+        fees = sorted(entry.fee for entry in pool._entries.values())
+        assert fees == list(range(184, 200))
+
+
+class TestWatermarks:
+    def test_tracker_hysteresis(self):
+        tracker = WatermarkTracker(high=0.9, low=0.5, capacity=100)
+        assert tracker.high_depth == 90 and tracker.low_depth == 50
+        assert not tracker.update(89)
+        assert tracker.update(90)
+        assert tracker.update(60)   # still shedding above low
+        assert not tracker.update(49)
+        assert tracker.flips == 1   # counts engagements, not state changes
+        assert tracker.update(95)
+        assert tracker.flips == 2
+
+    def test_shedding_refuses_cheap_bids(self):
+        config = MempoolConfig(max_size=100, high_watermark=0.5, low_watermark=0.2)
+        pool = Mempool(config=config)
+        for i in range(50):
+            pool.add(tx(f"s{i}", 0, fee=10))
+        assert pool.shedding
+        refused = pool.add(tx("cheap", 0, fee=0))
+        assert refused.code == POOL_FULL
+        assert refused.reason == "shedding"
+        assert refused.fee_floor is not None and refused.fee_floor >= 1
+        # A bid at the shed floor still gets in (pool is not at capacity).
+        assert pool.add(tx("payer", 0, fee=refused.fee_floor)).code == ACCEPTED
+
+    def test_shedding_clears_below_low_watermark(self):
+        config = MempoolConfig(max_size=100, high_watermark=0.5, low_watermark=0.2)
+        pool = Mempool(config=config)
+        admitted = [tx(f"s{i}", 0, fee=10) for i in range(50)]
+        for t in admitted:
+            pool.add(t)
+        assert pool.shedding
+        pool.remove_all([t.tx_id for t in admitted[:40]])
+        assert not pool.shedding
+        assert pool.add(tx("cheap", 0, fee=0)).code == ACCEPTED
+
+
+class TestRateLimiter:
+    def test_bucket_refills(self):
+        limiter = RateLimiter(rate=1.0, burst=2)
+        assert limiter.allow("a", 0.0)
+        assert limiter.allow("a", 0.0)
+        assert not limiter.allow("a", 0.0)
+        assert limiter.allow("a", 1.0)  # one token back after one second
+
+    def test_pool_rate_limits_per_sender(self):
+        clock = {"now": 0.0}
+        config = no_watermark(
+            max_size=1000, rate_limit_rate=1.0, rate_limit_burst=3
+        )
+        pool = Mempool(config=config, time_source=lambda: clock["now"])
+        codes = [pool.add(tx("spammer", n, fee=1)).code for n in range(5)]
+        assert codes == [ACCEPTED] * 3 + [RATE_LIMITED] * 2
+        # Other senders are unaffected.
+        assert pool.add(tx("payer", 0, fee=1)).code == ACCEPTED
+        clock["now"] = 2.0
+        assert pool.add(tx("spammer", 3, fee=1)).code == ACCEPTED
+
+
+class TestCommitHygiene:
+    def test_commit_removes_included_and_purges_stale(self):
+        pool = Mempool()
+        included = tx("a", 0, fee=1)
+        stale = tx("a", 1, fee=1)
+        live = tx("a", 2, fee=1)
+        other = tx("b", 0, fee=1)
+        for t in (included, stale, live, other):
+            pool.add(t)
+        # Block committed a/0 and (elsewhere) a/1: account nonce is now 2.
+        purged = pool.commit([included.tx_id], {"a": 2})
+        assert purged == 1
+        assert included.tx_id not in pool
+        assert stale.tx_id not in pool
+        assert live.tx_id in pool and other.tx_id in pool
+
+    def test_stale_purge_counted(self):
+        metrics = MetricsRegistry()
+        pool = Mempool(metrics=metrics, scope="n0")
+        pool.add(tx("a", 0, fee=1))
+        pool.add(tx("a", 1, fee=1))
+        pool.commit([], {"a": 2})
+        assert metrics.counter("mempool_stale_purged", scope="n0") == 2
+        assert len(pool) == 0
+
+
+class TestSelection:
+    def test_highest_bid_first_fifo_ties(self):
+        pool = Mempool()
+        order = [
+            tx("a", 0, fee=5),
+            tx("b", 0, fee=9),
+            tx("c", 0, fee=5),
+        ]
+        for t in order:
+            pool.add(t)
+        ids = [t.tx_id for t in pool.select(10)]
+        assert ids == [order[1].tx_id, order[0].tx_id, order[2].tx_id]
+
+    def test_zero_fee_pool_selects_in_arrival_order(self):
+        # Back-compat determinism: a free workload is exactly old FIFO.
+        pool = Mempool()
+        order = [tx(f"s{i}", 0, fee=0) for i in range(8)]
+        for t in order:
+            pool.add(t)
+        assert [t.tx_id for t in pool.select(8)] == [t.tx_id for t in order]
+
+    def test_sender_nonces_stay_contiguous(self):
+        pool = Mempool()
+        pool.add(tx("a", 0, fee=1))
+        pool.add(tx("a", 1, fee=100))  # rich but gated behind nonce 0
+        pool.add(tx("b", 0, fee=50))
+        picked = [(t.sender, t.nonce) for t in pool.select(10)]
+        assert picked == [("b", 0), ("a", 0), ("a", 1)]
+
+    def test_callable_nonce_source_skips_gapped_sender(self):
+        pool = Mempool()
+        pool.add(tx("a", 2, fee=9))
+        pool.add(tx("b", 0, fee=1))
+        picked = pool.select(10, nonces=lambda sender: 0)
+        assert [(t.sender, t.nonce) for t in picked] == [("b", 0)]
+        picked = pool.select(10, nonces={"a": 2, "b": 0})
+        assert [(t.sender, t.nonce) for t in picked] == [("a", 2), ("b", 0)]
+
+    def test_selection_near_linear_scaling(self):
+        # Perf-shape gate for the old O(n^2) deferred-queue scan: an 8x
+        # pool may cost more than 8x a 1000-entry select, but nowhere
+        # near the 64x a quadratic scan would show.  The generous bound
+        # keeps this stable on loaded CI machines.
+        def build(size):
+            pool = Mempool(config=no_watermark(max_size=size * 2))
+            for i in range(size):
+                pool.add(tx(f"s{i % (size // 4)}", i // (size // 4), fee=i % 97))
+            return pool
+
+        def measure(pool, limit):
+            best = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                selected = pool.select(limit, nonces=lambda sender: 0)
+                best = min(best, time.perf_counter() - start)
+            assert len(selected) == limit
+            return best
+
+        small_pool, big_pool = build(1000), build(8000)
+        small = measure(small_pool, 1000)
+        big = measure(big_pool, 8000)
+        ratio = big / max(small, 1e-9)
+        assert ratio < 32, f"selection scaled superlinearly: {ratio:.1f}x for 8x size"
+
+
+class TestIntrospection:
+    def test_fee_hint_tracks_pressure(self):
+        pool = Mempool(config=no_watermark(max_size=2, min_fee_per_gas=3))
+        assert pool.fee_hint() == 3
+        pool.add(tx("a", 0, fee=4))
+        pool.add(tx("b", 0, fee=6))
+        assert pool.fee_hint() == 5  # outbid the cheapest resident
+
+    def test_status_shape(self):
+        pool = Mempool(config=no_watermark(max_size=10))
+        for i in range(4):
+            pool.add(tx(f"s{i}", 0, fee=i + 1))
+        status = pool.status()
+        assert status["depth"] == 4
+        assert status["capacity"] == 10
+        assert status["senders"] == 4
+        assert status["shedding"] is False
+        assert status["max_depth_seen"] == 4
+        assert set(status["fee_percentiles"]) == {"p10", "p50", "p90"}
+
+    def test_fee_percentiles(self):
+        stats = fee_percentiles([1, 2, 3, 4, 5, 6, 7, 8, 9, 10])
+        # Nearest-rank: quoted floors are fees that actually exist.
+        assert stats["p10"] == 2
+        assert stats["p50"] == 6
+        assert stats["p90"] == 10
+        assert fee_percentiles([]) == {"p10": 0, "p50": 0, "p90": 0}
+
+    def test_admission_metrics_counted(self):
+        metrics = MetricsRegistry()
+        pool = Mempool(
+            config=no_watermark(max_size=2, min_fee_per_gas=5),
+            metrics=metrics,
+            scope="n0",
+        )
+        pool.add(tx("a", 0, fee=5))
+        pool.add(tx("a", 0, fee=5))      # duplicate
+        pool.add(tx("b", 0, fee=1))      # underpriced
+        pool.add(tx("a", 0, fee=6, amount=2))  # replaced
+        assert metrics.counter("mempool_admitted", scope="n0") == 1
+        assert metrics.counter("mempool_rejected_duplicate", scope="n0") == 1
+        assert metrics.counter("mempool_rejected_underpriced", scope="n0") == 1
+        assert metrics.counter("mempool_replaced", scope="n0") == 1

@@ -7,16 +7,37 @@ from repro.chain.executor import (
     TransferExecutor,
     apply_block_transactions,
 )
-from repro.chain.mempool import Mempool
+from repro.chain.mempool import (
+    ACCEPTED,
+    DUPLICATE,
+    POOL_FULL,
+    REPLACED,
+    Mempool,
+    MempoolConfig,
+)
 from repro.chain.state import StateDB
 from repro.chain.transactions import make_transfer
+from repro.common.signatures import KeyPair
+
+
+def _paid(keypair, nonce, fee, amount=1):
+    """A transfer bidding ``fee`` per gas (max == priority, base fee 0)."""
+    return make_transfer(
+        keypair,
+        "r",
+        amount,
+        nonce=nonce,
+        max_fee_per_gas=fee,
+        priority_fee_per_gas=fee,
+    )
 
 
 class TestMempool:
     def test_add_and_contains(self, alice):
         pool = Mempool()
         tx = make_transfer(alice, "r", 1, nonce=0)
-        assert pool.add(tx)
+        result = pool.add(tx)
+        assert result and result.code == ACCEPTED
         assert tx.tx_id in pool
         assert len(pool) == 1
 
@@ -24,13 +45,46 @@ class TestMempool:
         pool = Mempool()
         tx = make_transfer(alice, "r", 1, nonce=0)
         pool.add(tx)
-        assert not pool.add(tx)
+        result = pool.add(tx)
+        assert not result
+        assert result.code == DUPLICATE
 
-    def test_capacity_enforced(self, alice):
-        pool = Mempool(max_size=2)
-        for nonce in range(3):
-            pool.add(make_transfer(alice, "r", 1, nonce=nonce))
+    def test_capacity_never_exceeded(self, alice, bob):
+        carol = KeyPair.generate("carol")
+        config = MempoolConfig(max_size=2, high_watermark=1.0, low_watermark=0.5)
+        pool = Mempool(config=config)
+        pool.add(_paid(alice, 0, fee=5))
+        pool.add(_paid(bob, 0, fee=3))
+        # An outbidding third sender evicts the cheapest resident...
+        result = pool.add(_paid(carol, 0, fee=9))
+        assert result and result.code == ACCEPTED
         assert len(pool) == 2
+        # ...while a bid at-or-below the cheapest resident is refused.
+        refused = pool.add(_paid(bob, 1, fee=5))
+        assert not refused
+        assert refused.code == POOL_FULL
+        assert refused.fee_floor == 6  # one above the cheapest resident fee
+        assert len(pool) == 2
+
+    def test_replacement_requires_fee_bump(self, alice):
+        pool = Mempool()
+        pool.add(_paid(alice, 0, fee=10))
+        # Same sender+nonce at an insufficient bump is underpriced...
+        weak = pool.add(_paid(alice, 0, fee=10, amount=2))
+        assert not weak
+        # ...but a >=10% bump replaces the original in place.
+        strong = pool.add(_paid(alice, 0, fee=11, amount=3))
+        assert strong.code == REPLACED
+        assert strong.replaced_tx_id is not None
+        assert len(pool) == 1
+
+    def test_priority_ordering_by_fee(self, alice, bob):
+        pool = Mempool()
+        cheap = _paid(alice, 0, fee=1)
+        rich = _paid(bob, 0, fee=50)
+        pool.add(cheap)
+        pool.add(rich)
+        assert [tx.tx_id for tx in pool.select(10)] == [rich.tx_id, cheap.tx_id]
 
     def test_fifo_selection_without_nonces(self, alice, bob):
         pool = Mempool()

@@ -1,0 +1,269 @@
+"""Model-based property suite for the fee-market mempool.
+
+``NaiveMempool`` below is a brute-force transcription of the admission
+and selection *spec* — flat dicts, linear scans, no heaps, no lazy
+eviction index, no cached fee floors.  Hypothesis drives both it and the
+real :class:`Mempool` through the same random operation sequences and
+demands identical admission codes, pool contents, and selection output
+at every step.  Any divergence means the optimized implementation broke
+the spec, not that the spec moved.
+
+Watermark shedding, rate limiting, and age expiry are held out of scope
+here by construction (the configs pin both watermarks at 1.0, which makes
+shedding unreachable outside the capacity branch; the limiter and age
+knobs default off) — their caching and hysteresis are tested directly in
+``test_mempool.py``.  This file is
+part of the scheduled ``ci-stress`` deep-fuzz profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.chain.mempool import (
+    ACCEPTED,
+    DUPLICATE,
+    POOL_FULL,
+    REPLACED,
+    STALE_NONCE,
+    UNDERPRICED,
+    Mempool,
+    MempoolConfig,
+)
+from repro.chain.mempool.fee_market import rbf_threshold
+from repro.chain.transactions import TX_TRANSFER, Transaction
+
+SENDERS = ["A", "B", "C"]
+# low == high == 1.0 makes the watermark provably inert: shedding can only
+# engage while depth == max_size, where the capacity/eviction branch takes
+# precedence in ``Mempool.add``, and it clears on the first removal.  The
+# capacity path is therefore the only depth limiter under test.
+SMALL_CONFIG = MempoolConfig(
+    max_size=6,
+    min_fee_per_gas=2,
+    replace_bump_pct=10,
+    high_watermark=1.0,
+    low_watermark=1.0,
+)
+BIG_CONFIG = MempoolConfig(
+    max_size=200,
+    min_fee_per_gas=0,
+    replace_bump_pct=10,
+    high_watermark=1.0,
+    low_watermark=1.0,
+)
+
+
+def make_tx(sender: str, nonce: int, fee: int, salt: int) -> Transaction:
+    """Unsigned tx; ``salt`` varies the payload so tx_ids stay unique."""
+    return Transaction(
+        sender=sender,
+        nonce=nonce,
+        kind=TX_TRANSFER,
+        payload={"to": "sink", "amount": salt + 1},
+        max_fee_per_gas=fee,
+        priority_fee_per_gas=fee,
+    )
+
+
+@dataclass
+class NaiveEntry:
+    tx: Transaction
+    fee: int
+    seq: int
+
+
+@dataclass
+class NaiveMempool:
+    """Literal spec: O(n) everything, one flat (sender, nonce) table."""
+
+    config: MempoolConfig
+    slots: Dict[Tuple[str, int], NaiveEntry] = field(default_factory=dict)
+    seq: int = 0
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def tx_ids(self) -> set:
+        return {entry.tx.tx_id for entry in self.slots.values()}
+
+    def add(self, tx: Transaction, account_nonce: Optional[int] = None) -> str:
+        if tx.tx_id in self.tx_ids():
+            return DUPLICATE
+        if account_nonce is not None and tx.nonce < account_nonce:
+            return STALE_NONCE
+        config = self.config
+        fee = tx.effective_fee_per_gas(config.base_fee_per_gas)
+        if tx.max_fee_per_gas < config.base_fee_per_gas or fee < config.min_fee_per_gas:
+            return UNDERPRICED
+        incumbent = self.slots.get((tx.sender, tx.nonce))
+        if incumbent is not None:
+            if fee < rbf_threshold(incumbent.fee, config.replace_bump_pct):
+                return UNDERPRICED
+            self.seq += 1
+            self.slots[(tx.sender, tx.nonce)] = NaiveEntry(tx, fee, self.seq)
+            return REPLACED
+        if len(self.slots) >= config.max_size:
+            victim = self._victim()
+            if victim is None or self.slots[victim].fee >= fee:
+                return POOL_FULL
+            del self.slots[victim]
+        self.seq += 1
+        self.slots[(tx.sender, tx.nonce)] = NaiveEntry(tx, fee, self.seq)
+        return ACCEPTED
+
+    def _victim(self) -> Optional[Tuple[str, int]]:
+        """Cheapest (then youngest) per-sender *tail* — never mid-sequence."""
+        tails = {}
+        for (sender, nonce) in self.slots:
+            if sender not in tails or nonce > tails[sender]:
+                tails[sender] = nonce
+        candidates = [(sender, nonce) for sender, nonce in tails.items()]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda key: (self.slots[key].fee, -self.slots[key].seq),
+        )
+
+    def commit(self, tx_ids: List[str], account_nonces: Dict[str, int]) -> None:
+        drop = set(tx_ids)
+        self.slots = {
+            key: entry
+            for key, entry in self.slots.items()
+            if entry.tx.tx_id not in drop
+            and entry.tx.nonce >= account_nonces.get(entry.tx.sender, -1)
+        }
+
+    def select(self, limit: int, nonces: Dict[str, int]) -> List[str]:
+        next_nonce = dict(nonces)
+        picked: List[str] = []
+        while len(picked) < limit:
+            ready = [
+                self.slots[(sender, next_nonce.get(sender, 0))]
+                for sender in SENDERS
+                if (sender, next_nonce.get(sender, 0)) in self.slots
+            ]
+            if not ready:
+                break
+            best = max(ready, key=lambda entry: (entry.fee, -entry.seq))
+            picked.append(best.tx.tx_id)
+            next_nonce[best.tx.sender] = best.tx.nonce + 1
+        return picked
+
+
+# One operation = (kind, sender_idx, nonce, fee, flag).
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "add", "add", "add", "commit", "select"]),
+        st.integers(min_value=0, max_value=len(SENDERS) - 1),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=12),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def run_against_model(ops, config: MempoolConfig) -> None:
+    real = Mempool(config=config)
+    naive = NaiveMempool(config=config)
+    account_nonces = {sender: 0 for sender in SENDERS}
+    salt = 0
+    last_tx: Optional[Transaction] = None
+    for kind, sender_idx, nonce, fee, flag in ops:
+        sender = SENDERS[sender_idx]
+        if kind == "add":
+            if flag and last_tx is not None:
+                tx = last_tx  # exact resubmission: must be DUPLICATE
+            else:
+                salt += 1
+                tx = make_tx(sender, nonce, fee, salt)
+            last_tx = tx
+            known = account_nonces[tx.sender] if flag else None
+            got = real.add(tx, account_nonce=known)
+            want = naive.add(tx, account_nonce=known)
+            assert got.code == want, (got.code, want, tx.sender, tx.nonce)
+            assert bool(got) == (want in (ACCEPTED, REPLACED))
+        elif kind == "commit":
+            # Advance one account nonce and commit whatever that sender
+            # had pooled below it, exactly like a block commit would.
+            account_nonces[sender] += 1
+            included = [
+                tx_id
+                for tx_id in real.all_ids()
+                if real.get(tx_id).sender == sender
+                and real.get(tx_id).nonce < account_nonces[sender]
+            ]
+            real.commit(included, {sender: account_nonces[sender]})
+            naive.commit(included, {sender: account_nonces[sender]})
+        else:  # select
+            limit = 1 + (fee % 8)
+            got_ids = [t.tx_id for t in real.select(limit, nonces=account_nonces)]
+            assert got_ids == naive.select(limit, nonces=account_nonces)
+        assert len(real) == len(naive)
+        assert set(real.all_ids()) == naive.tx_ids()
+        assert len(real) <= config.max_size
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_strategy)
+@example(
+    # Regression: fill to depth 5 (where a 0.9 high watermark on max_size=6
+    # would engage) then add a sixth sender-B tx — it must be ACCEPTED on
+    # the capacity path, never shed.
+    ops=[
+        ("add", 0, 0, 3, False),
+        ("add", 0, 1, 3, False),
+        ("add", 0, 2, 3, False),
+        ("add", 0, 3, 2, False),
+        ("add", 0, 4, 2, False),
+        ("add", 1, 0, 2, False),
+    ],
+)
+def test_real_pool_matches_naive_model_under_pressure(ops):
+    """Tiny capacity: eviction and POOL_FULL paths run constantly."""
+    run_against_model(ops, SMALL_CONFIG)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_strategy)
+def test_real_pool_matches_naive_model_roomy(ops):
+    """Roomy pool: RBF/duplicate/ordering paths without capacity noise."""
+    run_against_model(ops, BIG_CONFIG)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=len(SENDERS) - 1),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=50),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_selection_sorted_by_fee_within_executability(adds):
+    """Global invariant: selected txs are the greedy max-fee frontier —
+    each pick is the highest-fee (then oldest) executable candidate at
+    the moment it is taken."""
+    pool = Mempool(config=BIG_CONFIG)
+    salt = 0
+    for sender_idx, nonce, fee in adds:
+        salt += 1
+        pool.add(make_tx(SENDERS[sender_idx], nonce, fee, salt))
+    zeros = {sender: 0 for sender in SENDERS}
+    selected = pool.select(100, nonces=zeros)
+    # Per-sender nonces are contiguous from the account nonce.
+    by_sender: Dict[str, List[int]] = {}
+    for tx in selected:
+        by_sender.setdefault(tx.sender, []).append(tx.nonce)
+    for sender, nonces in by_sender.items():
+        assert nonces == list(range(len(nonces)))

@@ -170,6 +170,86 @@ class TestRobustness:
             assert len(block.transactions) <= 2
 
 
+class TestMempoolHygiene:
+    def test_losing_same_nonce_tx_purged_everywhere_on_commit(self, alice):
+        """Regression: the old FIFO pool leaked same-nonce losers forever.
+
+        Two competing nonce-0 transactions enter the network at different
+        nodes (RBF refuses the zero-fee cross-gossip, so each pool holds
+        only its own).  Once either commits, every pool must be empty —
+        the loser's nonce is stale and can never execute.
+        """
+        kernel, __, metrics, nodes = build_network(3, funder=alice)
+        winner = make_transfer(alice, "dest", 10, nonce=0)
+        loser = make_transfer(alice, "other", 10, nonce=0)
+        nodes["n0"].submit_tx(winner)
+        nodes["n1"].submit_tx(loser)
+        kernel.run(
+            until=kernel.now + 120.0,
+            stop_when=lambda: all(
+                n.receipt(winner.tx_id) or n.receipt(loser.tx_id)
+                for n in nodes.values()
+            ),
+        )
+        kernel.run(until=kernel.now + 5.0)  # let commits drain the pools
+        for node in nodes.values():
+            assert winner.tx_id not in node.mempool
+            assert loser.tx_id not in node.mempool
+            assert len(node.mempool) == 0
+        assert metrics.counter_total("mempool_stale_purged") >= 1
+
+    def test_stale_nonce_rejected_at_submission(self, alice):
+        from repro.chain.mempool import STALE_NONCE
+
+        kernel, __, ___, nodes = build_network(2, funder=alice)
+        tx = make_transfer(alice, "dest", 1, nonce=0)
+        nodes["n0"].submit_tx(tx)
+        commit(kernel, nodes, tx)
+        replay = make_transfer(alice, "late", 1, nonce=0)
+        result = nodes["n0"].submit_tx(replay)
+        assert not result and result.code == STALE_NONCE
+        assert replay.tx_id not in nodes["n0"].mempool
+
+    def test_rejected_tx_not_gossiped(self, alice):
+        """Admission-gated gossip: a refused tx dies at the first hop."""
+        from repro.chain.mempool import MempoolConfig
+        from repro.consensus.node import NodeConfig
+
+        kernel = Kernel(seed=3)
+        metrics = MetricsRegistry()
+        network = Network(kernel, metrics)
+        state = StateDB()
+        state.credit(alice.address, 10**9)
+        genesis = make_genesis(state.state_root())
+        names = ["n0", "n1"]
+        keypairs = {name: KeyPair.generate(name) for name in names}
+        engine = ProofOfAuthority(names, keypairs, block_interval_s=0.5)
+        nodes = make_network_nodes(
+            kernel,
+            network,
+            names,
+            genesis,
+            state,
+            lambda: engine,
+            metrics=metrics,
+            config=NodeConfig(mempool=MempoolConfig(min_fee_per_gas=5)),
+        )
+        for node in nodes.values():
+            node.start()
+        free = make_transfer(alice, "dest", 1, nonce=0)
+        result = nodes["n0"].submit_tx(free)
+        assert not result
+        kernel.run(until=5.0)
+        assert free.tx_id not in nodes["n0"].mempool
+        assert free.tx_id not in nodes["n1"].mempool
+        paid = make_transfer(
+            alice, "dest", 1, nonce=0, max_fee_per_gas=5, priority_fee_per_gas=5
+        )
+        assert nodes["n0"].submit_tx(paid)
+        kernel.run(until=kernel.now + 5.0)
+        assert paid.tx_id in nodes["n1"].mempool or nodes["n1"].receipt(paid.tx_id)
+
+
 class TestStateRecovery:
     def _grow(self, kernel, nodes, alice, count, start_nonce=0, submit_to="n0"):
         for node in nodes.values():

@@ -22,11 +22,15 @@ from repro.sim.network import Network
 GOLDEN_STATE_ROOT = (
     "7727f5269c19af523908eb88a00cb6b256e4d695fb8a1beb3b934e451ee822ac"
 )
+# Receipts hash and head block id embed tx ids, so they were re-pinned when
+# the fee-market fields (max_fee_per_gas / priority_fee_per_gas) entered the
+# transaction signing digest.  The state root is pinned to the original seed:
+# fees are admission signals only and must never leak into execution.
 GOLDEN_RECEIPTS_HASH = (
-    "3ece6ff8b4954f4758eeb0446ba6cad5bd573644d1a77c85958eab3920337786"
+    "d5f62687543102ff3df9474db79c0c741b409d6597ca4bd2e1baf22fce692833"
 )
 GOLDEN_HEAD_BLOCK_ID = (
-    "67f2bf8c383d1bff476193d5c058988ada757d36735a08de3d148d390ecd689c"
+    "06d3d47f1f4aa6bb8aa818fdbb36bda64e0b5b309863f7a26ac7f09926db0053"
 )
 
 
