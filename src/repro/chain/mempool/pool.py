@@ -167,14 +167,11 @@ class Mempool:
                 reason="below static fee floor",
                 fee_floor=static_floor,
             )
-        if self._limiter is not None and not self._limiter.allow(tx.sender, now):
-            return res.rejected(
-                res.RATE_LIMITED, tx_id, reason="sender token bucket exhausted"
-            )
         sequence = self._senders.get(tx.sender)
         incumbent = sequence.get(tx.nonce) if sequence is not None else None
         if incumbent is not None:
             return self._replace(tx, fee, incumbent, now)
+        victim: Optional[TxEntry] = None
         if len(self._entries) >= config.max_size:
             victim = self._evict_index.find_victim(self._senders)
             if victim is None or victim.fee >= fee:
@@ -184,13 +181,22 @@ class Mempool:
                     reason="at capacity",
                     fee_floor=(victim.fee + 1) if victim is not None else None,
                 )
-            self._evict_entry(victim, reason="capacity")
         elif self._watermark.shedding:
             floor = self._shed_floor()
             if fee < floor:
                 return res.rejected(
                     res.POOL_FULL, tx_id, reason="shedding", fee_floor=floor
                 )
+        # The limiter runs last — after every fee/capacity check has
+        # passed and before any mutation — so a bid the pool would refuse
+        # anyway never burns the sender's admission budget, and a refused
+        # bid evicts nobody.
+        if not self._consume_token(tx.sender, now):
+            return res.rejected(
+                res.RATE_LIMITED, tx_id, reason="sender token bucket exhausted"
+            )
+        if victim is not None:
+            self._evict_entry(victim, reason="capacity")
         self._insert(tx, fee, now)
         return res.accepted(tx_id)
 
@@ -206,9 +212,18 @@ class Mempool:
                 reason="replacement bump too small",
                 fee_floor=threshold,
             )
+        if not self._consume_token(tx.sender, now):
+            return res.rejected(
+                res.RATE_LIMITED,
+                tx.tx_id,
+                reason="sender token bucket exhausted",
+            )
         del self._entries[incumbent.tx_id]
         self._insert(tx, fee, now)
         return res.replaced(tx.tx_id, incumbent.tx_id)
+
+    def _consume_token(self, sender: str, now: float) -> bool:
+        return self._limiter is None or self._limiter.allow(sender, now)
 
     def _insert(self, tx: Transaction, fee: int, now: float) -> None:
         self._seq += 1
@@ -268,7 +283,27 @@ class Mempool:
             entry = self._entries.get(tx_id)
             # Skip records whose tx was removed or replaced since.
             if entry is not None and entry.added_at == added_at:
-                self._evict_entry(entry, reason="age")
+                self._expire_entry(entry)
+
+    def _expire_entry(self, entry: TxEntry) -> None:
+        """Age out one entry plus the sender's nonces stacked above it.
+
+        Age eviction runs in arrival order, which can land mid-sequence;
+        the higher nonces left behind could never execute (their
+        predecessor is gone) and would squat in the pool until they also
+        aged out.  Purging them tail-first keeps every removal a
+        tail-only eviction from the sequence's point of view — the
+        invariant ``evict.py`` documents.
+        """
+        sequence = self._senders.get(entry.sender)
+        stranded = (
+            sequence.at_or_above(entry.nonce + 1)
+            if sequence is not None
+            else []
+        )
+        for successor in reversed(stranded):
+            self._evict_entry(successor, reason="age_stranded")
+        self._evict_entry(entry, reason="age")
 
     def commit(
         self, tx_ids: Iterable[str], account_nonces: Mapping[str, int]

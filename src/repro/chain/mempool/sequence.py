@@ -88,6 +88,11 @@ class SenderSequence:
             yield entry
             nonce += 1
 
+    def at_or_above(self, nonce: int) -> List[TxEntry]:
+        """Entries with a nonce >= ``nonce``, ascending (not removed)."""
+        start = bisect.bisect_left(self._nonces, nonce)
+        return [self._by_nonce[n] for n in self._nonces[start:]]
+
     def purge_below(self, nonce: int) -> List[TxEntry]:
         """Remove and return every entry with a nonce under ``nonce``.
 

@@ -14,7 +14,10 @@ class WatermarkTracker:
 
     def __init__(self, high: float, low: float, capacity: int):
         self.high_depth = max(1, int(high * capacity))
-        self.low_depth = int(low * capacity)
+        # Clamped to >= 1 so tiny capacities (where low * capacity
+        # truncates to 0) can still clear: depth < 1 means empty, which
+        # is always reachable — a low_depth of 0 never is.
+        self.low_depth = max(1, int(low * capacity))
         self.shedding = False
         self.flips = 0  # times shedding engaged (observability)
 

@@ -124,7 +124,6 @@ class BlockchainNode(Process):
         self._states: Dict[str, StateDB] = {genesis.block_id: genesis_state.copy()}
         self._block_receipts: Dict[str, List[Receipt]] = {genesis.block_id: []}
         self._receipts_by_tx: Dict[str, Receipt] = {}
-        self._seen_txs: Set[str] = set()
         self._seen_blocks: Set[str] = {genesis.block_id}
         # Blocks waiting for an ancestor we are back-filling via get_block.
         self._pending_blocks: Dict[str, List[Block]] = {}
@@ -215,18 +214,24 @@ class BlockchainNode(Process):
         Returns the pool's typed admission outcome (truthy iff the pool
         now holds the transaction).  Rejected transactions are *not*
         announced to peers — an underpriced or rate-limited bid dies
-        here instead of consuming network-wide gossip bandwidth.
+        here instead of consuming network-wide gossip bandwidth — and
+        are *forgotten*: the duplicate check is answered by current
+        pool membership and committed receipts, never by a
+        first-contact set, so a bid refused under transient overload
+        (RATE_LIMITED, POOL_FULL) can be resubmitted and admitted once
+        pressure clears.
         """
         tx.validate()
-        if tx.tx_id in self._seen_txs:
-            return AdmissionResult(DUPLICATE, tx_id=tx.tx_id)
-        self._seen_txs.add(tx.tx_id)
-        self._tx_submit_times[tx.tx_id] = self.now
+        if tx.tx_id in self._receipts_by_tx:
+            return AdmissionResult(
+                DUPLICATE, tx_id=tx.tx_id, reason="already committed"
+            )
         added = self._admit_tx(tx)
         if added:
+            self._tx_submit_times.setdefault(tx.tx_id, self.now)
             self._broadcast_tx(tx)
-        if added and self._started and self._proposal_handle is None:
-            self._plan_round()
+            if self._started and self._proposal_handle is None:
+                self._plan_round()
         return added
 
     def _admit_tx(self, tx: Transaction) -> AdmissionResult:
@@ -268,17 +273,19 @@ class BlockchainNode(Process):
             self._p2p.transport.handle_message(sender, message)
 
     def _handle_gossip_tx(self, tx: Transaction) -> None:
-        if tx.tx_id in self._seen_txs:
+        if tx.tx_id in self.mempool or tx.tx_id in self._receipts_by_tx:
             return
         try:
             tx.validate()
         except ValidationError:
             return
-        self._seen_txs.add(tx.tx_id)
         added = self._admit_tx(tx)
         # Only transactions this node actually pooled are relayed: spam the
         # fee market refused (underpriced, rate-limited, shed) dies at the
-        # first hop instead of propagating across the network.
+        # first hop instead of propagating across the network.  Refusals
+        # are not remembered, so a re-announcement after a transient
+        # shedding or rate-limiting episode gets a fresh admission
+        # decision instead of being dropped forever.
         if added and self.config.rebroadcast_txs:
             self._broadcast_tx(tx)
         if added and self._started and self._proposal_handle is None:

@@ -101,7 +101,14 @@ class P2PService:
 
     def _has_item(self, kind: str, item_id: str) -> bool:
         if kind == KIND_TX:
-            return item_id in self.node._seen_txs
+            # A tx counts as "have" only while pooled or committed; one
+            # the node refused (shed, rate-limited) is re-fetched on the
+            # next announcement so it can be re-admitted once pressure
+            # clears.
+            return (
+                item_id in self.node.mempool
+                or self.node.receipt(item_id) is not None
+            )
         return item_id in self.node._seen_blocks or item_id in self.node.store
 
     def _get_item(self, kind: str, item_id: str):

@@ -165,6 +165,30 @@ class TestEviction:
         assert stale.tx_id not in pool
         assert len(pool) == 1
 
+    def test_age_expiry_purges_stranded_successors(self):
+        # Aging out a mid-sequence nonce must not leave unexecutable
+        # higher nonces squatting in the pool (tail-only invariant).
+        clock = {"now": 0.0}
+        pool = Mempool(
+            config=no_watermark(max_size=10, max_age_s=5.0),
+            time_source=lambda: clock["now"],
+        )
+        old = tx("a", 0, fee=1)
+        pool.add(old)
+        clock["now"] = 3.0
+        fresh = [tx("a", 1, fee=1), tx("a", 2, fee=1)]
+        for t in fresh:
+            pool.add(t)
+        bystander = tx("b", 0, fee=1)
+        pool.add(bystander)
+        clock["now"] = 6.0  # only a/0 is past max_age
+        pool.add(tx("c", 0, fee=1))
+        assert old.tx_id not in pool
+        for t in fresh:  # stranded successors went with it
+            assert t.tx_id not in pool
+        assert bystander.tx_id in pool
+        assert len(pool) == 2
+
     def test_pool_never_exceeds_capacity_under_pressure(self):
         pool = Mempool(config=no_watermark(max_size=16))
         for i in range(200):
@@ -201,6 +225,14 @@ class TestWatermarks:
         # A bid at the shed floor still gets in (pool is not at capacity).
         assert pool.add(tx("payer", 0, fee=refused.fee_floor)).code == ACCEPTED
 
+    def test_tiny_capacity_low_depth_clamped_so_shedding_can_clear(self):
+        # low * capacity truncates to 0 for max_size=1; without the
+        # clamp, shedding could never clear (depth < 0 is unreachable).
+        tracker = WatermarkTracker(high=1.0, low=0.75, capacity=1)
+        assert tracker.low_depth == 1
+        assert tracker.update(1)    # shedding engages at capacity
+        assert not tracker.update(0)  # and clears once the pool empties
+
     def test_shedding_clears_below_low_watermark(self):
         config = MempoolConfig(max_size=100, high_watermark=0.5, low_watermark=0.2)
         pool = Mempool(config=config)
@@ -233,6 +265,30 @@ class TestRateLimiter:
         assert pool.add(tx("payer", 0, fee=1)).code == ACCEPTED
         clock["now"] = 2.0
         assert pool.add(tx("spammer", 3, fee=1)).code == ACCEPTED
+
+    def test_rejected_bids_do_not_burn_rate_limit_tokens(self):
+        # The limiter runs after the fee/capacity checks: a bid refused
+        # as underpriced, POOL_FULL, or an insufficient RBF bump must
+        # not consume the sender's admission budget.
+        config = no_watermark(
+            max_size=1,
+            min_fee_per_gas=5,
+            rate_limit_rate=0.001,
+            rate_limit_burst=1,
+        )
+        pool = Mempool(config=config, time_source=lambda: 0.0)
+        assert pool.add(tx("a", 0, fee=1)).code == UNDERPRICED
+        assert pool.add(tx("b", 0, fee=10)).code == ACCEPTED  # b's token spent
+        assert pool.add(tx("a", 0, fee=10)).code == POOL_FULL  # can't outbid
+        assert pool.add(tx("b", 0, fee=10, amount=2)).code == UNDERPRICED  # RBF bump
+        # None of the refusals burned "a"'s single token: a winning bid
+        # still gets in (evicting b's resident).
+        assert pool.add(tx("a", 0, fee=20)).code == ACCEPTED
+        # Admission DID spend the token: "a"'s next otherwise-valid RBF
+        # bump is rate limited, without mutating the pool.
+        bump = pool.add(tx("a", 0, fee=40, amount=2))
+        assert bump.code == RATE_LIMITED
+        assert tx("a", 0, fee=20).tx_id in pool and len(pool) == 1
 
 
 class TestCommitHygiene:

@@ -210,6 +210,73 @@ class TestMempoolHygiene:
         assert not result and result.code == STALE_NONCE
         assert replay.tx_id not in nodes["n0"].mempool
 
+    def test_resubmitting_committed_tx_is_duplicate_noop(self, alice):
+        from repro.chain.mempool import DUPLICATE
+
+        kernel, __, ___, nodes = build_network(2, funder=alice)
+        tx = make_transfer(alice, "dest", 1, nonce=0)
+        nodes["n0"].submit_tx(tx)
+        commit(kernel, nodes, tx)
+        again = nodes["n0"].submit_tx(tx)
+        assert not again and again.code == DUPLICATE
+        assert tx.tx_id not in nodes["n0"].mempool
+
+    def test_tx_shed_under_overload_can_be_readmitted(self, alice, bob):
+        """Regression: a transient POOL_FULL/RATE_LIMITED rejection used
+        to blackhole the tx forever — submit_tx marked it seen before
+        admission, so the retry its error message asked for came back as
+        a 'duplicate' no-op, and peer re-announcements were dropped too.
+        """
+        from repro.chain.mempool import MempoolConfig, POOL_FULL
+        from repro.consensus.node import NodeConfig
+
+        kernel = Kernel(seed=7)
+        metrics = MetricsRegistry()
+        network = Network(kernel, metrics)
+        state = StateDB()
+        state.credit(alice.address, 10**9)
+        state.credit(bob.address, 10**9)
+        genesis = make_genesis(state.state_root())
+        names = ["n0"]
+        engine = ProofOfAuthority(
+            names, {"n0": KeyPair.generate("n0")}, block_interval_s=0.5
+        )
+        nodes = make_network_nodes(
+            kernel,
+            network,
+            names,
+            genesis,
+            state,
+            lambda: engine,
+            metrics=metrics,
+            config=NodeConfig(
+                mempool=MempoolConfig(
+                    max_size=10, high_watermark=0.3, low_watermark=0.2
+                )
+            ),
+        )
+        node = nodes["n0"]
+        for nonce in range(3):
+            node.submit_tx(
+                make_transfer(
+                    bob, "sink", 1, nonce=nonce,
+                    max_fee_per_gas=10, priority_fee_per_gas=10,
+                )
+            )
+        assert node.mempool.shedding
+        cheap = make_transfer(alice, "dest", 1, nonce=0)
+        refused = node.submit_tx(cheap)
+        assert not refused and refused.code == POOL_FULL
+        # Pressure clears; both the local resubmit and the gossip path
+        # must now give the same tx a fresh admission decision.
+        node.mempool.remove_all(node.mempool.all_ids())
+        assert not node.mempool.shedding
+        node._handle_gossip_tx(cheap)  # peer re-announcement
+        assert cheap.tx_id in node.mempool
+        node.mempool.remove_all(node.mempool.all_ids())
+        assert node.submit_tx(cheap)
+        assert cheap.tx_id in node.mempool
+
     def test_rejected_tx_not_gossiped(self, alice):
         """Admission-gated gossip: a refused tx dies at the first hop."""
         from repro.chain.mempool import MempoolConfig

@@ -14,9 +14,17 @@ import asyncio
 
 import pytest
 
+from repro.chain.blocks import make_genesis
 from repro.chain.mempool import Mempool, MempoolConfig
+from repro.chain.state import StateDB
 from repro.chain.transactions import make_transfer
+from repro.common.signatures import KeyPair
+from repro.consensus.node import BlockchainNode, NodeConfig
+from repro.consensus.poa import ProofOfAuthority
 from repro.p2p.wire import tx_to_wire
+from repro.sim.kernel import Kernel
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import Network
 from repro.rpc import codec
 from repro.rpc.client import RpcClient
 from repro.rpc.errors import (
@@ -56,6 +64,31 @@ class _PoolNode:
         return self.mempool.add(tx, account_nonce=self.nonces.get(tx.sender, 0))
 
 
+def _real_node(config=None):
+    """A full :class:`BlockchainNode` on a one-node sim network.
+
+    The stub above pins the pool's admission codes; this pins the *node*
+    layer stacked in front of it (duplicate gating, gossip suppression,
+    retry-after-rejection), which is what production RPC servers serve.
+    """
+    kernel = Kernel(seed=0)
+    network = Network(kernel, MetricsRegistry())
+    state = StateDB()
+    genesis = make_genesis(state.state_root())
+    engine = ProofOfAuthority(
+        ["site-a"], {"site-a": KeyPair.generate("site-a")}, block_interval_s=0.5
+    )
+    return BlockchainNode(
+        kernel,
+        network,
+        "site-a",
+        genesis,
+        state,
+        engine,
+        config=NodeConfig(mempool=config),
+    )
+
+
 def _paid(keypair, nonce, fee, amount=1):
     return make_transfer(
         keypair,
@@ -67,11 +100,11 @@ def _paid(keypair, nonce, fee, amount=1):
     )
 
 
-def run_conformance(transport, scenario, config=None):
+def run_conformance(transport, scenario, config=None, node_factory=_PoolNode):
     """Boot a site server, run ``scenario(call, node)``, tear down."""
 
     async def main():
-        node = _PoolNode(config=config)
+        node = node_factory(config)
         service = SiteService(
             name="site-a", store=_DataStore(), runner=None, node=node
         )
@@ -220,6 +253,84 @@ def test_malformed_fee_bid_is_invalid_tx(transport, alice):
         assert err.value.code == -32014  # INVALID_TX, priority > max
 
     run_conformance(transport, scenario)
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_real_node_accepted_and_duplicate(transport, alice):
+    """The full node keeps the same wire contract the stub pins."""
+
+    async def scenario(call, node):
+        tx = _paid(alice, 0, fee=1)
+        reply = await submit(call, tx)
+        assert reply == {"accepted": True, "status": "accepted", "tx_id": tx.tx_id}
+        again = await submit(call, tx)
+        assert again == {"accepted": False, "status": "duplicate", "tx_id": tx.tx_id}
+
+    run_conformance(transport, scenario, node_factory=_real_node)
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_real_node_resubmission_after_overloaded_succeeds(transport, alice, bob):
+    """Regression: a tx shed as OVERLOADED must be admittable on retry.
+
+    The node used to mark every submission as seen *before* admission,
+    so the retry its own error message asked for came back as a
+    'duplicate' no-op and the tx was blackholed forever.
+    """
+
+    async def scenario(call, node):
+        for nonce in range(3):
+            await submit(call, _paid(bob, nonce, fee=10))
+        assert node.mempool.shedding
+        cheap = _paid(alice, 0, fee=0)
+        with pytest.raises(OverloadedError) as err:
+            await submit(call, cheap)
+        assert err.value.data["reason"] == "shedding"
+        # Pressure clears (blocks commit / entries drain)...
+        node.mempool.remove_all(node.mempool.all_ids())
+        assert not node.mempool.shedding
+        # ...and the very same transaction is now admitted.
+        reply = await submit(call, cheap)
+        assert reply == {
+            "accepted": True,
+            "status": "accepted",
+            "tx_id": cheap.tx_id,
+        }
+
+    run_conformance(
+        transport,
+        scenario,
+        config=MempoolConfig(max_size=10, high_watermark=0.3, low_watermark=0.2),
+        node_factory=_real_node,
+    )
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_real_node_resubmission_after_rate_limited_succeeds(transport, alice):
+    """Regression: backing off after RATE_LIMITED must actually work."""
+
+    async def scenario(call, node):
+        assert (await submit(call, _paid(alice, 0, fee=1)))["accepted"]
+        retry = _paid(alice, 1, fee=1)
+        with pytest.raises(RateLimitedError):
+            await submit(call, retry)
+        # Back off: advance the node's (simulated) clock so the sender's
+        # token bucket refills, then resubmit the identical transaction.
+        node.kernel.schedule(2.0, lambda: None)
+        node.kernel.run()
+        reply = await submit(call, retry)
+        assert reply == {
+            "accepted": True,
+            "status": "accepted",
+            "tx_id": retry.tx_id,
+        }
+
+    run_conformance(
+        transport,
+        scenario,
+        config=MempoolConfig(rate_limit_rate=1.0, rate_limit_burst=1),
+        node_factory=_real_node,
+    )
 
 
 @pytest.mark.parametrize("transport", TRANSPORTS)
