@@ -1,0 +1,371 @@
+"""E20 — Erasure-coded data availability: throughput, recovery, audits.
+
+Exercises the full ``repro.da`` stack and gates its load-bearing claims:
+
+- **coding throughput**: NumPy-vectorized vs pure-python reference
+  encode/decode MB/s over one large blob, with the two implementations
+  asserted byte-for-byte identical on every measured run;
+- **round-trip**: disperse → retrieve latency across chunk size × (k, n)
+  geometries, every reconstruction asserted bit-identical to the source;
+- **recovery**: retrieval and repair after losing exactly ``n − k`` whole
+  sites — the worst loss the code guarantees to survive — plus the loud
+  failure one further loss must produce;
+- **audit**: sampling-audit cost vs the analytic ``1 − (1 − f)^s``
+  confidence curve for s ∈ {8..128}, and a fixed-seed s=64 audit that must
+  flag a site withholding 5% of the blob's chunks (the detection gate CI
+  enforces).
+
+Timings use wall clock (this benchmark measures real coding work, not
+simulated time); all randomness is seeded so the gates are deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from itertools import combinations
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit, emit_json, format_table, human_bytes
+
+from repro.common.errors import DataAvailabilityError
+from repro.da.clients import clients_for_stores
+from repro.da.dispersal import Disperser, Repairer, Retriever
+from repro.da.erasure import default_coder
+from repro.da.gf256 import have_numpy
+from repro.da.manifest import decode_blob, encode_blob
+from repro.da.sampling import Sampler, confidence
+from repro.da.store import ChunkStore
+
+SEED = 20
+WITHHELD_FRAC = 0.05
+AUDIT_SAMPLES = 64
+AUDIT_SEEDS = 40  # seeded audits per point on the detection curve
+
+
+def _blob(size: int, salt: int = 0) -> bytes:
+    return bytes((i * 31 + (i >> 8) * 7 + salt) % 256 for i in range(size))
+
+
+# -- 1. coding throughput ----------------------------------------------------
+
+def coding_throughput(fast: bool) -> dict:
+    size = 256 * 1024 if fast else 2 * 1024 * 1024
+    k, n = 4, 6
+    rows = [_blob(size // k, salt=j) for j in range(k)]
+    kinds = ["reference", "numpy"] if have_numpy() else ["reference"]
+    out = {"rows": [], "agree": True, "size_bytes": size}
+    encoded = {}
+    for kind in kinds:
+        coder = default_coder(k, n, kind)
+        start = time.perf_counter()
+        shares = coder.encode(rows)
+        encode_s = time.perf_counter() - start
+        encoded[kind] = shares
+        held = {i: shares[i] for i in range(n - k, n)}  # force real decoding
+        start = time.perf_counter()
+        decoded = coder.decode(held)
+        decode_s = time.perf_counter() - start
+        assert decoded == rows, f"{kind} decode not bit-identical"
+        out["rows"].append(
+            {
+                "coder": kind,
+                "encode_s": encode_s,
+                "decode_s": decode_s,
+                "encode_mb_s": size / encode_s / 1e6,
+                "decode_mb_s": size / decode_s / 1e6,
+            }
+        )
+    if len(encoded) == 2:
+        out["agree"] = encoded["reference"] == encoded["numpy"]
+    if have_numpy():
+        reference = next(r for r in out["rows"] if r["coder"] == "reference")
+        vector = next(r for r in out["rows"] if r["coder"] == "numpy")
+        out["vector_speedup"] = reference["encode_s"] / vector["encode_s"]
+    return out
+
+
+# -- 2. round-trip latency across geometries ---------------------------------
+
+def round_trip(fast: bool) -> dict:
+    size = 128 * 1024 if fast else 1024 * 1024
+    blob = _blob(size, salt=3)
+    geometries = [(2, 3), (2, 4), (4, 6), (6, 9)]
+    chunk_sizes = [4 * 1024, 16 * 1024] if fast else [4 * 1024, 16 * 1024, 64 * 1024]
+    rows = []
+    for chunk_size in chunk_sizes:
+        for k, n in geometries:
+            stores = [ChunkStore(f"s{i}") for i in range(n)]
+            clients = clients_for_stores(stores)
+            start = time.perf_counter()
+            receipt = Disperser(list(clients.values())).disperse(
+                blob, k=k, n=n, chunk_size=chunk_size
+            )
+            disperse_s = time.perf_counter() - start
+            start = time.perf_counter()
+            recovered = Retriever(clients).retrieve(receipt.manifest)
+            retrieve_s = time.perf_counter() - start
+            assert recovered == blob, f"(k={k}, n={n}) round trip corrupted"
+            rows.append(
+                {
+                    "chunk_size": chunk_size,
+                    "k": k,
+                    "n": n,
+                    "stripes": receipt.manifest.stripes,
+                    "overhead": n / k,
+                    "disperse_s": disperse_s,
+                    "retrieve_s": retrieve_s,
+                }
+            )
+    return {"size_bytes": size, "rows": rows, "bit_identical": True}
+
+
+# -- 3. recovery from n - k site loss ----------------------------------------
+
+def site_loss_recovery(fast: bool) -> dict:
+    size = 96 * 1024 if fast else 512 * 1024
+    blob = _blob(size, salt=7)
+    k, n, chunk_size = 3, 5, 8 * 1024
+    out = {"k": k, "n": n, "subset_checks": 0, "rows": []}
+
+    # every k-of-n share subset reconstructs bit-identically (small blob)
+    small = _blob(8 * 1024, salt=11)
+    manifest, shares = encode_blob(small, chunk_size=1024, k=k, n=n)
+    for subset in combinations(range(n), k):
+        chunks = {
+            manifest.leaf_index(stripe, share): shares[share][stripe]
+            for stripe in range(manifest.stripes)
+            for share in subset
+        }
+        assert decode_blob(manifest, chunks) == small, f"subset {subset}"
+        out["subset_checks"] += 1
+
+    for lost_count in range(n - k + 1):
+        stores = [ChunkStore(f"s{i}") for i in range(n)]
+        clients = clients_for_stores(stores)
+        receipt = Disperser(list(clients.values())).disperse(
+            blob, k=k, n=n, chunk_size=chunk_size
+        )
+        lost_sites = [f"s{i}" for i in range(lost_count)]
+        for site in lost_sites:
+            stores[int(site[1:])].drop_blob(receipt.manifest.blob_id)
+        survivors = {
+            name: c for name, c in clients.items() if name not in lost_sites
+        }
+        start = time.perf_counter()
+        recovered = Retriever(survivors).retrieve(receipt.manifest)
+        retrieve_s = time.perf_counter() - start
+        assert recovered == blob, f"lost {lost_count} sites: corrupted"
+        start = time.perf_counter()
+        repair = Repairer(clients).repair(receipt.manifest)
+        repair_s = time.perf_counter() - start
+        assert repair.fully_repaired
+        out["rows"].append(
+            {
+                "lost_sites": lost_count,
+                "retrieve_s": retrieve_s,
+                "repair_s": repair_s,
+                "chunks_restored": repair.restored,
+                "bytes_moved": repair.bytes_moved,
+            }
+        )
+
+    # one loss beyond tolerance must fail loudly, never return garbage
+    stores = [ChunkStore(f"s{i}") for i in range(n)]
+    clients = clients_for_stores(stores)
+    receipt = Disperser(list(clients.values())).disperse(
+        blob, k=k, n=n, chunk_size=chunk_size
+    )
+    survivors = {name: c for i, (name, c) in enumerate(clients.items()) if i >= n - k + 1}
+    try:
+        Retriever(survivors).retrieve(receipt.manifest)
+        out["over_loss_fails_loudly"] = False
+    except DataAvailabilityError:
+        out["over_loss_fails_loudly"] = True
+    return out
+
+
+# -- 4. sampling-audit cost vs confidence ------------------------------------
+
+def audit_curve(fast: bool) -> dict:
+    size = 128 * 1024 if fast else 512 * 1024
+    blob = _blob(size, salt=13)
+    k, n, chunk_size = 2, 4, 1024
+    stores = [ChunkStore(f"s{i}") for i in range(n)]
+    clients = clients_for_stores(stores)
+    receipt = Disperser(list(clients.values())).disperse(
+        blob, k=k, n=n, chunk_size=chunk_size
+    )
+    manifest = receipt.manifest
+    total = manifest.leaf_count
+
+    # one site withholds WITHHELD_FRAC of the *blob's* chunks
+    withheld = max(1, int(total * WITHHELD_FRAC))
+    victim = stores[1]
+    victim.drop_chunks(
+        manifest.blob_id, victim.indices(manifest.blob_id)[:withheld]
+    )
+    actual_frac = withheld / total
+    sampler = Sampler(clients)
+
+    rows = []
+    for samples in (8, 16, 32, 64, 128):
+        detected = 0
+        challenged = 0
+        start = time.perf_counter()
+        for seed in range(AUDIT_SEEDS):
+            report = sampler.audit(manifest, samples=samples, seed=seed)
+            challenged += report.samples
+            if not report.ok:
+                detected += 1
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "samples": samples,
+                "predicted_confidence": confidence(actual_frac, samples),
+                "empirical_detection": detected / AUDIT_SEEDS,
+                "audit_cost_s": elapsed / AUDIT_SEEDS,
+                "chunks_challenged": challenged // AUDIT_SEEDS,
+            }
+        )
+
+    # THE gate: a fixed-seed s=64 audit flags the withholding site
+    gate = sampler.audit(manifest, samples=AUDIT_SAMPLES, seed=SEED)
+    return {
+        "total_chunks": total,
+        "withheld_chunks": withheld,
+        "withheld_frac": actual_frac,
+        "curve": rows,
+        "gate_flagged_sites": gate.flagged_sites,
+        "gate_detected": not gate.ok,
+    }
+
+
+# -- harness -----------------------------------------------------------------
+
+def run_experiment(fast: bool = False) -> dict:
+    return {
+        "coding": coding_throughput(fast),
+        "round_trip": round_trip(fast),
+        "recovery": site_loss_recovery(fast),
+        "audit": audit_curve(fast),
+    }
+
+
+def report(result: dict) -> dict:
+    coding = result["coding"]
+    emit(
+        "e20_da_coding",
+        format_table(
+            f"E20a coding throughput over {human_bytes(coding['size_bytes'])}"
+            " (k=4, n=6)",
+            ["coder", "encode MB/s", "decode MB/s"],
+            [
+                [r["coder"], r["encode_mb_s"], r["decode_mb_s"]]
+                for r in coding["rows"]
+            ],
+        ),
+    )
+    rt = result["round_trip"]
+    emit(
+        "e20_da_round_trip",
+        format_table(
+            f"E20b disperse/retrieve of {human_bytes(rt['size_bytes'])}",
+            ["chunk", "k", "n", "stripes", "overhead", "disperse s", "retrieve s"],
+            [
+                [
+                    human_bytes(r["chunk_size"]), r["k"], r["n"], r["stripes"],
+                    r["overhead"], r["disperse_s"], r["retrieve_s"],
+                ]
+                for r in rt["rows"]
+            ],
+        ),
+    )
+    rec = result["recovery"]
+    emit(
+        "e20_da_recovery",
+        format_table(
+            f"E20c recovery, k={rec['k']} n={rec['n']} "
+            f"({rec['subset_checks']} subsets verified)",
+            ["sites lost", "retrieve s", "repair s", "chunks restored"],
+            [
+                [r["lost_sites"], r["retrieve_s"], r["repair_s"],
+                 r["chunks_restored"]]
+                for r in rec["rows"]
+            ],
+        ),
+    )
+    audit = result["audit"]
+    emit(
+        "e20_da_audit",
+        format_table(
+            f"E20d sampling audits, {audit['withheld_chunks']}/"
+            f"{audit['total_chunks']} chunks withheld "
+            f"(f={audit['withheld_frac']:.3f})",
+            ["samples", "predicted", "empirical", "cost s/audit"],
+            [
+                [r["samples"], r["predicted_confidence"],
+                 r["empirical_detection"], r["audit_cost_s"]]
+                for r in audit["curve"]
+            ],
+        ),
+    )
+    return result
+
+
+def check(result: dict) -> None:
+    """The CI gate: reconstruction identity + withholding detection."""
+    coding = result["coding"]
+    assert coding["agree"], "NumPy and reference coders disagree"
+    assert result["round_trip"]["bit_identical"]
+    recovery = result["recovery"]
+    assert recovery["subset_checks"] == 10, recovery["subset_checks"]
+    assert recovery["over_loss_fails_loudly"], (
+        "losing more than n-k sites must raise, not return garbage"
+    )
+    for row in recovery["rows"]:
+        if row["lost_sites"]:
+            assert row["chunks_restored"] > 0, row
+    audit = result["audit"]
+    assert audit["gate_detected"], (
+        f"s={AUDIT_SAMPLES} audit missed {audit['withheld_frac']:.1%} withholding"
+    )
+    assert audit["gate_flagged_sites"] == ["s1"], audit["gate_flagged_sites"]
+    s64 = next(r for r in audit["curve"] if r["samples"] == AUDIT_SAMPLES)
+    # empirical detection within sampling noise of the analytic bound
+    assert s64["empirical_detection"] >= s64["predicted_confidence"] - 0.15, s64
+
+
+def test_e20_da(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment(fast=True), rounds=1, iterations=1
+    )
+    report(result)
+    check(result)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="smaller blobs and fewer geometries")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a {bench, params, metrics, timestamp} "
+                             "envelope to PATH")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="report without asserting the CI invariants")
+    args = parser.parse_args(argv)
+    result = report(run_experiment(fast=args.fast))
+    emit_json(args.json, "e20_da",
+              {"fast": args.fast, "seed": SEED,
+               "withheld_frac": WITHHELD_FRAC,
+               "audit_samples": AUDIT_SAMPLES,
+               "numpy": have_numpy()},
+              result)
+    if not args.no_gate:
+        check(result)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

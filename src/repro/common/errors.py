@@ -67,6 +67,10 @@ class IntegrityError(MedchainError):
     """Hash-anchored data failed its integrity check (tampering detected)."""
 
 
+class DataAvailabilityError(MedchainError):
+    """Erasure coding, dispersal, or availability audit failure (repro.da)."""
+
+
 class QueryError(MedchainError):
     """A research query could not be parsed, decomposed, or composed."""
 

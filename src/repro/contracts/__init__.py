@@ -2,6 +2,7 @@
 
 from repro.contracts.library import (
     ANALYTICS_SOURCE,
+    BLOB_REGISTRY_SOURCE,
     CLINICAL_TRIAL_SOURCE,
     COMPUTE_CONTRACT_SOURCE,
     CONTRACT_CATEGORIES,
@@ -25,6 +26,7 @@ from repro.contracts.vm import (
 
 __all__ = [
     "ANALYTICS_SOURCE",
+    "BLOB_REGISTRY_SOURCE",
     "CLINICAL_TRIAL_SOURCE",
     "COMPUTE_CONTRACT_SOURCE",
     "CONTRACT_CATEGORIES",

@@ -349,6 +349,96 @@ def optout_count(scope):
 '''
 
 
+BLOB_REGISTRY_SOURCE = '''
+"""Blob registry: on-chain commitments for erasure-coded off-chain blobs.
+
+A blob (genomic panel, imaging study) never touches the chain; the owner
+registers only its Merkle root plus coding geometry.  Auditors verify
+sampled chunks against the root, repairs are logged so custody history is
+on the ledger, and the payload custody itself lives with the n sites named
+in the placement.
+"""
+
+def register_blob(blob_id, merkle_root, size, chunk_size, k, n, stripes, placement):
+    require(not storage_has("blob/" + blob_id), "blob already registered")
+    require(size >= 0, "size must be non-negative")
+    require(chunk_size > 0, "chunk_size must be positive")
+    require(k >= 1, "k must be at least 1")
+    require(n >= k, "n must be at least k")
+    require(stripes >= 0, "stripes must be non-negative")
+    require(len(placement) == n, "placement must name one site per share")
+    entry = {
+        "blob_id": blob_id,
+        "owner": sender(),
+        "merkle_root": merkle_root,
+        "size": size,
+        "chunk_size": chunk_size,
+        "k": k,
+        "n": n,
+        "stripes": stripes,
+        "placement": placement,
+        "registered_at": block_height(),
+        "repairs": 0,
+        "last_audit": None,
+        "revoked": False,
+    }
+    storage_set("blob/" + blob_id, entry)
+    emit("BlobRegistered", {
+        "blob_id": blob_id, "merkle_root": merkle_root, "n": n, "k": k,
+    })
+    return blob_id
+
+def get_blob(blob_id):
+    return storage_get("blob/" + blob_id)
+
+def list_blobs():
+    out = []
+    for key in storage_keys("blob/"):
+        out = out + [storage_get(key)]
+    return out
+
+def report_audit(blob_id, samples, verified, flagged_sites):
+    entry = storage_get("blob/" + blob_id)
+    require(entry is not None, "unknown blob")
+    require(samples >= 0, "samples must be non-negative")
+    require(verified >= 0, "verified must be non-negative")
+    require(verified <= samples, "verified cannot exceed samples")
+    entry["last_audit"] = {
+        "auditor": sender(),
+        "samples": samples,
+        "verified": verified,
+        "flagged_sites": flagged_sites,
+        "at": block_height(),
+    }
+    storage_set("blob/" + blob_id, entry)
+    emit("BlobAudited", {
+        "blob_id": blob_id,
+        "samples": samples,
+        "verified": verified,
+        "ok": verified == samples,
+    })
+    return verified == samples
+
+def report_repair(blob_id, restored):
+    entry = storage_get("blob/" + blob_id)
+    require(entry is not None, "unknown blob")
+    require(restored >= 0, "restored must be non-negative")
+    entry["repairs"] = entry["repairs"] + 1
+    storage_set("blob/" + blob_id, entry)
+    emit("BlobRepaired", {"blob_id": blob_id, "restored": restored})
+    return entry["repairs"]
+
+def revoke_blob(blob_id):
+    entry = storage_get("blob/" + blob_id)
+    require(entry is not None, "unknown blob")
+    require(entry["owner"] == sender(), "only the owner may revoke")
+    entry["revoked"] = True
+    storage_set("blob/" + blob_id, entry)
+    emit("BlobRevoked", {"blob_id": blob_id})
+    return True
+'''
+
+
 COMPUTE_CONTRACT_SOURCE = '''
 """Deliberately compute-heavy on-chain analytic (the paper's anti-pattern).
 
@@ -434,4 +524,5 @@ CONTRACT_CATEGORIES = {
     "analytics": ANALYTICS_SOURCE,
     "clinical_trial": CLINICAL_TRIAL_SOURCE,
     "consent": PATIENT_CONSENT_SOURCE,
+    "blob": BLOB_REGISTRY_SOURCE,
 }

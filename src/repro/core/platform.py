@@ -34,11 +34,13 @@ from repro.consensus.pos import ProofOfStake
 from repro.consensus.pow import ProofOfWork
 from repro.contracts.library import (
     ANALYTICS_SOURCE,
+    BLOB_REGISTRY_SOURCE,
     CLINICAL_TRIAL_SOURCE,
     DATA_REGISTRY_SOURCE,
     PATIENT_CONSENT_SOURCE,
 )
 from repro.contracts.registry import ContractRegistry
+from repro.da.store import ChunkStore
 from repro.datamgmt.store import HospitalDataStore
 from repro.datamgmt.virtual import DatasetRef
 from repro.offchain.anchoring import DatasetAnchor
@@ -90,6 +92,7 @@ class Site:
     monitor: MonitorNode
     control: ControlNode
     exchange: ExchangeService
+    chunks: ChunkStore  # erasure-coded share custody (repro.da)
 
 
 class ParamsDepot:
@@ -208,6 +211,7 @@ class MedicalBlockchainNetwork:
             "analytics": ANALYTICS_SOURCE,
             "clinical-trial": CLINICAL_TRIAL_SOURCE,
             "patient-consent": PATIENT_CONSENT_SOURCE,
+            "blob-registry": BLOB_REGISTRY_SOURCE,
         }
         ids: Dict[str, str] = {}
         entry_node = self.nodes[self.node_names[0]]
@@ -232,6 +236,7 @@ class MedicalBlockchainNetwork:
             analytics_contract_id=ids["analytics"],
             trial_contract_id=ids["clinical-trial"],
             consent_contract_id=ids["patient-consent"],
+            blob_contract_id=ids["blob-registry"],
         )
 
     def _build_site(self, name: str) -> Site:
@@ -267,6 +272,7 @@ class MedicalBlockchainNetwork:
             monitor=monitor,
             control=control,
             exchange=exchange,
+            chunks=ChunkStore(name),
         )
 
     def _build_site_oracle(
@@ -466,6 +472,146 @@ class MedicalBlockchainNetwork:
             )
         if wait and last_tx is not None:
             self.run_until_committed(last_tx)
+
+    # -- erasure-coded blob custody (repro.da) ------------------------------
+    def da_clients(self) -> Dict[str, Any]:
+        """In-process DA clients over every site's chunk store."""
+        from repro.da.clients import LocalSiteClient
+
+        return {
+            name: LocalSiteClient(site.chunks) for name, site in self.sites.items()
+        }
+
+    def disperse_blob(
+        self,
+        owner_site: str,
+        blob: bytes,
+        *,
+        k: int,
+        n: Optional[int] = None,
+        chunk_size: int = 64 * 1024,
+        wait: bool = True,
+    ) -> Any:
+        """Erasure-code ``blob`` across the sites and anchor it on chain.
+
+        The paper's E5/E7 story extended to payloads: bytes stay off chain
+        at the custodial sites, the chain holds only the Merkle root and
+        coding geometry (the ``blob-registry`` contract).  Returns the
+        :class:`repro.da.dispersal.DispersalReceipt`.
+        """
+        from repro.da.dispersal import Disperser
+
+        clients = self.da_clients()
+        receipt = Disperser(list(clients.values())).disperse(
+            blob, k=k, n=n, chunk_size=chunk_size
+        )
+        manifest = receipt.manifest
+        site = self.sites[owner_site]
+        tx = site.control.submit_signed_call(
+            self.contracts.blob_contract_id,
+            "register_blob",
+            {
+                "blob_id": manifest.blob_id,
+                "merkle_root": manifest.root_hex,
+                "size": manifest.size,
+                "chunk_size": manifest.chunk_size,
+                "k": manifest.k,
+                "n": manifest.n,
+                "stripes": manifest.stripes,
+                "placement": list(manifest.placement),
+            },
+        )
+        if wait:
+            chain_receipt = self.run_until_committed(tx)
+            if not chain_receipt.success:
+                raise ChainError(f"blob registration failed: {chain_receipt.error}")
+        return receipt
+
+    def retrieve_blob(self, blob_id: str) -> bytes:
+        """Reconstruct a registered blob from any k live share columns."""
+        from repro.da.dispersal import Retriever
+        from repro.da.manifest import BlobManifest
+
+        entry = self.blob_entry(blob_id)
+        manifest = BlobManifest.from_wire(
+            {**entry, "root": entry["merkle_root"]}
+        )
+        return Retriever(self.da_clients()).retrieve(manifest)
+
+    def blob_entry(self, blob_id: str) -> Dict[str, Any]:
+        """One blob's on-chain commitment entry."""
+        node = self.nodes[self.node_names[0]]
+        entry = node.call_view(
+            self.contracts.blob_contract_id, "get_blob", {"blob_id": blob_id}
+        )
+        if entry is None:
+            raise ChainError(f"blob {blob_id[:12]} is not registered on chain")
+        return entry
+
+    def blob_catalog(self) -> List[Dict[str, Any]]:
+        """Every registered blob commitment, read from the chain."""
+        node = self.nodes[self.node_names[0]]
+        entries = node.call_view(self.contracts.blob_contract_id, "list_blobs")
+        return [entry for entry in entries or [] if not entry.get("revoked")]
+
+    def audit_blob(
+        self,
+        auditor_site: str,
+        blob_id: str,
+        samples: int = 64,
+        seed: Optional[int] = None,
+        wait: bool = True,
+    ) -> Any:
+        """Run a sampling audit and post its outcome on chain."""
+        from repro.da.manifest import BlobManifest
+        from repro.da.sampling import Sampler
+
+        entry = self.blob_entry(blob_id)
+        manifest = BlobManifest.from_wire({**entry, "root": entry["merkle_root"]})
+        report = Sampler(
+            self.da_clients(), seed=self.config.seed if seed is None else seed
+        ).audit(manifest, samples=samples)
+        site = self.sites[auditor_site]
+        tx = site.control.submit_signed_call(
+            self.contracts.blob_contract_id,
+            "report_audit",
+            {
+                "blob_id": blob_id,
+                "samples": report.samples,
+                "verified": report.verified,
+                "flagged_sites": report.flagged_sites,
+            },
+        )
+        if wait:
+            chain_receipt = self.run_until_committed(tx)
+            if not chain_receipt.success:
+                raise ChainError(f"audit report failed: {chain_receipt.error}")
+        return report
+
+    def repair_blob(
+        self, reporter_site: str, blob_id: str, wait: bool = True
+    ) -> Any:
+        """Reconstruct and re-disperse a blob's missing shares, log on chain."""
+        from repro.da.dispersal import Repairer
+        from repro.da.manifest import BlobManifest
+
+        entry = self.blob_entry(blob_id)
+        manifest = BlobManifest.from_wire({**entry, "root": entry["merkle_root"]})
+        report = Repairer(self.da_clients()).repair(manifest)
+        if report.missing_before:
+            site = self.sites[reporter_site]
+            tx = site.control.submit_signed_call(
+                self.contracts.blob_contract_id,
+                "report_repair",
+                {"blob_id": blob_id, "restored": report.restored},
+            )
+            if wait:
+                chain_receipt = self.run_until_committed(tx)
+                if not chain_receipt.success:
+                    raise ChainError(
+                        f"repair report failed: {chain_receipt.error}"
+                    )
+        return report
 
     def total_energy_joules(self) -> float:
         return self.metrics.total_energy_joules()

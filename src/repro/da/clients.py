@@ -1,0 +1,120 @@
+"""Transport-interchangeable clients for a site's DA surface.
+
+The dispersal, repair, and sampling engines speak to sites through the
+three-method :class:`SiteClient` protocol — ``put_chunk`` / ``get_chunk`` /
+``sample`` — mirroring the PR 4 gateway split:
+
+- :class:`LocalSiteClient` binds a :class:`~repro.da.store.ChunkStore`
+  in-process (simulation, tests, single-box benchmarks);
+- :class:`RpcSiteClient` drives the same surface over any object with a
+  ``call(method, params)`` method (an :class:`repro.rpc.client.RpcClient`,
+  a :class:`~repro.rpc.client.ConnectionPool`, or an inproc dispatcher), so
+  the engines never know which transport carried the chunk.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Protocol, Tuple
+
+from repro.common.errors import DataAvailabilityError
+from repro.common.merkle import MerkleProof
+from repro.da.manifest import proof_from_wire, proof_to_wire
+from repro.da.store import ChunkStore
+
+
+class SiteClient(Protocol):
+    """What the DA engines need from one site."""
+
+    name: str
+
+    def put_chunk(
+        self, blob_id: str, root_hex: str, index: int, data: bytes, proof: MerkleProof
+    ) -> bool:
+        """Store one verified chunk; True when newly stored."""
+
+    def get_chunk(self, blob_id: str, index: int) -> Tuple[bytes, MerkleProof]:
+        """Fetch one held chunk with its proof; raises when not held."""
+
+    def sample(
+        self, blob_id: str, indices: Iterable[int]
+    ) -> List[Optional[Tuple[bytes, MerkleProof]]]:
+        """Audit read: (chunk, proof) per index, None where missing."""
+
+
+class LocalSiteClient:
+    """In-process client over a site's own :class:`ChunkStore`."""
+
+    def __init__(self, store: ChunkStore, name: Optional[str] = None):
+        self.store = store
+        self.name = name or store.site
+
+    def put_chunk(
+        self, blob_id: str, root_hex: str, index: int, data: bytes, proof: MerkleProof
+    ) -> bool:
+        return self.store.put_chunk(blob_id, root_hex, index, data, proof)
+
+    def get_chunk(self, blob_id: str, index: int) -> Tuple[bytes, MerkleProof]:
+        chunk = self.store.get_chunk(blob_id, index)
+        return chunk.data, chunk.proof
+
+    def sample(
+        self, blob_id: str, indices: Iterable[int]
+    ) -> List[Optional[Tuple[bytes, MerkleProof]]]:
+        return [
+            (chunk.data, chunk.proof) if chunk is not None else None
+            for chunk in self.store.sample(blob_id, indices)
+        ]
+
+
+class RpcSiteClient:
+    """Client over the ``da.*`` JSON-RPC methods of a remote site server."""
+
+    def __init__(self, caller: Any, name: str):
+        if not hasattr(caller, "call"):
+            raise DataAvailabilityError(
+                "RpcSiteClient needs an object with call(method, params)"
+            )
+        self._caller = caller
+        self.name = name
+
+    def put_chunk(
+        self, blob_id: str, root_hex: str, index: int, data: bytes, proof: MerkleProof
+    ) -> bool:
+        result = self._caller.call(
+            "da.put_chunk",
+            {
+                "blob_id": blob_id,
+                "root": root_hex,
+                "index": index,
+                "data": data.hex(),
+                "proof": proof_to_wire(proof),
+            },
+        )
+        return bool(result.get("stored"))
+
+    def get_chunk(self, blob_id: str, index: int) -> Tuple[bytes, MerkleProof]:
+        result = self._caller.call(
+            "da.get_chunk", {"blob_id": blob_id, "index": index}
+        )
+        return bytes.fromhex(result["data"]), proof_from_wire(result["proof"])
+
+    def sample(
+        self, blob_id: str, indices: Iterable[int]
+    ) -> List[Optional[Tuple[bytes, MerkleProof]]]:
+        result = self._caller.call(
+            "da.sample", {"blob_id": blob_id, "indices": list(indices)}
+        )
+        out: List[Optional[Tuple[bytes, MerkleProof]]] = []
+        for entry in result["chunks"]:
+            if entry is None:
+                out.append(None)
+            else:
+                out.append(
+                    (bytes.fromhex(entry["data"]), proof_from_wire(entry["proof"]))
+                )
+        return out
+
+
+def clients_for_stores(stores: Iterable[ChunkStore]) -> Dict[str, LocalSiteClient]:
+    """Name-keyed local clients for a fleet of in-process stores."""
+    return {store.site: LocalSiteClient(store) for store in stores}

@@ -1,0 +1,165 @@
+"""GF(2^8) arithmetic for the Reed–Solomon erasure coder.
+
+The field is GF(256) with the conventional Reed–Solomon reduction
+polynomial ``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D) and generator 2.  All
+products go through exp/log tables built once at import — multiplication is
+two lookups and an addition mod 255, which keeps the pure-python reference
+coder honest, and the same tables flatten into the 256x256 NumPy product
+table the vectorized coder indexes with whole chunk arrays at once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.common.errors import DataAvailabilityError
+
+try:  # Vectorized path is optional; the reference coder needs nothing.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
+FIELD_SIZE = 256
+_POLY = 0x11D
+
+# exp table is doubled so gf_mul can skip the mod-255 on the exponent sum.
+GF_EXP: List[int] = [0] * (2 * FIELD_SIZE)
+GF_LOG: List[int] = [0] * FIELD_SIZE
+
+
+def _build_tables() -> None:
+    value = 1
+    for power in range(FIELD_SIZE - 1):
+        GF_EXP[power] = value
+        GF_LOG[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= _POLY
+    for power in range(FIELD_SIZE - 1, 2 * FIELD_SIZE):
+        GF_EXP[power] = GF_EXP[power - (FIELD_SIZE - 1)]
+
+
+_build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Field product of two bytes."""
+    if a == 0 or b == 0:
+        return 0
+    return GF_EXP[GF_LOG[a] + GF_LOG[b]]
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse; 0 has none."""
+    if a == 0:
+        raise DataAvailabilityError("0 has no inverse in GF(256)")
+    return GF_EXP[(FIELD_SIZE - 1) - GF_LOG[a]]
+
+
+def gf_div(a: int, b: int) -> int:
+    """Field quotient ``a / b``."""
+    if b == 0:
+        raise DataAvailabilityError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return GF_EXP[GF_LOG[a] - GF_LOG[b] + (FIELD_SIZE - 1)]
+
+
+def gf_mul_bytes(coeff: int, data: bytes) -> bytes:
+    """Scale a byte vector by ``coeff`` (pure-python reference path)."""
+    if coeff == 0:
+        return bytes(len(data))
+    if coeff == 1:
+        return bytes(data)
+    shift = GF_LOG[coeff]
+    exp, log = GF_EXP, GF_LOG
+    return bytes(0 if b == 0 else exp[shift + log[b]] for b in data)
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """Byte-wise XOR of two equal-length vectors."""
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+# -- matrices (row-major lists of byte lists) -------------------------------
+
+def gf_mat_vec(matrix: Sequence[Sequence[int]], rows: Sequence[bytes]) -> List[bytes]:
+    """Multiply a coefficient matrix by a stack of byte-vector rows."""
+    out: List[bytes] = []
+    for coeffs in matrix:
+        acc = bytes(len(rows[0]) if rows else 0)
+        for coeff, row in zip(coeffs, rows):
+            if coeff:
+                acc = xor_bytes(acc, gf_mul_bytes(coeff, row))
+        out.append(acc)
+    return out
+
+
+def gf_mat_inv(matrix: Sequence[Sequence[int]]) -> List[List[int]]:
+    """Invert a square matrix over GF(256) by Gauss–Jordan elimination."""
+    size = len(matrix)
+    work = [list(row) + [1 if i == j else 0 for j in range(size)]
+            for i, row in enumerate(matrix)]
+    if any(len(row) != 2 * size for row in work):
+        raise DataAvailabilityError("matrix must be square")
+    for col in range(size):
+        pivot = next((r for r in range(col, size) if work[r][col]), None)
+        if pivot is None:
+            raise DataAvailabilityError("matrix is singular over GF(256)")
+        work[col], work[pivot] = work[pivot], work[col]
+        inv = gf_inv(work[col][col])
+        work[col] = [gf_mul(inv, value) for value in work[col]]
+        for row in range(size):
+            if row != col and work[row][col]:
+                factor = work[row][col]
+                work[row] = [
+                    value ^ gf_mul(factor, work[col][index])
+                    for index, value in enumerate(work[row])
+                ]
+    return [row[size:] for row in work]
+
+
+def cauchy_matrix(k: int, m: int) -> List[List[int]]:
+    """An ``m x k`` Cauchy matrix whose every square submatrix is invertible.
+
+    Rows use ``x_i = k + i`` and columns ``y_j = j`` (disjoint sets, so the
+    GF-sum ``x_i ^ y_j`` is never zero).  Stacked under the identity it
+    forms the systematic generator matrix: *any* k rows of ``[I; C]`` are
+    invertible, which is exactly the any-k-of-n reconstruction guarantee.
+    """
+    if k + m > FIELD_SIZE:
+        raise DataAvailabilityError(
+            f"k + parity rows must stay within GF(256): {k}+{m} > {FIELD_SIZE}"
+        )
+    return [[gf_inv((k + i) ^ j) for j in range(k)] for i in range(m)]
+
+
+# -- vectorized tables -------------------------------------------------------
+
+_MUL_TABLE = None
+
+
+def have_numpy() -> bool:
+    """True when the NumPy-vectorized coder can run in this interpreter."""
+    return _np is not None
+
+
+def mul_table():
+    """The full 256x256 GF product table as a ``uint8`` ndarray.
+
+    ``mul_table()[coeff][chunk_array]`` scales a whole chunk by one
+    coefficient in a single fancy-indexing pass — the inner loop of the
+    vectorized encoder.  Built lazily (64 KiB) and cached.
+    """
+    global _MUL_TABLE
+    if _np is None:
+        raise DataAvailabilityError("numpy is not available; use the reference coder")
+    if _MUL_TABLE is None:
+        table = _np.zeros((FIELD_SIZE, FIELD_SIZE), dtype=_np.uint8)
+        exp = _np.array(GF_EXP, dtype=_np.uint16)
+        log = _np.array(GF_LOG, dtype=_np.uint16)
+        nonzero = _np.arange(1, FIELD_SIZE)
+        for coeff in range(1, FIELD_SIZE):
+            table[coeff, nonzero] = exp[GF_LOG[coeff] + log[nonzero]]
+        _MUL_TABLE = table
+    return _MUL_TABLE

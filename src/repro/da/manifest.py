@@ -1,0 +1,345 @@
+"""Blob chunking and the on-chain-committable manifest.
+
+A blob is padded to whole stripes of ``k`` chunks, each stripe is coded
+into ``n`` share chunks, and every share chunk becomes one Merkle leaf:
+
+    leaf_index = stripe * n + share_index
+
+Share ``j`` of every stripe lives at the same site (one share *column* per
+site), so losing a site removes exactly one share per stripe — the k-of-n
+guarantee then covers losing up to ``n - k`` whole sites.  The Merkle root
+over all leaves is the blob's on-chain commitment (the ``blob-registry``
+contract stores root + geometry, never payload bytes), and every chunk a
+site holds is verifiable against that root with a standard
+:class:`~repro.common.merkle.MerkleProof`.
+
+Only the root and geometry go on chain; the leaf list travels with the
+manifest off chain (it is ``32 * stripes * n`` bytes — itself re-derivable
+from any full copy of the blob).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import DataAvailabilityError, IntegrityError
+from repro.common.hashing import hash_leaves_batch, sha256, sha256_hex
+from repro.common.merkle import MerkleProof, MerkleTree
+from repro.common.serialize import canonical_bytes, from_json
+from repro.da.erasure import default_coder
+from repro.obs.tracer import trace_span
+from repro.sim.metrics import current_metrics
+
+DEFAULT_CHUNK_SIZE = 64 * 1024
+
+
+@dataclass
+class BlobManifest:
+    """Commitment and geometry of one erasure-coded blob."""
+
+    blob_id: str  # sha256 of the original (unpadded) payload
+    size: int  # original payload length in bytes
+    chunk_size: int
+    k: int
+    n: int
+    stripes: int
+    root_hex: str
+    leaves: List[bytes] = field(repr=False, default_factory=list)
+    placement: List[str] = field(default_factory=list)  # site per share index
+    _tree: Optional[MerkleTree] = field(default=None, repr=False, compare=False)
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def leaf_count(self) -> int:
+        return self.stripes * self.n
+
+    def stripe_of(self, leaf_index: int) -> int:
+        return leaf_index // self.n
+
+    def share_of(self, leaf_index: int) -> int:
+        return leaf_index % self.n
+
+    def leaf_index(self, stripe: int, share: int) -> int:
+        if not (0 <= stripe < self.stripes and 0 <= share < self.n):
+            raise DataAvailabilityError(
+                f"(stripe={stripe}, share={share}) outside "
+                f"{self.stripes}x{self.n} geometry"
+            )
+        return stripe * self.n + share
+
+    def site_for(self, leaf_index: int) -> str:
+        """The site assigned to the share column this leaf belongs to."""
+        if not self.placement:
+            raise DataAvailabilityError("manifest has no placement recorded")
+        return self.placement[self.share_of(leaf_index)]
+
+    # -- commitments -------------------------------------------------------
+    def tree(self) -> MerkleTree:
+        if self._tree is None:
+            if len(self.leaves) != self.leaf_count:
+                raise DataAvailabilityError(
+                    f"manifest holds {len(self.leaves)} leaves, geometry "
+                    f"implies {self.leaf_count}"
+                )
+            self._tree = MerkleTree(self.leaves)
+            if self._tree.root.hex() != self.root_hex:
+                raise IntegrityError(
+                    f"manifest leaves do not reproduce root {self.root_hex[:12]}"
+                )
+        return self._tree
+
+    def proof(self, leaf_index: int) -> MerkleProof:
+        return self.tree().proof(leaf_index)
+
+    def verify_chunk(self, leaf_index: int, chunk: bytes) -> bool:
+        """Does ``chunk`` match the committed digest at ``leaf_index``?
+
+        Needs the leaf list; for a root-only manifest (rebuilt from the
+        chain entry) use :meth:`chunk_valid` with the site's proof instead.
+        """
+        if not 0 <= leaf_index < self.leaf_count:
+            return False
+        if not self.leaves:
+            raise DataAvailabilityError(
+                "manifest carries no leaves; verify chunks via chunk_valid()"
+            )
+        return sha256(chunk) == self.leaves[leaf_index]
+
+    def chunk_valid(
+        self, leaf_index: int, chunk: bytes, proof: Optional[MerkleProof] = None
+    ) -> bool:
+        """Verify a chunk with whatever commitment material is at hand.
+
+        With leaves held, the committed digest decides.  Without them, the
+        site-supplied proof must carry the chunk's digest to the on-chain
+        root — exactly what an auditor holding only the chain entry checks.
+        """
+        if not 0 <= leaf_index < self.leaf_count:
+            return False
+        if self.leaves:
+            return sha256(chunk) == self.leaves[leaf_index]
+        if proof is None:
+            return False
+        return (
+            proof.index == leaf_index
+            and proof.leaf == sha256(chunk)
+            and proof.root().hex() == self.root_hex
+        )
+
+    # -- wire --------------------------------------------------------------
+    def to_wire(self, include_leaves: bool = True) -> Dict[str, Any]:
+        wire: Dict[str, Any] = {
+            "blob_id": self.blob_id,
+            "size": self.size,
+            "chunk_size": self.chunk_size,
+            "k": self.k,
+            "n": self.n,
+            "stripes": self.stripes,
+            "root": self.root_hex,
+            "placement": list(self.placement),
+        }
+        if include_leaves:
+            wire["leaves"] = [leaf.hex() for leaf in self.leaves]
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Mapping[str, Any]) -> "BlobManifest":
+        try:
+            return cls(
+                blob_id=str(wire["blob_id"]),
+                size=int(wire["size"]),
+                chunk_size=int(wire["chunk_size"]),
+                k=int(wire["k"]),
+                n=int(wire["n"]),
+                stripes=int(wire["stripes"]),
+                root_hex=str(wire["root"]),
+                leaves=[bytes.fromhex(leaf) for leaf in wire.get("leaves", [])],
+                placement=[str(site) for site in wire.get("placement", [])],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataAvailabilityError(f"malformed manifest wire: {exc}") from exc
+
+    def chain_entry(self) -> Dict[str, Any]:
+        """The light-weight commitment registered on chain (no leaves)."""
+        return self.to_wire(include_leaves=False)
+
+
+# -- Merkle proof wire helpers ----------------------------------------------
+
+def proof_to_wire(proof: MerkleProof) -> Dict[str, Any]:
+    return {
+        "leaf": proof.leaf.hex(),
+        "index": proof.index,
+        "path": [sibling.hex() for sibling in proof.path],
+    }
+
+
+def proof_from_wire(wire: Mapping[str, Any]) -> MerkleProof:
+    try:
+        return MerkleProof(
+            leaf=bytes.fromhex(wire["leaf"]),
+            index=int(wire["index"]),
+            path=[bytes.fromhex(sibling) for sibling in wire["path"]],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataAvailabilityError(f"malformed proof wire: {exc}") from exc
+
+
+# -- encode / decode ---------------------------------------------------------
+
+def _padded(blob: bytes, chunk_size: int, k: int) -> Tuple[bytes, int]:
+    stripe_bytes = chunk_size * k
+    stripes = (len(blob) + stripe_bytes - 1) // stripe_bytes if blob else 0
+    padded = blob + bytes(stripes * stripe_bytes - len(blob))
+    return padded, stripes
+
+
+def encode_blob(
+    blob: bytes,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    k: int,
+    n: int,
+    coder: Any = None,
+    placement: Optional[Sequence[str]] = None,
+) -> Tuple[BlobManifest, List[List[bytes]]]:
+    """Chunk, stripe, and erasure-code ``blob``.
+
+    Returns the manifest and the share columns: ``shares[j]`` is the list of
+    ``stripes`` chunks destined for the site holding share index ``j``.
+    """
+    if chunk_size <= 0:
+        raise DataAvailabilityError("chunk_size must be positive")
+    coder = coder if coder is not None else default_coder(k, n)
+    if (coder.params.k, coder.params.n) != (k, n):
+        raise DataAvailabilityError(
+            f"coder is shaped {coder.params}, caller asked for (k={k}, n={n})"
+        )
+    if placement is not None and len(placement) != n:
+        raise DataAvailabilityError(
+            f"placement names {len(placement)} sites for n={n} shares"
+        )
+    with trace_span(
+        "da_encode", size=len(blob), chunk_size=chunk_size, k=k, n=n
+    ) as span:
+        padded, stripes = _padded(blob, chunk_size, k)
+        data_rows = [
+            b"".join(
+                padded[(s * k + j) * chunk_size:(s * k + j + 1) * chunk_size]
+                for s in range(stripes)
+            )
+            for j in range(k)
+        ]
+        share_rows = coder.encode(data_rows)
+        shares = [
+            [row[s * chunk_size:(s + 1) * chunk_size] for s in range(stripes)]
+            for row in share_rows
+        ]
+        # Leaf order is stripe-major: stripe s contributes its n share
+        # chunks before stripe s+1 contributes any.
+        leaves = hash_leaves_batch(
+            shares[share][stripe]
+            for stripe in range(stripes)
+            for share in range(n)
+        )
+        tree = MerkleTree(leaves)
+        manifest = BlobManifest(
+            blob_id=sha256_hex(blob),
+            size=len(blob),
+            chunk_size=chunk_size,
+            k=k,
+            n=n,
+            stripes=stripes,
+            root_hex=tree.root.hex(),
+            leaves=leaves,
+            placement=list(placement or []),
+            _tree=tree,
+        )
+        span.set_attrs(stripes=stripes, coder=getattr(coder, "name", "?"))
+    metrics = current_metrics()
+    metrics.add("da_blobs_encoded")
+    metrics.add("da_chunks_encoded", stripes * n)
+    metrics.add_bytes(stripes * n * chunk_size, scope="da.encode")
+    return manifest, shares
+
+
+def decode_blob(
+    manifest: BlobManifest,
+    chunks: Mapping[int, bytes],
+    *,
+    coder: Any = None,
+    verify: bool = True,
+) -> bytes:
+    """Reconstruct the original payload from share chunks by leaf index.
+
+    Accepts any mix of data and parity chunks; every stripe needs at least
+    ``k`` of its ``n`` chunks present (and digest-valid when ``verify``).
+    Stripes sharing an availability pattern decode in one vectorized pass.
+    """
+    k, n, chunk_size = manifest.k, manifest.n, manifest.chunk_size
+    coder = coder if coder is not None else default_coder(k, n)
+    if verify and manifest.leaves:
+        bad = [
+            index
+            for index, chunk in chunks.items()
+            if not manifest.verify_chunk(index, chunk)
+        ]
+        if bad:
+            raise IntegrityError(
+                f"blob {manifest.blob_id[:12]}: {len(bad)} chunks fail their "
+                f"committed digests (first: leaf {min(bad)})"
+            )
+    by_stripe: Dict[int, Dict[int, bytes]] = {}
+    for index, chunk in chunks.items():
+        by_stripe.setdefault(manifest.stripe_of(index), {})[
+            manifest.share_of(index)
+        ] = chunk
+    # Group stripes by their chosen k-share selection so each distinct
+    # availability pattern costs one matrix inversion + one row combine.
+    groups: Dict[Tuple[int, ...], List[int]] = {}
+    for stripe in range(manifest.stripes):
+        held = sorted(by_stripe.get(stripe, {}))
+        if len(held) < k:
+            raise DataAvailabilityError(
+                f"blob {manifest.blob_id[:12]} stripe {stripe}: "
+                f"{len(held)} of n={n} chunks held, k={k} required"
+            )
+        groups.setdefault(tuple(held[:k]), []).append(stripe)
+    data_chunks: Dict[int, List[bytes]] = {}
+    for selection, stripe_list in groups.items():
+        rows = {
+            share: b"".join(by_stripe[s][share] for s in stripe_list)
+            for share in selection
+        }
+        decoded = coder.decode(rows)
+        for offset, stripe in enumerate(stripe_list):
+            data_chunks[stripe] = [
+                row[offset * chunk_size:(offset + 1) * chunk_size]
+                for row in decoded
+            ]
+    payload = b"".join(
+        chunk for stripe in range(manifest.stripes) for chunk in data_chunks[stripe]
+    )[: manifest.size]
+    if verify and sha256_hex(payload) != manifest.blob_id:
+        raise IntegrityError(
+            f"reconstructed payload does not hash to blob id "
+            f"{manifest.blob_id[:12]}"
+        )
+    current_metrics().add("da_blobs_decoded")
+    return payload
+
+
+# -- datamgmt integration ----------------------------------------------------
+
+def records_blob(records: Sequence[Dict[str, Any]]) -> bytes:
+    """Canonical byte serialization of a record set, ready to disperse."""
+    return canonical_bytes(list(records), allow_float=True)
+
+
+def records_from_blob(blob: bytes) -> List[Dict[str, Any]]:
+    """Inverse of :func:`records_blob`."""
+    value = from_json(blob.decode("utf-8"))
+    if not isinstance(value, list):
+        raise DataAvailabilityError("blob does not decode to a record list")
+    return value

@@ -1,0 +1,174 @@
+"""Random-sampling availability audits with Merkle-verified responses.
+
+An auditor holding only the blob's on-chain commitment (root + geometry)
+draws ``s`` leaf indices uniformly at random — independently, with
+replacement — and challenges the site assigned to each sampled share
+column.  A site answers from its :class:`~repro.da.store.ChunkStore` with
+chunk + stored proof; the auditor accepts a sample only when the chunk
+hashes to the proof's leaf and the proof reaches the committed root.
+
+The detection math is the standard data-availability-sampling bound: if a
+fraction ``f`` of the blob's chunks is withheld or corrupt, the probability
+that every one of ``s`` independent uniform samples misses the damage is
+``(1 - f) ** s`` — so ``confidence(f, s) = 1 - (1 - f) ** s`` of catching
+it.  At ``f = 5%``, 64 samples already detect with ~96.3% per audit, and
+independently-seeded re-audits compound the bound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.common.errors import DataAvailabilityError, MedchainError
+from repro.da.manifest import BlobManifest
+from repro.obs.tracer import trace_span
+from repro.sim.metrics import current_metrics
+
+
+def miss_probability(loss_frac: float, samples: int) -> float:
+    """P(an audit of ``samples`` draws sees no damage | ``loss_frac`` lost)."""
+    if not 0.0 <= loss_frac <= 1.0:
+        raise DataAvailabilityError("loss_frac must be within [0, 1]")
+    if samples < 0:
+        raise DataAvailabilityError("sample count must be non-negative")
+    return (1.0 - loss_frac) ** samples
+
+def confidence(loss_frac: float, samples: int) -> float:
+    """P(an audit of ``samples`` draws detects ``loss_frac`` damage)."""
+    return 1.0 - miss_probability(loss_frac, samples)
+
+
+@dataclass
+class SampleFailure:
+    """One sampled index that did not verify."""
+
+    index: int
+    site: str
+    reason: str  # "missing" | "invalid" | "site_error" | "unplaced"
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one sampling audit."""
+
+    blob_id: str
+    samples: int
+    verified: int
+    failures: List[SampleFailure] = field(default_factory=list)
+    per_site: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Every sampled chunk was produced and verified."""
+        return not self.failures
+
+    @property
+    def flagged_sites(self) -> List[str]:
+        """Sites with at least one failed sample."""
+        return sorted({failure.site for failure in self.failures})
+
+    def miss_probability(self, loss_frac: float) -> float:
+        """Chance this audit's sample count would miss ``loss_frac`` damage."""
+        return miss_probability(loss_frac, self.samples)
+
+    def confidence(self, loss_frac: float) -> float:
+        """Detection confidence of this audit against ``loss_frac`` damage."""
+        return confidence(loss_frac, self.samples)
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "blob_id": self.blob_id,
+            "samples": self.samples,
+            "verified": self.verified,
+            "ok": self.ok,
+            "flagged_sites": self.flagged_sites,
+            "failures": [
+                {"index": f.index, "site": f.site, "reason": f.reason}
+                for f in self.failures
+            ],
+            "per_site": {site: dict(stats) for site, stats in self.per_site.items()},
+        }
+
+
+class Sampler:
+    """Runs seeded random-sampling audits against a fleet of sites."""
+
+    def __init__(self, clients: Mapping[str, Any], *, seed: int = 0):
+        self.clients = dict(clients)
+        self.seed = seed
+
+    def draw(
+        self, manifest: BlobManifest, samples: int, seed: Optional[int] = None
+    ) -> List[int]:
+        """The audit's challenge set: uniform, independent, with replacement."""
+        if manifest.leaf_count == 0:
+            return []
+        rng = random.Random(self.seed if seed is None else seed)
+        return [rng.randrange(manifest.leaf_count) for _ in range(samples)]
+
+    def audit(
+        self,
+        manifest: BlobManifest,
+        samples: int = 64,
+        seed: Optional[int] = None,
+    ) -> AuditReport:
+        """Challenge ``samples`` random chunks and verify every response."""
+        indices = self.draw(manifest, samples, seed)
+        report = AuditReport(
+            blob_id=manifest.blob_id, samples=len(indices), verified=0
+        )
+        by_site: Dict[str, List[int]] = {}
+        with trace_span(
+            "da_sample_audit", blob_id=manifest.blob_id[:12], samples=len(indices)
+        ) as span:
+            for index in indices:
+                by_site.setdefault(manifest.site_for(index), []).append(index)
+            for site, site_indices in sorted(by_site.items()):
+                stats = report.per_site.setdefault(
+                    site, {"sampled": 0, "ok": 0, "missing": 0, "invalid": 0}
+                )
+                stats["sampled"] += len(site_indices)
+                for index, outcome in self._challenge(
+                    manifest, site, site_indices
+                ):
+                    if outcome is None:
+                        report.verified += 1
+                        stats["ok"] += 1
+                    else:
+                        report.failures.append(
+                            SampleFailure(index=index, site=site, reason=outcome)
+                        )
+                        stats["invalid" if outcome == "invalid" else "missing"] += 1
+            span.set_attrs(
+                verified=report.verified, failures=len(report.failures),
+                flagged=len(report.flagged_sites),
+            )
+        metrics = current_metrics()
+        metrics.add("da_audit_samples", report.samples)
+        metrics.add("da_audit_failures", len(report.failures))
+        if not report.ok:
+            metrics.add("da_audits_flagged")
+        return report
+
+    def _challenge(
+        self, manifest: BlobManifest, site: str, indices: List[int]
+    ) -> List[Tuple[int, Optional[str]]]:
+        """(index, None | failure reason) for one site's challenge batch."""
+        client = self.clients.get(site)
+        if client is None:
+            return [(index, "unplaced") for index in indices]
+        try:
+            responses = client.sample(manifest.blob_id, indices)
+        except MedchainError:
+            return [(index, "site_error") for index in indices]
+        out: List[Tuple[int, Optional[str]]] = []
+        for index, response in zip(indices, responses):
+            if response is None:
+                out.append((index, "missing"))
+            elif manifest.chunk_valid(index, response[0], response[1]):
+                out.append((index, None))
+            else:
+                out.append((index, "invalid"))
+        return out

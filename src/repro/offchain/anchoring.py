@@ -13,13 +13,21 @@ from dataclasses import dataclass
 from typing import Any, Dict, Sequence
 
 from repro.common.errors import IntegrityError
-from repro.common.hashing import hash_value
+from repro.common.hashing import hash_leaves_batch, hash_value
 from repro.common.merkle import MerkleProof, MerkleTree
+from repro.common.serialize import canonical_bytes
 
 
 def record_leaf(record: Dict[str, Any]) -> bytes:
     """Canonical digest of one record (floats allowed in medical values)."""
     return hash_value(record, allow_float=True)
+
+
+def record_leaves(records: Sequence[Dict[str, Any]]) -> "list[bytes]":
+    """Leaf digests for a whole record list in one batched pass."""
+    return hash_leaves_batch(
+        canonical_bytes(record, allow_float=True) for record in records
+    )
 
 
 @dataclass
@@ -32,7 +40,7 @@ class DatasetAnchor:
 
     @classmethod
     def build(cls, records: Sequence[Dict[str, Any]]) -> "DatasetAnchor":
-        tree = MerkleTree([record_leaf(record) for record in records])
+        tree = MerkleTree(record_leaves(records))
         return cls(root_hex=tree.root.hex(), record_count=len(records), tree=tree)
 
     def proof_for(self, index: int) -> MerkleProof:
@@ -40,7 +48,16 @@ class DatasetAnchor:
 
     def verify_record(self, record: Dict[str, Any], index: int) -> bool:
         """Check one record against the anchor without the full data set."""
-        proof = self.tree.proof(index)
+        return self.verify_record_with_proof(record, self.tree.proof(index))
+
+    def verify_record_with_proof(
+        self, record: Dict[str, Any], proof: MerkleProof
+    ) -> bool:
+        """Check a record against a proof the caller already holds.
+
+        Avoids rebuilding the proof path when the verifier received one
+        alongside the record (the shape ``da`` chunk audits also use).
+        """
         return proof.leaf == record_leaf(record) and proof.verify(self.tree.root)
 
 

@@ -38,6 +38,7 @@ class PlatformContracts:
     analytics_contract_id: str
     trial_contract_id: str
     consent_contract_id: str = ""  # optional patient-consent extension
+    blob_contract_id: str = ""  # optional erasure-coded blob registry (repro.da)
 
 
 class NonceTracker:

@@ -16,6 +16,7 @@ from typing import Any, Dict, Optional, Type
 from repro.common.errors import (
     AccessDeniedError,
     ChainError,
+    DataAvailabilityError,
     MedchainError,
     OracleError,
     QueryError,
@@ -43,6 +44,7 @@ INVALID_TX = -32014
 TX_UNDERPRICED = -32015   # fee below the mempool's admission floor
 RATE_LIMITED = -32016     # sender exceeded its mempool admission budget
 STALE_NONCE = -32017      # tx nonce already consumed by committed state
+DA_UNAVAILABLE = -32018   # chunk/blob not held or failed availability checks
 
 
 class RpcError(MedchainError):
@@ -165,6 +167,11 @@ class StaleNonceError(RpcError):
     default_message = "transaction nonce already consumed"
 
 
+class DaUnavailableError(RpcError):
+    code = DA_UNAVAILABLE
+    default_message = "chunk or blob unavailable at this site"
+
+
 _CODE_TO_CLASS: Dict[int, Type[RpcError]] = {
     cls.code: cls
     for cls in (
@@ -186,6 +193,7 @@ _CODE_TO_CLASS: Dict[int, Type[RpcError]] = {
         TxUnderpricedError,
         RateLimitedError,
         StaleNonceError,
+        DaUnavailableError,
     )
 }
 
@@ -222,6 +230,8 @@ def to_rpc_error(exc: BaseException) -> RpcError:
         return RemoteQueryError(str(exc))
     if isinstance(exc, ValidationError):
         return InvalidTxError(str(exc))
+    if isinstance(exc, DataAvailabilityError):
+        return DaUnavailableError(str(exc))
     if isinstance(exc, ChainError):
         return RemoteChainError(str(exc))
     if isinstance(exc, (KeyError, TypeError, ValueError)):

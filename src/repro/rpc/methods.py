@@ -13,7 +13,10 @@ method names the gateway and external clients call:
   result plus its content hash;
 - ``oracle.fetch`` — the paper's data-oracle bridge, served;
 - ``chain.get_block`` / ``node.submit_tx`` — read blocks and submit signed
-  transactions to this site's blockchain node.
+  transactions to this site's blockchain node;
+- ``da.put_chunk`` / ``da.get_chunk`` / ``da.sample`` — erasure-coded share
+  custody and availability audits over this site's chunk store
+  (:mod:`repro.da`).
 
 Handlers return plain jsonable dicts and raise domain errors; the server
 maps those to typed JSON-RPC error objects.
@@ -175,6 +178,7 @@ class SiteService:
     runner: Any
     node: Any = None
     oracle: Any = None
+    chunks: Any = None  # repro.da.store.ChunkStore for the da.* surface
     schema: str = "patient-canonical-v1"
 
     @classmethod
@@ -186,6 +190,7 @@ class SiteService:
             runner=site.control.runner,
             node=site.node,
             oracle=site.monitor.oracle,
+            chunks=getattr(site, "chunks", None),
         )
 
     # -- local helpers -----------------------------------------------------
@@ -328,6 +333,64 @@ def build_site_registry(
         ]
         return {"blocks": bodies}
 
+    def _chunk_store() -> Any:
+        if service.chunks is None:
+            raise InvalidParamsError(f"site {service.name!r} serves no chunk store")
+        return service.chunks
+
+    def da_put_chunk(
+        blob_id: str, root: str, index: int, data: str, proof: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        from repro.common.errors import IntegrityError
+        from repro.da.manifest import proof_from_wire
+
+        store = _chunk_store()
+        try:
+            payload = bytes.fromhex(data)
+        except ValueError as exc:
+            raise InvalidParamsError(f"chunk data must be hex: {exc}") from exc
+        try:
+            stored = store.put_chunk(
+                blob_id, root, int(index), payload, proof_from_wire(proof)
+            )
+        except IntegrityError as exc:
+            # A proof/digest mismatch is a malformed request, not a server
+            # fault: the disperser shipped bytes it cannot commit to.
+            raise InvalidParamsError(str(exc)) from exc
+        return {"stored": stored, "site": service.name, "index": int(index)}
+
+    def da_get_chunk(blob_id: str, index: int) -> Dict[str, Any]:
+        from repro.da.manifest import proof_to_wire
+
+        chunk = _chunk_store().get_chunk(blob_id, int(index))  # raises -> DA code
+        return {
+            "blob_id": blob_id,
+            "index": chunk.index,
+            "data": chunk.data.hex(),
+            "proof": proof_to_wire(chunk.proof),
+        }
+
+    def da_sample(blob_id: str, indices: List[int]) -> Dict[str, Any]:
+        from repro.da.manifest import proof_to_wire
+
+        if not isinstance(indices, list):
+            raise InvalidParamsError("indices must be a list of leaf indices")
+        results = _chunk_store().sample(blob_id, [int(i) for i in indices])
+        return {
+            "blob_id": blob_id,
+            "site": service.name,
+            "chunks": [
+                None
+                if chunk is None
+                else {
+                    "index": chunk.index,
+                    "data": chunk.data.hex(),
+                    "proof": proof_to_wire(chunk.proof),
+                }
+                for chunk in results
+            ],
+        }
+
     def node_submit_tx(tx: Dict[str, Any]) -> Dict[str, Any]:
         if service.node is None:
             raise InvalidParamsError(f"site {service.name!r} serves no chain node")
@@ -356,6 +419,11 @@ def build_site_registry(
     registry.register("chain.get_headers", chain_get_headers, idempotent=True)
     registry.register("chain.get_blocks", chain_get_blocks, idempotent=True)
     registry.register("mempool.status", mempool_status, idempotent=True)
+    # Verify-on-ingest makes da.put_chunk naturally idempotent: re-putting
+    # an already-held chunk is a no-op answered from the store.
+    registry.register("da.put_chunk", da_put_chunk, idempotent=True)
+    registry.register("da.get_chunk", da_get_chunk, idempotent=True)
+    registry.register("da.sample", da_sample, idempotent=True)
     # Submitting the same *signed* tx twice is deduplicated by the mempool,
     # but a client-side retry could still race a nonce bump — keep it
     # non-idempotent so the pool never auto-retries it.

@@ -82,6 +82,60 @@ def test_merkle_root_helper_matches_tree():
     assert merkle_root(leaves) == MerkleTree(leaves).root
 
 
+class TestProofForgery:
+    """A proof must break under every classic splice attack."""
+
+    def test_wrong_index_flips_hash_order(self):
+        tree = MerkleTree(_leaves(8))
+        proof = tree.proof(2)
+        forged = MerkleProof(leaf=proof.leaf, index=3, path=proof.path)
+        assert not forged.verify(tree.root)
+
+    def test_wrong_index_at_upper_level(self):
+        tree = MerkleTree(_leaves(8))
+        proof = tree.proof(1)
+        # same leaf-level parity, different subtree at the next level up
+        forged = MerkleProof(leaf=proof.leaf, index=5, path=proof.path)
+        assert not forged.verify(tree.root)
+
+    def test_truncated_path_stops_at_interior_node(self):
+        tree = MerkleTree(_leaves(8))
+        proof = tree.proof(4)
+        forged = MerkleProof(leaf=proof.leaf, index=4, path=proof.path[:-1])
+        assert not forged.verify(tree.root)
+
+    def test_extended_path_overshoots_root(self):
+        tree = MerkleTree(_leaves(8))
+        proof = tree.proof(4)
+        forged = MerkleProof(
+            leaf=proof.leaf, index=4, path=proof.path + [sha256(b"extra")]
+        )
+        assert not forged.verify(tree.root)
+
+    def test_sibling_swap_breaks_proof(self):
+        tree = MerkleTree(_leaves(8))
+        proof = tree.proof(0)
+        swapped = [proof.path[1], proof.path[0]] + proof.path[2:]
+        forged = MerkleProof(leaf=proof.leaf, index=0, path=swapped)
+        assert not forged.verify(tree.root)
+
+    def test_proof_transplanted_to_other_leaf_fails(self):
+        tree = MerkleTree(_leaves(8))
+        donor = tree.proof(3)
+        victim = tree.proof(6)
+        forged = MerkleProof(leaf=victim.leaf, index=3, path=donor.path)
+        assert not forged.verify(tree.root)
+
+    def test_odd_tree_duplicate_tail_proofs_still_verify(self):
+        # 5 leaves: the build duplicates leaf 4; its proof must still
+        # verify and a forged neighbour index must not.
+        tree = MerkleTree(_leaves(5))
+        proof = tree.proof(4)
+        assert proof.verify(tree.root)
+        forged = MerkleProof(leaf=sha256(b"ghost"), index=4, path=proof.path)
+        assert not forged.verify(tree.root)
+
+
 @settings(max_examples=40)
 @given(st.integers(min_value=1, max_value=33))
 def test_property_all_proofs_verify(count):

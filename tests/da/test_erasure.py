@@ -1,0 +1,134 @@
+"""Erasure coder contract: systematic layout, any-k reconstruction, and
+byte-for-byte agreement between the reference and NumPy implementations."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.common.errors import DataAvailabilityError
+from repro.da.erasure import (
+    CODER_KINDS,
+    CodingParams,
+    ReferenceCoder,
+    default_coder,
+)
+from repro.da.gf256 import have_numpy
+
+pytestmark = []
+
+CODERS = list(CODER_KINDS) if have_numpy() else ["reference"]
+
+
+def _rows(k, length, salt=0):
+    return [
+        bytes((i * 31 + j * 7 + salt) % 256 for j in range(length))
+        for i in range(k)
+    ]
+
+
+@pytest.fixture(params=CODERS)
+def coder_kind(request):
+    return request.param
+
+
+class TestParams:
+    def test_valid_shapes(self):
+        assert CodingParams(1, 1).parity == 0
+        assert CodingParams(4, 6).parity == 2
+
+    @pytest.mark.parametrize("k,n", [(0, 3), (5, 4), (-1, 2), (3, 300)])
+    def test_invalid_shapes_rejected(self, k, n):
+        with pytest.raises(DataAvailabilityError):
+            CodingParams(k, n)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DataAvailabilityError):
+            default_coder(2, 4, "turbocode")
+
+
+class TestEncode:
+    def test_systematic_prefix_is_the_data(self, coder_kind):
+        coder = default_coder(3, 5, coder_kind)
+        rows = _rows(3, 64)
+        shares = coder.encode(rows)
+        assert len(shares) == 5
+        assert shares[:3] == rows
+
+    def test_parity_is_deterministic(self, coder_kind):
+        coder = default_coder(2, 4, coder_kind)
+        rows = _rows(2, 32)
+        assert coder.encode(rows) == coder.encode(rows)
+
+    def test_wrong_row_count_rejected(self, coder_kind):
+        coder = default_coder(3, 5, coder_kind)
+        with pytest.raises(DataAvailabilityError):
+            coder.encode(_rows(2, 16))
+
+    def test_ragged_rows_rejected(self, coder_kind):
+        coder = default_coder(2, 3, coder_kind)
+        with pytest.raises(DataAvailabilityError):
+            coder.encode([b"aaaa", b"bb"])
+
+    def test_empty_rows_allowed(self, coder_kind):
+        coder = default_coder(2, 4, coder_kind)
+        shares = coder.encode([b"", b""])
+        assert shares == [b""] * 4
+
+
+class TestDecode:
+    @pytest.mark.parametrize("k,n", [(1, 1), (1, 3), (2, 3), (2, 4), (3, 5), (4, 6)])
+    def test_every_k_subset_reconstructs(self, coder_kind, k, n):
+        coder = default_coder(k, n, coder_kind)
+        rows = _rows(k, 48, salt=k * n)
+        shares = coder.encode(rows)
+        for subset in combinations(range(n), k):
+            decoded = coder.decode({i: shares[i] for i in subset})
+            assert decoded == rows, f"subset {subset} failed"
+
+    def test_fewer_than_k_fails_loudly(self, coder_kind):
+        coder = default_coder(3, 5, coder_kind)
+        shares = coder.encode(_rows(3, 16))
+        with pytest.raises(DataAvailabilityError, match="k=3"):
+            coder.decode({0: shares[0], 4: shares[4]})
+
+    def test_out_of_range_share_index_rejected(self, coder_kind):
+        coder = default_coder(2, 3, coder_kind)
+        shares = coder.encode(_rows(2, 16))
+        with pytest.raises(DataAvailabilityError):
+            coder.decode({0: shares[0], 7: shares[1]})
+
+    def test_systematic_fast_path_matches_general(self, coder_kind):
+        coder = default_coder(3, 6, coder_kind)
+        rows = _rows(3, 80)
+        shares = coder.encode(rows)
+        fast = coder.decode({i: shares[i] for i in range(3)})
+        slow = coder.decode({3: shares[3], 4: shares[4], 5: shares[5]})
+        assert fast == slow == rows
+
+
+@pytest.mark.skipif(not have_numpy(), reason="numpy unavailable")
+class TestCoderAgreement:
+    """The vectorized coder must be byte-for-byte the reference coder."""
+
+    @pytest.mark.parametrize("k,n", [(1, 2), (2, 4), (3, 5), (4, 6), (6, 10)])
+    def test_encode_agrees(self, k, n):
+        reference = default_coder(k, n, "reference")
+        vector = default_coder(k, n, "numpy")
+        rows = _rows(k, 96, salt=n)
+        assert reference.encode(rows) == vector.encode(rows)
+
+    @pytest.mark.parametrize("k,n", [(2, 4), (3, 5), (4, 6)])
+    def test_decode_agrees_on_every_subset(self, k, n):
+        reference = default_coder(k, n, "reference")
+        vector = default_coder(k, n, "numpy")
+        shares = reference.encode(_rows(k, 40, salt=k))
+        for subset in combinations(range(n), k):
+            held = {i: shares[i] for i in subset}
+            assert reference.decode(held) == vector.decode(held)
+
+    def test_default_prefers_numpy(self):
+        assert default_coder(2, 4).name == "numpy"
+
+
+def test_reference_always_available():
+    assert isinstance(default_coder(2, 4, "reference"), ReferenceCoder)

@@ -1,0 +1,137 @@
+"""GF(256) arithmetic: field axioms, matrix algebra, Cauchy invertibility."""
+
+import random
+
+import pytest
+
+from repro.common.errors import DataAvailabilityError
+from repro.da import gf256
+from repro.da.gf256 import (
+    cauchy_matrix,
+    gf_div,
+    gf_inv,
+    gf_mat_inv,
+    gf_mat_vec,
+    gf_mul,
+    gf_mul_bytes,
+    xor_bytes,
+)
+
+
+def test_tables_are_consistent():
+    # exp and log are mutual inverses on the nonzero field elements.
+    for value in range(1, 256):
+        assert gf256.GF_EXP[gf256.GF_LOG[value]] == value
+    # the doubled exp table repeats with period 255
+    for power in range(255):
+        assert gf256.GF_EXP[power] == gf256.GF_EXP[power + 255]
+
+
+def test_mul_identity_and_zero():
+    for a in range(256):
+        assert gf_mul(a, 1) == a
+        assert gf_mul(1, a) == a
+        assert gf_mul(a, 0) == 0
+        assert gf_mul(0, a) == 0
+
+
+def test_mul_commutative_and_associative_sampled():
+    rng = random.Random(7)
+    for _ in range(200):
+        a, b, c = rng.randrange(256), rng.randrange(256), rng.randrange(256)
+        assert gf_mul(a, b) == gf_mul(b, a)
+        assert gf_mul(a, gf_mul(b, c)) == gf_mul(gf_mul(a, b), c)
+
+
+def test_mul_distributes_over_xor_sampled():
+    rng = random.Random(11)
+    for _ in range(200):
+        a, b, c = rng.randrange(256), rng.randrange(256), rng.randrange(256)
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+
+def test_inverse_and_division():
+    for a in range(1, 256):
+        assert gf_mul(a, gf_inv(a)) == 1
+        assert gf_div(a, a) == 1
+    assert gf_div(0, 5) == 0
+    with pytest.raises(DataAvailabilityError):
+        gf_inv(0)
+    with pytest.raises(DataAvailabilityError):
+        gf_div(3, 0)
+
+
+def test_mul_matches_carryless_reference():
+    """Table lookups agree with shift-and-reduce multiplication."""
+
+    def slow_mul(a, b):
+        product = 0
+        while b:
+            if b & 1:
+                product ^= a
+            a <<= 1
+            if a & 0x100:
+                a ^= 0x11D
+            b >>= 1
+        return product
+
+    rng = random.Random(13)
+    for _ in range(300):
+        a, b = rng.randrange(256), rng.randrange(256)
+        assert gf_mul(a, b) == slow_mul(a, b)
+
+
+def test_gf_mul_bytes_scales_elementwise():
+    data = bytes(range(256))
+    assert gf_mul_bytes(0, data) == bytes(256)
+    assert gf_mul_bytes(1, data) == data
+    scaled = gf_mul_bytes(29, data)
+    assert [gf_mul(29, b) for b in data] == list(scaled)
+
+
+def test_xor_bytes_is_involution():
+    a, b = b"\x01\x02\x03", b"\xff\x00\x10"
+    assert xor_bytes(xor_bytes(a, b), b) == a
+
+
+def test_mat_inv_round_trips():
+    for size in (1, 2, 3, 5):
+        matrix = cauchy_matrix(size, size)  # always invertible
+        inverse = gf_mat_inv(matrix)
+        # matrix @ inverse == identity, checked via action on basis vectors
+        for col in range(size):
+            basis = [bytes([1 if i == col else 0]) for i in range(size)]
+            assert gf_mat_vec(matrix, gf_mat_vec(inverse, basis)) == basis
+
+
+def test_mat_inv_rejects_singular():
+    with pytest.raises(DataAvailabilityError):
+        gf_mat_inv([[1, 2], [1, 2]])
+    with pytest.raises(DataAvailabilityError):
+        gf_mat_inv([[1, 2, 3], [4, 5]])
+
+
+def test_cauchy_every_square_submatrix_invertible():
+    """The k-of-n guarantee: any k rows of [I; C] form an invertible matrix."""
+    from itertools import combinations
+
+    k, parity = 3, 3
+    cauchy = cauchy_matrix(k, parity)
+    identity = [[1 if j == i else 0 for j in range(k)] for i in range(k)]
+    generator = identity + cauchy
+    for rows in combinations(range(k + parity), k):
+        gf_mat_inv([generator[r] for r in rows])  # raises if singular
+
+
+def test_cauchy_rejects_oversized_field_usage():
+    with pytest.raises(DataAvailabilityError):
+        cauchy_matrix(200, 100)
+
+
+@pytest.mark.skipif(not gf256.have_numpy(), reason="numpy unavailable")
+def test_mul_table_matches_scalar_mul():
+    table = gf256.mul_table()
+    rng = random.Random(19)
+    for _ in range(500):
+        a, b = rng.randrange(256), rng.randrange(256)
+        assert int(table[a][b]) == gf_mul(a, b)

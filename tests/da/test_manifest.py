@@ -1,0 +1,229 @@
+"""Blob manifest: chunking geometry, commitments, wire forms, decode paths."""
+
+import pytest
+
+from repro.common.errors import DataAvailabilityError, IntegrityError
+from repro.common.hashing import sha256, sha256_hex
+from repro.da.manifest import (
+    BlobManifest,
+    decode_blob,
+    encode_blob,
+    proof_from_wire,
+    proof_to_wire,
+    records_blob,
+    records_from_blob,
+)
+
+
+def _blob(size, salt=0):
+    return bytes((i * 17 + salt) % 256 for i in range(size))
+
+
+def _all_chunks(manifest, shares):
+    return {
+        manifest.leaf_index(stripe, share): shares[share][stripe]
+        for stripe in range(manifest.stripes)
+        for share in range(manifest.n)
+    }
+
+
+class TestGeometry:
+    def test_stripe_and_share_of_invert_leaf_index(self):
+        manifest, _ = encode_blob(_blob(5000), chunk_size=512, k=3, n=5)
+        for stripe in range(manifest.stripes):
+            for share in range(manifest.n):
+                index = manifest.leaf_index(stripe, share)
+                assert manifest.stripe_of(index) == stripe
+                assert manifest.share_of(index) == share
+
+    def test_leaf_index_bounds_checked(self):
+        manifest, _ = encode_blob(_blob(100), chunk_size=64, k=2, n=3)
+        with pytest.raises(DataAvailabilityError):
+            manifest.leaf_index(manifest.stripes, 0)
+        with pytest.raises(DataAvailabilityError):
+            manifest.leaf_index(0, 3)
+
+    def test_padding_rounds_up_to_whole_stripes(self):
+        manifest, shares = encode_blob(_blob(1000), chunk_size=256, k=3, n=4)
+        assert manifest.stripes == 2  # 1000 bytes over 768-byte stripes
+        assert all(len(chunk) == 256 for row in shares for chunk in row)
+
+    def test_empty_blob_has_zero_stripes(self):
+        manifest, shares = encode_blob(b"", chunk_size=64, k=2, n=3)
+        assert manifest.stripes == 0
+        assert shares == [[], [], []]
+        assert decode_blob(manifest, {}) == b""
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(DataAvailabilityError):
+            encode_blob(b"x", chunk_size=0, k=1, n=1)
+
+    def test_placement_must_match_n(self):
+        with pytest.raises(DataAvailabilityError):
+            encode_blob(b"x", chunk_size=4, k=1, n=2, placement=["only-one"])
+
+    def test_site_for_requires_placement(self):
+        manifest, _ = encode_blob(_blob(64), chunk_size=16, k=2, n=3)
+        with pytest.raises(DataAvailabilityError):
+            manifest.site_for(0)
+        placed, _ = encode_blob(
+            _blob(64), chunk_size=16, k=2, n=3, placement=["a", "b", "c"]
+        )
+        assert placed.site_for(placed.leaf_index(0, 1)) == "b"
+
+
+class TestCommitments:
+    def test_blob_id_is_payload_hash(self):
+        blob = _blob(777)
+        manifest, _ = encode_blob(blob, chunk_size=128, k=2, n=3)
+        assert manifest.blob_id == sha256_hex(blob)
+        assert manifest.size == 777
+
+    def test_every_chunk_proof_reaches_root(self):
+        manifest, shares = encode_blob(_blob(2048), chunk_size=256, k=2, n=4)
+        for index, chunk in _all_chunks(manifest, shares).items():
+            proof = manifest.proof(index)
+            assert proof.leaf == sha256(chunk)
+            assert proof.root().hex() == manifest.root_hex
+
+    def test_verify_chunk_detects_tampering(self):
+        manifest, shares = encode_blob(_blob(512), chunk_size=128, k=2, n=3)
+        index = manifest.leaf_index(0, 1)
+        good = shares[1][0]
+        assert manifest.verify_chunk(index, good)
+        assert not manifest.verify_chunk(index, b"\x00" + good[1:])
+        assert not manifest.verify_chunk(-1, good)
+        assert not manifest.verify_chunk(manifest.leaf_count, good)
+
+    def test_tampered_leaf_list_refuses_to_build_tree(self):
+        manifest, _ = encode_blob(_blob(512), chunk_size=128, k=2, n=3)
+        wire = manifest.to_wire()
+        wire["leaves"][0] = sha256(b"evil").hex()
+        with pytest.raises(IntegrityError):
+            BlobManifest.from_wire(wire).tree()
+
+
+class TestRootOnlyManifests:
+    """An auditor holding just the chain entry verifies via shipped proofs."""
+
+    def test_chunk_valid_accepts_proofed_chunk(self):
+        full, shares = encode_blob(_blob(1024), chunk_size=128, k=2, n=4)
+        light = BlobManifest.from_wire(full.chain_entry())
+        assert light.leaves == []
+        index = full.leaf_index(1, 2)
+        chunk = shares[2][1]
+        assert light.chunk_valid(index, chunk, full.proof(index))
+
+    def test_chunk_valid_rejects_mismatched_proof(self):
+        full, shares = encode_blob(_blob(1024), chunk_size=128, k=2, n=4)
+        light = BlobManifest.from_wire(full.chain_entry())
+        index = full.leaf_index(0, 0)
+        wrong_index_proof = full.proof(full.leaf_index(0, 1))
+        assert not light.chunk_valid(index, shares[0][0], wrong_index_proof)
+        assert not light.chunk_valid(index, shares[0][0], None)
+
+    def test_verify_chunk_raises_without_leaves(self):
+        full, shares = encode_blob(_blob(256), chunk_size=64, k=2, n=3)
+        light = BlobManifest.from_wire(full.chain_entry())
+        with pytest.raises(DataAvailabilityError):
+            light.verify_chunk(0, shares[0][0])
+
+    def test_tree_requires_full_leaf_set(self):
+        full, _ = encode_blob(_blob(256), chunk_size=64, k=2, n=3)
+        light = BlobManifest.from_wire(full.chain_entry())
+        with pytest.raises(DataAvailabilityError):
+            light.tree()
+
+
+class TestWire:
+    def test_manifest_round_trips(self):
+        manifest, _ = encode_blob(
+            _blob(900), chunk_size=128, k=3, n=5, placement=list("abcde")
+        )
+        clone = BlobManifest.from_wire(manifest.to_wire())
+        assert clone == manifest
+
+    def test_chain_entry_drops_leaves_only(self):
+        manifest, _ = encode_blob(_blob(900), chunk_size=128, k=3, n=5)
+        entry = manifest.chain_entry()
+        assert "leaves" not in entry
+        assert entry["root"] == manifest.root_hex
+
+    def test_malformed_wire_raises_da_error(self):
+        with pytest.raises(DataAvailabilityError):
+            BlobManifest.from_wire({"blob_id": "x"})
+        with pytest.raises(DataAvailabilityError):
+            proof_from_wire({"leaf": "zz"})
+
+    def test_proof_wire_round_trips(self):
+        manifest, _ = encode_blob(_blob(640), chunk_size=64, k=2, n=4)
+        proof = manifest.proof(3)
+        clone = proof_from_wire(proof_to_wire(proof))
+        assert clone == proof
+        assert clone.root().hex() == manifest.root_hex
+
+
+class TestDecode:
+    @pytest.mark.parametrize("size", [1, 255, 256, 1000, 4096, 10_000])
+    def test_round_trip_exact_sizes(self, size):
+        blob = _blob(size, salt=size)
+        manifest, shares = encode_blob(blob, chunk_size=256, k=3, n=5)
+        assert decode_blob(manifest, _all_chunks(manifest, shares)) == blob
+
+    def test_decodes_from_parity_only(self):
+        blob = _blob(3000)
+        manifest, shares = encode_blob(blob, chunk_size=250, k=2, n=5)
+        parity_chunks = {
+            index: chunk
+            for index, chunk in _all_chunks(manifest, shares).items()
+            if manifest.share_of(index) >= manifest.k
+        }
+        assert decode_blob(manifest, parity_chunks) == blob
+
+    def test_mixed_availability_per_stripe(self):
+        blob = _blob(4000)
+        manifest, shares = encode_blob(blob, chunk_size=200, k=2, n=4)
+        chunks = {}
+        for stripe in range(manifest.stripes):
+            lost = stripe % manifest.n  # a different share column per stripe
+            for share in range(manifest.n):
+                if share != lost:
+                    chunks[manifest.leaf_index(stripe, share)] = shares[share][stripe]
+        assert decode_blob(manifest, chunks) == blob
+
+    def test_short_stripe_raises_with_stripe_detail(self):
+        manifest, shares = encode_blob(_blob(2000), chunk_size=100, k=3, n=5)
+        chunks = _all_chunks(manifest, shares)
+        for share in range(1, manifest.n):  # leave stripe 1 only share 0
+            chunks.pop(manifest.leaf_index(1, share))
+        with pytest.raises(DataAvailabilityError, match="stripe 1"):
+            decode_blob(manifest, chunks)
+
+    def test_corrupt_chunk_rejected_before_decode(self):
+        manifest, shares = encode_blob(_blob(600), chunk_size=100, k=2, n=3)
+        chunks = _all_chunks(manifest, shares)
+        index = manifest.leaf_index(0, 0)
+        chunks[index] = bytes(len(chunks[index]))
+        with pytest.raises(IntegrityError, match="committed digests"):
+            decode_blob(manifest, chunks)
+
+    def test_verify_false_skips_digest_checks_but_not_blob_id(self):
+        manifest, shares = encode_blob(_blob(600), chunk_size=100, k=2, n=3)
+        chunks = _all_chunks(manifest, shares)
+        assert decode_blob(manifest, chunks, verify=False) == _blob(600)
+
+
+class TestRecordsBlob:
+    def test_record_set_round_trips(self):
+        records = [
+            {"patient": f"p{i}", "value": i * 0.5, "tags": ["a", "b"]}
+            for i in range(20)
+        ]
+        blob = records_blob(records)
+        manifest, shares = encode_blob(blob, chunk_size=64, k=2, n=4)
+        decoded = decode_blob(manifest, _all_chunks(manifest, shares))
+        assert records_from_blob(decoded) == records
+
+    def test_non_list_blob_rejected(self):
+        with pytest.raises(DataAvailabilityError):
+            records_from_blob(b'{"not": "a list"}')

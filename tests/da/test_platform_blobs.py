@@ -1,0 +1,111 @@
+"""Blob custody through the platform: BlobRegistry contract + DA engines.
+
+One module-scoped platform (boot is expensive); tests that mutate chunk
+stores disperse their own blobs so they never race each other's state.
+"""
+
+import pytest
+
+from repro.common.errors import ChainError, DataAvailabilityError
+from repro.core.platform import MedicalBlockchainNetwork, PlatformConfig
+
+BLOB = bytes((i * 23 + 5) % 256 for i in range(20_000))
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return MedicalBlockchainNetwork(
+        PlatformConfig(site_count=4, consensus="poa", seed=1234)
+    )
+
+
+@pytest.fixture(scope="module")
+def registered(platform):
+    receipt = platform.disperse_blob(
+        platform.site_names[0], BLOB, k=2, chunk_size=512
+    )
+    return receipt.manifest.blob_id, receipt
+
+
+def test_boot_deploys_blob_registry(platform):
+    assert platform.contracts.blob_contract_id
+
+
+def test_disperse_registers_on_chain(platform, registered):
+    blob_id, receipt = registered
+    entry = platform.blob_entry(blob_id)
+    assert entry["merkle_root"] == receipt.manifest.root_hex
+    assert entry["size"] == len(BLOB)
+    assert entry["k"] == 2 and entry["n"] == 4
+    assert entry["placement"] == list(platform.site_names)
+    assert entry["owner"]
+    assert any(e["blob_id"] == blob_id for e in platform.blob_catalog())
+
+
+def test_retrieve_from_chain_entry_alone(platform, registered):
+    blob_id, _ = registered
+    assert platform.retrieve_blob(blob_id) == BLOB
+
+
+def test_retrieve_survives_n_minus_k_site_loss(platform):
+    receipt = platform.disperse_blob(
+        platform.site_names[1], BLOB[:5000], k=2, chunk_size=256
+    )
+    blob_id = receipt.manifest.blob_id
+    for name in platform.site_names[:2]:  # n - k = 2 sites fail
+        platform.sites[name].chunks.drop_blob(blob_id)
+    assert platform.retrieve_blob(blob_id) == BLOB[:5000]
+    # a third site failure crosses the tolerance and fails loudly
+    platform.sites[platform.site_names[2]].chunks.drop_blob(blob_id)
+    with pytest.raises(DataAvailabilityError):
+        platform.retrieve_blob(blob_id)
+
+
+def test_audit_clean_blob_and_report_on_chain(platform, registered):
+    blob_id, _ = registered
+    report = platform.audit_blob(platform.site_names[1], blob_id, samples=32)
+    assert report.ok
+    entry = platform.blob_entry(blob_id)
+    assert entry["last_audit"]["samples"] == 32
+    assert entry["last_audit"]["flagged_sites"] == []
+
+
+def test_audit_flags_withholding_site(platform):
+    receipt = platform.disperse_blob(
+        platform.site_names[2], BLOB[:8000], k=2, chunk_size=200
+    )
+    blob_id = receipt.manifest.blob_id
+    victim = platform.site_names[3]
+    platform.sites[victim].chunks.drop_blob(blob_id)
+    report = platform.audit_blob(platform.site_names[0], blob_id, samples=64, seed=0)
+    assert report.flagged_sites == [victim]
+    assert platform.blob_entry(blob_id)["last_audit"]["flagged_sites"] == [victim]
+
+
+def test_repair_restores_and_logs(platform):
+    receipt = platform.disperse_blob(
+        platform.site_names[0], BLOB[:6000], k=2, chunk_size=300
+    )
+    blob_id = receipt.manifest.blob_id
+    victim = platform.sites[platform.site_names[1]]
+    lost = victim.chunks.drop_blob(blob_id)
+    assert lost > 0
+    report = platform.repair_blob(platform.site_names[0], blob_id)
+    assert report.fully_repaired and report.restored == lost
+    assert platform.blob_entry(blob_id)["repairs"] == 1
+    assert len(victim.chunks.indices(blob_id)) == receipt.manifest.stripes
+    # blob retrieves clean again and a clean repair pass is a no-op on chain
+    assert platform.retrieve_blob(blob_id) == BLOB[:6000]
+    assert platform.repair_blob(platform.site_names[0], blob_id).missing_before == 0
+    assert platform.blob_entry(blob_id)["repairs"] == 1
+
+
+def test_duplicate_registration_rejected(platform, registered):
+    blob_id, _ = registered
+    with pytest.raises(ChainError, match="registration failed"):
+        platform.disperse_blob(platform.site_names[0], BLOB, k=2, chunk_size=512)
+
+
+def test_unknown_blob_raises(platform):
+    with pytest.raises(ChainError, match="not registered"):
+        platform.blob_entry("ff" * 32)

@@ -1,0 +1,144 @@
+"""Sampling audits: the confidence bound and withholding detection."""
+
+import pytest
+
+from repro.common.errors import DataAvailabilityError
+from repro.da.clients import clients_for_stores
+from repro.da.dispersal import Disperser
+from repro.da.manifest import BlobManifest
+from repro.da.sampling import Sampler, confidence, miss_probability
+from repro.da.store import ChunkStore
+
+
+def _fleet(n=4):
+    stores = [ChunkStore(f"site-{i}") for i in range(n)]
+    return stores, clients_for_stores(stores)
+
+
+def _dispersed(stores, clients, size=6000, k=2, chunk_size=100):
+    blob = bytes((i * 7) % 256 for i in range(size))
+    receipt = Disperser(list(clients.values())).disperse(
+        blob, k=k, chunk_size=chunk_size
+    )
+    return receipt.manifest
+
+
+class TestConfidenceMath:
+    def test_bound_values(self):
+        assert miss_probability(0.0, 64) == 1.0
+        assert miss_probability(1.0, 1) == 0.0
+        assert miss_probability(0.05, 0) == 1.0
+        # the headline number: 5% withholding, 64 samples
+        assert confidence(0.05, 64) == pytest.approx(1 - 0.95**64)
+        assert confidence(0.05, 64) > 0.96
+
+    def test_confidence_monotone_in_samples(self):
+        values = [confidence(0.05, s) for s in (1, 8, 32, 64, 128)]
+        assert values == sorted(values)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(DataAvailabilityError):
+            miss_probability(-0.1, 10)
+        with pytest.raises(DataAvailabilityError):
+            miss_probability(1.5, 10)
+        with pytest.raises(DataAvailabilityError):
+            miss_probability(0.5, -1)
+
+
+class TestAudit:
+    def test_clean_fleet_passes(self):
+        stores, clients = _fleet()
+        manifest = _dispersed(stores, clients)
+        report = Sampler(clients, seed=42).audit(manifest, samples=64)
+        assert report.ok
+        assert report.verified == report.samples == 64
+        assert report.flagged_sites == []
+        assert sum(s["sampled"] for s in report.per_site.values()) == 64
+
+    def test_draw_is_seed_deterministic(self):
+        stores, clients = _fleet()
+        manifest = _dispersed(stores, clients)
+        sampler = Sampler(clients, seed=7)
+        assert sampler.draw(manifest, 32) == sampler.draw(manifest, 32)
+        assert sampler.draw(manifest, 32) != sampler.draw(manifest, 32, seed=8)
+
+    def test_withholding_site_is_flagged(self):
+        stores, clients = _fleet()
+        manifest = _dispersed(stores, clients)
+        # site-1 drops its whole column: every sample landing there fails
+        stores[1].drop_blob(manifest.blob_id)
+        report = Sampler(clients, seed=3).audit(manifest, samples=64)
+        assert not report.ok
+        assert report.flagged_sites == ["site-1"]
+        assert all(f.reason == "missing" for f in report.failures)
+        assert report.per_site["site-1"]["missing"] > 0
+
+    def test_partial_withholding_detection_rate_beats_bound(self):
+        """Empirical detection across seeded audits ≥ the analytic bound."""
+        stores, clients = _fleet()
+        manifest = _dispersed(stores, clients, size=12_000, chunk_size=100)
+        total = manifest.leaf_count
+        withheld = max(1, int(total * 0.05))
+        victim = stores[2]
+        victim_indices = victim.indices(manifest.blob_id)[:withheld]
+        victim.drop_chunks(manifest.blob_id, victim_indices)
+        frac = withheld / total
+        sampler = Sampler(clients)
+        detections = sum(
+            1
+            for seed in range(100)
+            if not sampler.audit(manifest, samples=64, seed=seed).ok
+        )
+        bound = confidence(frac, 64)
+        assert detections / 100 >= bound - 0.10  # sampling-noise slack
+
+    def test_corrupt_response_reported_invalid(self):
+        stores, clients = _fleet()
+        manifest = _dispersed(stores, clients)
+
+        class Corruptor:
+            name = "site-0"
+
+            def sample(self, blob_id, indices):
+                return [
+                    (bytes(len(e[0])), e[1]) if e is not None else None
+                    for e in clients["site-0"].sample(blob_id, indices)
+                ]
+
+        patched = dict(clients)
+        patched["site-0"] = Corruptor()
+        report = Sampler(patched, seed=5).audit(manifest, samples=40)
+        assert "site-0" in report.flagged_sites
+        assert any(f.reason == "invalid" for f in report.failures)
+
+    def test_unreachable_and_erroring_sites(self):
+        stores, clients = _fleet()
+        manifest = _dispersed(stores, clients)
+
+        class Exploder:
+            name = "site-3"
+
+            def sample(self, blob_id, indices):
+                raise DataAvailabilityError("site offline")
+
+        patched = {k: v for k, v in clients.items() if k != "site-1"}
+        patched["site-3"] = Exploder()
+        report = Sampler(patched, seed=1).audit(manifest, samples=48)
+        reasons = {f.reason for f in report.failures}
+        assert "unplaced" in reasons  # site-1 has no client at all
+        assert "site_error" in reasons
+
+    def test_audit_report_wire_and_bounds(self):
+        stores, clients = _fleet()
+        manifest = _dispersed(stores, clients)
+        report = Sampler(clients, seed=9).audit(manifest, samples=16)
+        wire = report.to_wire()
+        assert wire["ok"] and wire["samples"] == 16
+        assert report.confidence(0.5) == pytest.approx(1 - 0.5**16)
+        assert report.miss_probability(0.5) == pytest.approx(0.5**16)
+
+    def test_empty_blob_audit_is_vacuously_ok(self):
+        stores, clients = _fleet()
+        receipt = Disperser(list(clients.values())).disperse(b"", k=2)
+        report = Sampler(clients).audit(receipt.manifest, samples=64)
+        assert report.ok and report.samples == 0

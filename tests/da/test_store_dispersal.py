@@ -1,0 +1,271 @@
+"""ChunkStore verify-on-ingest plus the disperse → lose → retrieve → repair
+lifecycle over in-process site clients."""
+
+import pytest
+
+from repro.common.errors import DataAvailabilityError, IntegrityError
+from repro.common.hashing import sha256
+from repro.common.merkle import MerkleProof
+from repro.da.clients import LocalSiteClient, clients_for_stores
+from repro.da.dispersal import Disperser, Repairer, Retriever
+from repro.da.manifest import encode_blob
+from repro.da.store import ChunkStore, stored_chunk_wire
+
+
+def _blob(size, salt=0):
+    return bytes((i * 13 + salt) % 256 for i in range(size))
+
+
+@pytest.fixture
+def fleet():
+    stores = [ChunkStore(f"site-{i}") for i in range(5)]
+    return stores, clients_for_stores(stores)
+
+
+def _disperse(fleet, blob, k=3, n=5, chunk_size=128):
+    stores, clients = fleet
+    receipt = Disperser(list(clients.values())).disperse(
+        blob, k=k, n=n, chunk_size=chunk_size
+    )
+    return receipt
+
+
+class TestChunkStore:
+    def test_put_verifies_and_is_idempotent(self):
+        manifest, shares = encode_blob(_blob(512), chunk_size=64, k=2, n=3)
+        store = ChunkStore("s")
+        index = manifest.leaf_index(0, 0)
+        proof = manifest.proof(index)
+        assert store.put_chunk(
+            manifest.blob_id, manifest.root_hex, index, shares[0][0], proof
+        )
+        # identical re-put: accepted, not double-stored
+        assert not store.put_chunk(
+            manifest.blob_id, manifest.root_hex, index, shares[0][0], proof
+        )
+        assert store.indices(manifest.blob_id) == [index]
+
+    def test_put_rejects_wrong_index_or_data_or_root(self):
+        manifest, shares = encode_blob(_blob(512), chunk_size=64, k=2, n=3)
+        store = ChunkStore("s")
+        index = manifest.leaf_index(0, 0)
+        proof = manifest.proof(index)
+        with pytest.raises(IntegrityError):
+            store.put_chunk(
+                manifest.blob_id, manifest.root_hex, index + 1, shares[0][0], proof
+            )
+        with pytest.raises(IntegrityError):
+            store.put_chunk(
+                manifest.blob_id, manifest.root_hex, index, b"\x00" * 64, proof
+            )
+        with pytest.raises(IntegrityError):
+            store.put_chunk(manifest.blob_id, "ab" * 32, index, shares[0][0], proof)
+        assert store.indices(manifest.blob_id) == []
+
+    def test_put_rejects_forged_proof_path(self):
+        manifest, shares = encode_blob(_blob(512), chunk_size=64, k=2, n=3)
+        store = ChunkStore("s")
+        index = manifest.leaf_index(0, 1)
+        proof = manifest.proof(index)
+        forged = MerkleProof(
+            leaf=proof.leaf, index=proof.index, path=[sha256(b"evil")] * len(proof.path)
+        )
+        with pytest.raises(IntegrityError):
+            store.put_chunk(
+                manifest.blob_id, manifest.root_hex, index, shares[1][0], forged
+            )
+
+    def test_root_conflict_rejected(self):
+        first, shares_a = encode_blob(_blob(256), chunk_size=64, k=2, n=3)
+        second, shares_b = encode_blob(_blob(256, salt=9), chunk_size=64, k=2, n=3)
+        store = ChunkStore("s")
+        store.put_chunk(
+            first.blob_id, first.root_hex, 0, shares_a[0][0], first.proof(0)
+        )
+        with pytest.raises(IntegrityError, match="different root"):
+            store.put_chunk(
+                first.blob_id, second.root_hex, 1, shares_b[1][0], second.proof(1)
+            )
+
+    def test_reads_sample_and_stats(self):
+        manifest, shares = encode_blob(_blob(256), chunk_size=64, k=2, n=3)
+        store = ChunkStore("s")
+        store.put_chunk(
+            manifest.blob_id, manifest.root_hex, 0, shares[0][0], manifest.proof(0)
+        )
+        chunk = store.get_chunk(manifest.blob_id, 0)
+        assert chunk.data == shares[0][0]
+        data_hex, proof_wire = stored_chunk_wire(chunk)
+        assert bytes.fromhex(data_hex) == shares[0][0]
+        assert proof_wire["index"] == 0
+        assert store.sample(manifest.blob_id, [0, 1])[1] is None
+        assert store.sample("unknown", [0]) == [None]
+        with pytest.raises(DataAvailabilityError):
+            store.get_chunk(manifest.blob_id, 1)
+        with pytest.raises(DataAvailabilityError):
+            store.root_of("unknown")
+        assert store.stats()["chunks"] == 1
+        assert store.blob_ids() == [manifest.blob_id]
+
+    def test_drop_chunks_and_blob(self):
+        manifest, shares = encode_blob(_blob(256), chunk_size=64, k=2, n=3)
+        store = ChunkStore("s")
+        for index in range(3):
+            store.put_chunk(
+                manifest.blob_id,
+                manifest.root_hex,
+                index,
+                shares[index][0],
+                manifest.proof(index),
+            )
+        assert store.drop_chunks(manifest.blob_id, [0, 99]) == 1
+        assert store.drop_blob(manifest.blob_id) == 2
+        assert store.drop_blob(manifest.blob_id) == 0
+
+
+class TestDisperser:
+    def test_disperse_places_one_column_per_site(self, fleet):
+        stores, _ = fleet
+        blob = _blob(3000)
+        receipt = _disperse(fleet, blob)
+        manifest = receipt.manifest
+        assert receipt.sites == [store.site for store in stores]
+        assert receipt.chunks_put == manifest.stripes * manifest.n
+        for share, store in enumerate(stores):
+            held = store.indices(manifest.blob_id)
+            assert held == [
+                manifest.leaf_index(stripe, share)
+                for stripe in range(manifest.stripes)
+            ]
+
+    def test_disperse_needs_enough_sites(self, fleet):
+        _, clients = fleet
+        disperser = Disperser(list(clients.values()))
+        with pytest.raises(DataAvailabilityError):
+            disperser.disperse(_blob(100), k=2, n=9)
+        with pytest.raises(DataAvailabilityError):
+            Disperser([])
+
+    def test_disperse_records(self, fleet):
+        records = [{"id": i, "v": i * 1.5} for i in range(10)]
+        _, clients = fleet
+        receipt = Disperser(list(clients.values())).disperse_records(
+            records, k=2, n=4, chunk_size=64
+        )
+        assert receipt.manifest.stripes > 0
+
+
+class TestRetriever:
+    def test_retrieves_with_all_sites_up(self, fleet):
+        blob = _blob(5000)
+        receipt = _disperse(fleet, blob)
+        _, clients = fleet
+        assert Retriever(clients).retrieve(receipt.manifest) == blob
+
+    def test_survives_n_minus_k_site_loss(self, fleet):
+        stores, clients = fleet
+        blob = _blob(5000)
+        receipt = _disperse(fleet, blob, k=3, n=5)
+        # kill n - k = 2 whole sites (one data, one parity column)
+        survivors = {
+            name: client
+            for name, client in clients.items()
+            if name not in ("site-0", "site-4")
+        }
+        assert Retriever(survivors).retrieve(receipt.manifest) == blob
+
+    def test_fails_loudly_beyond_tolerance(self, fleet):
+        _, clients = fleet
+        receipt = _disperse(fleet, _blob(1000), k=3, n=5)
+        survivors = {
+            name: client for name, client in clients.items()
+            if name in ("site-1", "site-3")
+        }
+        with pytest.raises(DataAvailabilityError):
+            Retriever(survivors).retrieve(receipt.manifest)
+
+    def test_ignores_corrupt_responses(self, fleet):
+        stores, clients = fleet
+        blob = _blob(2000)
+        receipt = _disperse(fleet, blob, k=2, n=5)
+
+        class LyingClient:
+            """Returns garbage bytes with plausible-looking proofs."""
+
+            def __init__(self, inner):
+                self._inner = inner
+                self.name = inner.name
+
+            def sample(self, blob_id, indices):
+                out = []
+                for entry in self._inner.sample(blob_id, indices):
+                    if entry is None:
+                        out.append(None)
+                    else:
+                        out.append((b"\x00" * len(entry[0]), entry[1]))
+                return out
+
+            def put_chunk(self, *args, **kwargs):
+                return self._inner.put_chunk(*args, **kwargs)
+
+            def get_chunk(self, blob_id, index):
+                return self._inner.get_chunk(blob_id, index)
+
+        patched = dict(clients)
+        patched["site-0"] = LyingClient(clients["site-0"])
+        assert Retriever(patched).retrieve(receipt.manifest) == blob
+
+    def test_requires_placement(self, fleet):
+        _, clients = fleet
+        manifest, _ = encode_blob(_blob(100), chunk_size=64, k=1, n=2)
+        with pytest.raises(DataAvailabilityError, match="placement"):
+            Retriever(clients).retrieve(manifest)
+
+
+class TestRepairer:
+    def test_repair_restores_dropped_columns(self, fleet):
+        stores, clients = fleet
+        blob = _blob(4000)
+        receipt = _disperse(fleet, blob, k=3, n=5)
+        manifest = receipt.manifest
+        lost = stores[1].drop_blob(manifest.blob_id)
+        lost += stores[4].drop_chunks(
+            manifest.blob_id,
+            [manifest.leaf_index(0, 4), manifest.leaf_index(1, 4)],
+        )
+        report = Repairer(clients).repair(manifest)
+        assert report.missing_before == lost
+        assert report.restored == lost
+        assert report.fully_repaired
+        assert report.bytes_moved == lost * manifest.chunk_size
+        # every site holds its full column again
+        for share, store in enumerate(stores):
+            assert len(store.indices(manifest.blob_id)) == manifest.stripes
+        # and a second pass is a no-op
+        assert Repairer(clients).repair(manifest).missing_before == 0
+
+    def test_repair_reports_unreachable_sites(self, fleet):
+        stores, clients = fleet
+        receipt = _disperse(fleet, _blob(1500), k=2, n=5)
+        manifest = receipt.manifest
+        stores[0].drop_blob(manifest.blob_id)
+        reachable = {k: v for k, v in clients.items() if k != "site-0"}
+        report = Repairer(reachable).repair(manifest)
+        assert report.unreachable_sites == ["site-0"]
+        assert not report.fully_repaired
+
+    def test_repaired_chunks_verify_against_original_root(self, fleet):
+        stores, clients = fleet
+        receipt = _disperse(fleet, _blob(2500), k=2, n=5)
+        manifest = receipt.manifest
+        stores[2].drop_blob(manifest.blob_id)
+        Repairer(clients).repair(manifest)
+        for index in stores[2].indices(manifest.blob_id):
+            chunk = stores[2].get_chunk(manifest.blob_id, index)
+            assert manifest.verify_chunk(index, chunk.data)
+
+
+def test_local_client_exposes_store_name():
+    store = ChunkStore("hospital-9")
+    assert LocalSiteClient(store).name == "hospital-9"
+    assert LocalSiteClient(store, name="alias").name == "alias"

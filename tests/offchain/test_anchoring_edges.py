@@ -1,0 +1,109 @@
+"""Anchoring edge cases: degenerate datasets, proof reuse, batch hashing."""
+
+import pytest
+
+from repro.common.errors import IntegrityError, ValidationError
+from repro.common.hashing import ZERO_HASH, hash_leaves_batch, sha256
+from repro.common.merkle import MerkleProof
+from repro.offchain.anchoring import (
+    DatasetAnchor,
+    record_leaf,
+    record_leaves,
+    require_dataset_integrity,
+    verify_dataset,
+    verify_record_proof,
+)
+
+
+def _records(count):
+    return [{"id": i, "hr": 60 + i * 0.5} for i in range(count)]
+
+
+class TestDegenerateDatasets:
+    def test_empty_dataset_anchors_to_zero_hash(self):
+        anchor = DatasetAnchor.build([])
+        assert anchor.record_count == 0
+        assert anchor.root_hex == ZERO_HASH.hex()
+        assert verify_dataset([], anchor.root_hex)
+        require_dataset_integrity([], anchor.root_hex)  # no raise
+        with pytest.raises(ValidationError):
+            anchor.proof_for(0)
+
+    def test_single_record_root_is_its_leaf(self):
+        records = _records(1)
+        anchor = DatasetAnchor.build(records)
+        assert anchor.root_hex == record_leaf(records[0]).hex()
+        assert anchor.verify_record(records[0], 0)
+
+    def test_odd_record_counts_verify_every_index(self):
+        for count in (3, 5, 7):
+            records = _records(count)
+            anchor = DatasetAnchor.build(records)
+            for index, record in enumerate(records):
+                assert anchor.verify_record(record, index)
+
+    def test_empty_vs_nonempty_roots_differ(self):
+        assert DatasetAnchor.build([]).root_hex != DatasetAnchor.build(
+            _records(1)
+        ).root_hex
+
+
+class TestVerification:
+    def test_tampered_record_detected(self):
+        records = _records(6)
+        anchor = DatasetAnchor.build(records)
+        tampered = dict(records[2], hr=999)
+        assert not anchor.verify_record(tampered, 2)
+        assert not verify_dataset(
+            records[:2] + [tampered] + records[3:], anchor.root_hex
+        )
+        with pytest.raises(IntegrityError):
+            require_dataset_integrity(
+                records[:2] + [tampered] + records[3:], anchor.root_hex, "d1"
+            )
+
+    def test_record_at_wrong_index_detected(self):
+        records = _records(4)
+        anchor = DatasetAnchor.build(records)
+        assert not anchor.verify_record(records[1], 0)
+
+    def test_verify_record_with_proof_skips_rebuild(self):
+        records = _records(8)
+        anchor = DatasetAnchor.build(records)
+        proof = anchor.proof_for(5)
+        assert anchor.verify_record_with_proof(records[5], proof)
+        assert not anchor.verify_record_with_proof(records[4], proof)
+        truncated = MerkleProof(
+            leaf=proof.leaf, index=proof.index, path=proof.path[:-1]
+        )
+        assert not anchor.verify_record_with_proof(records[5], truncated)
+
+    def test_shipped_proof_verifies_against_root_hex_alone(self):
+        records = _records(8)
+        anchor = DatasetAnchor.build(records)
+        proof = anchor.proof_for(3)
+        # the remote-verifier path: no tree, just the on-chain root
+        assert verify_record_proof(records[3], proof, anchor.root_hex)
+        assert not verify_record_proof(records[2], proof, anchor.root_hex)
+        other = DatasetAnchor.build(_records(9))
+        assert not verify_record_proof(records[3], proof, other.root_hex)
+
+
+class TestBatchHashing:
+    def test_hash_leaves_batch_matches_per_item_sha256(self):
+        items = [f"item-{i}".encode() for i in range(50)]
+        assert hash_leaves_batch(items) == [sha256(item) for item in items]
+        assert hash_leaves_batch([]) == []
+        assert hash_leaves_batch(iter(items)) == hash_leaves_batch(items)
+
+    def test_record_leaves_match_record_leaf(self):
+        records = _records(25)
+        assert record_leaves(records) == [record_leaf(r) for r in records]
+
+    def test_build_via_batch_equals_legacy_per_record_path(self):
+        records = _records(40)
+        anchor = DatasetAnchor.build(records)
+        from repro.common.merkle import MerkleTree
+
+        legacy = MerkleTree([record_leaf(r) for r in records])
+        assert anchor.root_hex == legacy.root.hex()
