@@ -1,0 +1,263 @@
+"""E21 — PHI taint analysis: throughput, deploy-gate latency, detection.
+
+Gates the load-bearing claims of the MED2xx "PHI escape" pass:
+
+- **analysis throughput**: the full repo walk (``src/repro`` +
+  ``examples``) with the taint pass off vs on — files/s and the relative
+  overhead of interprocedural taint on top of the MED0xx/MED1xx checkers;
+- **deploy-gate latency**: ``verify_contract`` over the shipped platform
+  contracts with ``taint=False`` vs ``taint=True`` — the per-deploy cost
+  the PR 5 verification gate absorbs for the privacy guarantee;
+- **detection**: the ``tests/analysis/corpus`` leak snippets must each be
+  flagged with *exactly* their encoded MED2xx code (100% detection), the
+  clean twins and the dogfooded repo tree must produce zero findings
+  (0 false positives) — the same invariants the test suite pins, enforced
+  here so the trajectory records them per run.
+
+Timings use wall clock: this benchmark measures real AST analysis work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import re
+import sys
+import time
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit, emit_json, format_table
+
+from repro.analysis import analyze_file, analyze_paths, verify_contract
+from repro.contracts import library
+
+REPO_ROOT = os.path.normpath(
+    os.path.join(os.path.dirname(__file__), os.pardir)
+)
+DOGFOOD_PATHS = [
+    os.path.join(REPO_ROOT, "src", "repro"),
+    os.path.join(REPO_ROOT, "examples"),
+]
+CORPUS_DIR = os.path.join(REPO_ROOT, "tests", "analysis", "corpus")
+
+
+def _library_sources() -> dict:
+    return {
+        name: getattr(library, name)
+        for name in sorted(dir(library))
+        if name.endswith("_SOURCE") and isinstance(getattr(library, name), str)
+    }
+
+
+# -- 1. repo analysis throughput --------------------------------------------
+
+def analysis_throughput(fast: bool) -> dict:
+    rounds = 1 if fast else 3
+    out = {"rows": [], "med2_findings": None}
+    for taint in (False, True):
+        best = None
+        result = None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = analyze_paths(DOGFOOD_PATHS, taint=taint)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        med2 = [f for f in result.findings if f.code.startswith("MED2")]
+        out["rows"].append(
+            {
+                "taint": taint,
+                "seconds": best,
+                "files": result.files_analyzed,
+                "files_per_s": result.files_analyzed / best,
+                "findings": len(result.findings),
+            }
+        )
+        if taint:
+            out["med2_findings"] = len(med2)
+            out["med2_rendered"] = [f.render() for f in med2]
+    base, taint_on = out["rows"]
+    out["taint_overhead_pct"] = (
+        (taint_on["seconds"] - base["seconds"]) / base["seconds"] * 100
+    )
+    return out
+
+
+# -- 2. deploy-gate latency ---------------------------------------------------
+
+def deploy_gate_latency(fast: bool) -> dict:
+    sources = _library_sources()
+    rounds = 3 if fast else 10
+    out = {"contracts": len(sources), "rows": []}
+    for taint in (False, True):
+        best = None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for name, source in sources.items():
+                verify_contract(source, name=name, taint=taint)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        out["rows"].append(
+            {
+                "taint": taint,
+                "seconds_per_pass": best,
+                "ms_per_contract": best / len(sources) * 1000,
+            }
+        )
+    base, taint_on = out["rows"]
+    out["latency_delta_ms"] = (
+        taint_on["ms_per_contract"] - base["ms_per_contract"]
+    )
+    out["latency_delta_pct"] = (
+        (taint_on["seconds_per_pass"] - base["seconds_per_pass"])
+        / base["seconds_per_pass"]
+        * 100
+    )
+    return out
+
+
+# -- 3. corpus detection ------------------------------------------------------
+
+def corpus_detection() -> dict:
+    rows = []
+    detected = 0
+    false_positives = 0
+    leak_files = sorted(glob.glob(os.path.join(CORPUS_DIR, "leak_*.py")))
+    clean_files = sorted(glob.glob(os.path.join(CORPUS_DIR, "clean_*.py")))
+    for path in leak_files + clean_files:
+        name = os.path.basename(path)
+        codes = [
+            f.code
+            for f in analyze_file(path, taint=True)
+            if f.code.startswith("MED2")
+        ]
+        match = re.search(r"med(\d{3})\.py$", name)
+        expected = [f"MED{match.group(1)}"] if match else []
+        ok = codes == expected
+        if match and ok:
+            detected += 1
+        if not match:
+            false_positives += len(codes)
+        rows.append(
+            {
+                "snippet": name,
+                "expected": expected,
+                "found": codes,
+                "ok": ok,
+            }
+        )
+    return {
+        "rows": rows,
+        "leaks": len(leak_files),
+        "cleans": len(clean_files),
+        "detected": detected,
+        "detection_rate": detected / len(leak_files) if leak_files else 0.0,
+        "false_positives": false_positives,
+    }
+
+
+# -- harness ------------------------------------------------------------------
+
+def run_experiment(fast: bool) -> dict:
+    return {
+        "throughput": analysis_throughput(fast),
+        "gate": deploy_gate_latency(fast),
+        "corpus": corpus_detection(),
+    }
+
+
+def report(result: dict) -> dict:
+    through = result["throughput"]
+    emit(
+        "e21_taint_throughput",
+        format_table(
+            f"E21a repo analysis throughput "
+            f"(taint overhead {through['taint_overhead_pct']:.1f}%)",
+            ["taint", "seconds", "files", "files/s", "findings"],
+            [
+                [r["taint"], r["seconds"], r["files"], r["files_per_s"],
+                 r["findings"]]
+                for r in through["rows"]
+            ],
+        ),
+    )
+    gate = result["gate"]
+    emit(
+        "e21_taint_gate_latency",
+        format_table(
+            f"E21b deploy-gate latency over {gate['contracts']} platform "
+            f"contracts (taint delta {gate['latency_delta_ms']:.2f} "
+            f"ms/contract, {gate['latency_delta_pct']:.1f}%)",
+            ["taint", "s/pass", "ms/contract"],
+            [
+                [r["taint"], r["seconds_per_pass"], r["ms_per_contract"]]
+                for r in gate["rows"]
+            ],
+        ),
+    )
+    corpus = result["corpus"]
+    emit(
+        "e21_taint_corpus",
+        format_table(
+            f"E21c corpus detection "
+            f"({corpus['detected']}/{corpus['leaks']} leaks, "
+            f"{corpus['false_positives']} false positive(s))",
+            ["snippet", "expected", "found", "ok"],
+            [
+                [r["snippet"], ",".join(r["expected"]) or "-",
+                 ",".join(r["found"]) or "-", r["ok"]]
+                for r in corpus["rows"]
+            ],
+        ),
+    )
+    return result
+
+
+def check(result: dict) -> None:
+    """The CI gate: 100% corpus detection, zero false positives."""
+    corpus = result["corpus"]
+    assert corpus["detection_rate"] == 1.0, (
+        f"corpus detection {corpus['detection_rate']:.0%}: "
+        f"{[r for r in corpus['rows'] if not r['ok']]}"
+    )
+    for row in corpus["rows"]:
+        assert row["ok"], row  # exact code, nothing more, nothing less
+    assert corpus["false_positives"] == 0, corpus
+    through = result["throughput"]
+    assert through["med2_findings"] == 0, (
+        "dogfood run must be clean:\n"
+        + "\n".join(through.get("med2_rendered", []))
+    )
+
+
+def test_e21_taint(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment(fast=True), rounds=1, iterations=1
+    )
+    report(result)
+    check(result)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="fewer timing rounds")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a {bench, params, metrics, timestamp} "
+                             "envelope to PATH")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="report without asserting the CI invariants")
+    args = parser.parse_args(argv)
+    result = report(run_experiment(fast=args.fast))
+    emit_json(args.json, "e21_taint",
+              {"fast": args.fast,
+               "dogfood_paths": ["src/repro", "examples"],
+               "corpus": os.path.relpath(CORPUS_DIR, REPO_ROOT)},
+              result)
+    if not args.no_gate:
+        check(result)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,11 @@ before deployment and before merge*:
   calls, worst-case gas);
 - the **repo family** (MED1xx) lints the ``repro`` codebase for
   conventions the runtime silently depends on (no blocking calls in async
-  paths, canonical serialization in consensus code, kernel-clock time).
+  paths, canonical serialization in consensus code, kernel-clock time);
+- the **dataflow family** (MED2xx) is an interprocedural PHI taint pass
+  proving that raw patient data never crosses the site boundary (chain
+  state, RPC responses, gossip, observability exports) — always on for
+  contract sources, opt-in (``--taint``) for repo modules.
 
 Use :func:`verify_contract` as the deploy gate,
 :func:`analyze_contract_source` / :func:`analyze_paths` for reports, and
@@ -18,6 +22,14 @@ Use :func:`verify_contract` as the deploy gate,
 """
 
 from repro.analysis import contract_rules, repo_rules  # register checkers
+from repro.analysis import dataflow  # register the MED2xx rule family
+from repro.analysis.baseline import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.dataflow import TaintEngine, check_contract, check_module
 from repro.analysis.engine import (
     analyze_contract_source,
     analyze_file,
@@ -62,12 +74,20 @@ __all__ = [
     "Severity",
     "SlotTemplate",
     "all_rules",
+    "TaintEngine",
     "analyze_contract_source",
     "analyze_file",
     "analyze_paths",
+    "apply_baseline",
+    "check_contract",
+    "check_module",
     "collect_module",
     "contract_checkers",
     "contract_rules",
+    "dataflow",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
     "estimate_contract_gas",
     "extract_embedded_contracts",
     "parse_suppressions",

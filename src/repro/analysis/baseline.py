@@ -1,0 +1,81 @@
+"""Baseline suppression for the static-analysis CLI.
+
+A baseline lets a new rule land warn-only: record today's findings once
+(``--write-baseline findings.baseline.json``), then pass the file on later
+runs (``--baseline findings.baseline.json``) and only *new* findings count
+toward the exit status.
+
+Fingerprints are deliberately **line-independent** — ``rule code +
+normalized file path + qualified symbol`` — so unrelated edits that shift a
+finding up or down the file do not un-suppress it.  The trade-off is that
+two identical findings in the same function collapse to one fingerprint;
+fixing one while introducing another at the same (code, file, symbol)
+coordinate goes unnoticed until the baseline is refreshed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def _normalize_path(path: str) -> str:
+    return os.path.normpath(path).replace(os.sep, "/").lstrip("./")
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding: rule + file + symbol (not line)."""
+    key = f"{finding.code}|{_normalize_path(finding.file)}|{finding.symbol}"
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+
+def baseline_as_dict(findings: Iterable[Finding]) -> Dict[str, Any]:
+    entries: Dict[str, Dict[str, str]] = {}
+    for finding in findings:
+        entries[fingerprint(finding)] = {
+            "code": finding.code,
+            "file": _normalize_path(finding.file),
+            "symbol": finding.symbol,
+        }
+    return {"version": BASELINE_VERSION, "fingerprints": entries}
+
+
+def write_baseline(findings: Iterable[Finding], path: str) -> int:
+    """Write a baseline file; returns the number of fingerprints stored."""
+    data = baseline_as_dict(findings)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(data["fingerprints"])
+
+
+def load_baseline(path: str) -> Set[str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} in {path} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    return set(data.get("fingerprints", {}))
+
+
+def apply_baseline(
+    findings: Iterable[Finding], fingerprints: Set[str]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, suppressed-count) against a baseline."""
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if fingerprint(finding) in fingerprints:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed

@@ -21,9 +21,15 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
 from repro.analysis.engine import analyze_contract_source, analyze_paths
 from repro.analysis.findings import AnalysisResult, Severity
-from repro.analysis.report import render_json, render_rules, render_text
+from repro.analysis.report import (
+    render_json,
+    render_rules,
+    render_sarif,
+    render_text,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,9 +54,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text); sarif emits a SARIF 2.1.0 log "
+        "for code-scanning upload",
+    )
+    parser.add_argument(
+        "--taint",
+        action="store_true",
+        help="run the MED2xx PHI escape taint pass over repo modules "
+        "(contract sources are always taint-checked)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="suppress findings recorded in FILE (see --write-baseline); "
+        "only new findings count toward the exit status",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="record the current findings as a baseline file and exit 0",
     )
     parser.add_argument(
         "--output",
@@ -106,6 +132,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.paths,
             max_gas=args.max_gas,
             audit_embedded=not args.no_embedded,
+            taint=args.taint,
         )
     for contract_path in args.contract:
         try:
@@ -122,9 +149,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         result.files_analyzed += 1
         result.contracts_analyzed += 1
 
-    rendered = (
-        render_json(result) if args.format == "json" else render_text(result)
-    )
+    if args.write_baseline:
+        count = write_baseline(result.findings, args.write_baseline)
+        print(
+            f"baseline: recorded {count} fingerprint(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+    suppressed = 0
+    if args.baseline:
+        try:
+            fingerprints = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        result.findings, suppressed = apply_baseline(
+            result.findings, fingerprints
+        )
+
+    if args.format == "json":
+        rendered = render_json(result)
+    elif args.format == "sarif":
+        rendered = render_sarif(result)
+    else:
+        rendered = render_text(result)
+        if suppressed:
+            rendered += f"\n{suppressed} finding(s) suppressed by baseline"
     print(rendered)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

@@ -1,0 +1,39 @@
+"""Interprocedural PHI taint analysis (the MED2xx "PHI escape" family).
+
+Statically proves the paper's site-boundary contract: raw patient data
+never crosses the chain / RPC / gossip / observability boundary — only
+decomposed queries, aggregates, digests, and commitments do.  See
+DESIGN.md §14 for the lattice, the source/sink/sanitizer catalog, and the
+soundness caveats.
+"""
+
+from repro.analysis.dataflow.engine import Flow, TaintEngine
+from repro.analysis.dataflow.lattice import CLEAN, Cell, Level, Taint, TaintStep
+from repro.analysis.dataflow.rules import (
+    DATAFLOW_RULES,
+    check_contract,
+    check_module,
+    code_for_trace,
+)
+from repro.analysis.dataflow.summaries import (
+    DEFAULT_MAX_CALL_DEPTH,
+    FunctionSummary,
+    ParamSinkFlow,
+)
+
+__all__ = [
+    "CLEAN",
+    "Cell",
+    "DATAFLOW_RULES",
+    "DEFAULT_MAX_CALL_DEPTH",
+    "Flow",
+    "FunctionSummary",
+    "Level",
+    "ParamSinkFlow",
+    "Taint",
+    "TaintEngine",
+    "TaintStep",
+    "check_contract",
+    "check_module",
+    "code_for_trace",
+]

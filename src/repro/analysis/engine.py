@@ -22,6 +22,7 @@ import os
 import re
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.analysis.dataflow.rules import check_contract, check_module
 from repro.analysis.findings import AnalysisResult, Finding, Severity
 from repro.analysis.registry import (
     ContractContext,
@@ -106,8 +107,13 @@ def analyze_contract_source(
     line_offset: int = 0,
     max_gas: Optional[int] = None,
     suppressions: Optional[Dict[int, Optional[Set[str]]]] = None,
+    taint: bool = True,
 ) -> List[Finding]:
-    """Run every contract-family checker over one MedScript module."""
+    """Run every contract-family checker over one MedScript module.
+
+    The MED2xx PHI taint pass is on by default for contracts — the deploy
+    gate must reject PHI-escaping contracts without opt-in flags.
+    """
     try:
         tree = ast.parse(source)
     except SyntaxError as exc:
@@ -136,6 +142,8 @@ def analyze_contract_source(
     findings: List[Finding] = []
     for checker in contract_checkers():
         findings.extend(checker.check(ctx))
+    if taint:
+        findings.extend(check_contract(ctx))
     if suppressions is None:
         suppressions = parse_suppressions(source, line_offset)
     return apply_suppressions(findings, suppressions)
@@ -194,10 +202,16 @@ def analyze_file(
     *,
     max_gas: Optional[int] = None,
     audit_embedded: bool = True,
+    taint: bool = False,
 ) -> List[Finding]:
-    """Repo lints for one file, plus embedded-contract verification."""
+    """Repo lints for one file, plus embedded-contract verification.
+
+    ``taint=True`` additionally runs the MED2xx PHI escape pass over the
+    module itself (embedded contract literals are taint-checked regardless,
+    as part of the contract audit).
+    """
     findings, _ = _analyze_file(
-        path, max_gas=max_gas, audit_embedded=audit_embedded
+        path, max_gas=max_gas, audit_embedded=audit_embedded, taint=taint
     )
     return findings
 
@@ -207,6 +221,7 @@ def _analyze_file(
     *,
     max_gas: Optional[int] = None,
     audit_embedded: bool = True,
+    taint: bool = False,
 ) -> Tuple[List[Finding], int]:
     """Implementation: returns (findings, embedded_contract_count)."""
     with open(path, "r", encoding="utf-8") as handle:
@@ -234,6 +249,8 @@ def _analyze_file(
     findings: List[Finding] = []
     for checker in repo_checkers():
         findings.extend(checker.check(ctx))
+    if taint:
+        findings.extend(check_module(ctx))
     suppressions = parse_suppressions(source)
     findings = apply_suppressions(findings, suppressions)
     embedded = extract_embedded_contracts(tree) if audit_embedded else []
@@ -272,6 +289,7 @@ def analyze_paths(
     *,
     max_gas: Optional[int] = None,
     audit_embedded: bool = True,
+    taint: bool = False,
 ) -> AnalysisResult:
     """Walk files under ``paths`` and run the full repo + library audit."""
     result = AnalysisResult()
@@ -282,7 +300,7 @@ def analyze_paths(
             continue
         seen.add(real)
         findings, embedded_count = _analyze_file(
-            path, max_gas=max_gas, audit_embedded=audit_embedded
+            path, max_gas=max_gas, audit_embedded=audit_embedded, taint=taint
         )
         result.extend(findings)
         result.files_analyzed += 1

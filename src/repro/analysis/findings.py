@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 
 class Severity(enum.IntEnum):
@@ -53,6 +53,10 @@ class Finding:
     col: int = 0  # 0-based, matching ast's col_offset
     end_line: Optional[int] = None
     symbol: str = ""  # enclosing function, when known
+    # Taint trace for MED2xx findings: source -> path -> sink step dicts
+    # (kind / detail / line / file), rendered by the deploy-gate error and
+    # carried through JSON / SARIF output as a code flow.
+    trace: Tuple[Dict[str, Any], ...] = ()
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -67,6 +71,8 @@ class Finding:
             out["end_line"] = self.end_line
         if self.symbol:
             out["symbol"] = self.symbol
+        if self.trace:
+            out["trace"] = list(self.trace)
         return out
 
     @classmethod
@@ -80,6 +86,7 @@ class Finding:
             col=data.get("col", 0),
             end_line=data.get("end_line"),
             symbol=data.get("symbol", ""),
+            trace=tuple(data.get("trace", ())),
         )
 
     def render(self) -> str:

@@ -23,6 +23,7 @@ from repro.analysis.findings import Finding, RuleInfo
 
 CONTRACT_FAMILY = "contract"
 REPO_FAMILY = "repo"
+DATAFLOW_FAMILY = "dataflow"
 
 
 @dataclass
@@ -82,6 +83,19 @@ class RepoChecker:
 
 _CONTRACT_CHECKERS: Dict[str, Type[ContractChecker]] = {}
 _REPO_CHECKERS: Dict[str, Type[RepoChecker]] = {}
+# Rules implemented outside the one-class-per-code checker protocol (the
+# dataflow taint pass emits five codes from one engine) still appear in the
+# catalog via this table.
+_EXTRA_RULES: Dict[str, RuleInfo] = {}
+
+
+def register_rule_info(rule: RuleInfo) -> RuleInfo:
+    """Register a rule that is not backed by a checker class (dataflow)."""
+    existing = _EXTRA_RULES.get(rule.code)
+    if existing is not None and existing != rule:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _EXTRA_RULES[rule.code] = rule
+    return rule
 
 
 def register(checker_cls):
@@ -111,4 +125,5 @@ def all_rules() -> List[RuleInfo]:
     """The full rule catalog, sorted by code."""
     rules = [cls.rule for cls in _CONTRACT_CHECKERS.values()]
     rules += [cls.rule for cls in _REPO_CHECKERS.values()]
+    rules += list(_EXTRA_RULES.values())
     return sorted(rules, key=lambda rule: rule.code)

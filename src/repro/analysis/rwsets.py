@@ -52,6 +52,8 @@ WRITING_HOST_CALLS = frozenset({"storage_set", "storage_delete"})
 PREFIX_HOST_CALL = "storage_keys"
 
 #: Follow contract-internal calls at most this deep before giving up.
+#: Overridable per derivation via ``read_write_sets(..., max_depth=)``;
+#: chains past the cap poison the method to ``unknown`` (never mis-resolve).
 MAX_CALL_DEPTH = 8
 
 _STORAGE_HOST_CALLS = READING_HOST_CALLS | WRITING_HOST_CALLS | {PREFIX_HOST_CALL}
@@ -196,8 +198,10 @@ class _Deriver:
         self,
         functions: Dict[str, ast.FunctionDef],
         constants: Dict[str, ast.expr],
+        max_depth: int = MAX_CALL_DEPTH,
     ):
         self.functions = functions
+        self.max_depth = max_depth
         self.constants = {
             name: value
             for name, node in constants.items()
@@ -270,7 +274,7 @@ class _Deriver:
         stack: Tuple[str, ...],
         acc: "_Acc",
     ) -> None:
-        if func.name in stack or len(stack) >= MAX_CALL_DEPTH:
+        if func.name in stack or len(stack) >= self.max_depth:
             acc.unknown = True
             return
         env = dict(env)
@@ -410,21 +414,25 @@ class _Tmpl:
     defstr: bool
 
 
-def read_write_sets(source: str) -> Dict[str, MethodRWSet]:
+def read_write_sets(
+    source: str, *, max_depth: int = MAX_CALL_DEPTH
+) -> Dict[str, MethodRWSet]:
     """Derive per-method storage read/write sets for a contract module.
 
     Returns one :class:`MethodRWSet` per public method (underscore-prefixed
     functions are reachable only through public ones and are folded into
     their callers).  A module that does not parse yields an empty dict —
     such source cannot deploy anyway, and callers treat absent methods as
-    unknown.
+    unknown.  ``max_depth`` bounds how deep contract-internal call chains
+    are followed; a chain past the cap marks the method ``unknown`` (the
+    scheduler then serializes it) rather than ever mis-resolving.
     """
     try:
         tree = ast.parse(source)
     except SyntaxError:
         return {}
     functions, constant_nodes = collect_module(tree)
-    deriver = _Deriver(functions, constant_nodes)
+    deriver = _Deriver(functions, constant_nodes, max_depth=max_depth)
     sets: Dict[str, MethodRWSet] = {}
     for name, func in sorted(functions.items()):
         if name.startswith("_"):

@@ -23,15 +23,20 @@ def verify_contract(
     name: str = "<contract>",
     max_gas: Optional[int] = None,
     fail_on: Severity = Severity.ERROR,
+    taint: bool = True,
 ) -> List[Finding]:
     """Statically verify contract source; raise on gate-failing findings.
 
     Returns the full finding list (including sub-threshold warnings, so
     callers can log them) when the contract passes.  Raises
     :class:`ContractVerificationError` carrying the findings when any
-    finding reaches ``fail_on``.
+    finding reaches ``fail_on``.  ``taint=True`` (the default) includes the
+    MED2xx PHI escape pass; rejected findings carry their full
+    source → path → sink trace on ``Finding.trace``.
     """
-    findings = analyze_contract_source(source, file=name, max_gas=max_gas)
+    findings = analyze_contract_source(
+        source, file=name, max_gas=max_gas, taint=taint
+    )
     failing = [finding for finding in findings if finding.severity >= fail_on]
     if failing:
         summary = "; ".join(

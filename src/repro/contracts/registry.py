@@ -49,6 +49,10 @@ class ContractRegistry:
     timestamp_source: Optional[Callable[[], int]] = None
     verify_by_default: bool = False
     max_gas: Optional[int] = None  # MED008 ceiling used when verifying
+    #: include the MED2xx PHI escape taint pass in the verify gate, so a
+    #: contract that provably writes patient data into chain state / events
+    #: / receipts is rejected before signing
+    taint: bool = True
     records: List[DeploymentRecord] = field(default_factory=list)
     _next_nonce: Dict[str, int] = field(default_factory=dict)
 
@@ -62,7 +66,9 @@ class ContractRegistry:
         # analysis package unless the gate is actually used.
         from repro.analysis.verify import verify_contract
 
-        return verify_contract(source, name=name, max_gas=self.max_gas)
+        return verify_contract(
+            source, name=name, max_gas=self.max_gas, taint=self.taint
+        )
 
     def deploy(
         self,

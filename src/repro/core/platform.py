@@ -76,6 +76,10 @@ class PlatformConfig:
     # deployments are signed; a failing contract aborts the boot with a
     # ContractVerificationError instead of reaching the chain.
     verify_contracts: bool = True
+    # Include the MED2xx PHI taint pass in that boot-time verification: a
+    # platform contract that provably leaks patient data into chain state
+    # is rejected the same way a nondeterministic one is.
+    taint_contracts: bool = True
     # Finality window for per-block state retention (see NodeConfig); long
     # platform runs keep state memory bounded by chain width, not length.
     state_prune_window: int = 64
@@ -223,6 +227,7 @@ class MedicalBlockchainNetwork:
             deployer=self.deployer,
             timestamp_source=lambda: int(self.kernel.now * 1000),
             verify_by_default=self.config.verify_contracts,
+            taint=self.config.taint_contracts,
         )
         for name, source in sources.items():
             tx = registry.deploy(name, source)

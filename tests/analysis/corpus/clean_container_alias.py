@@ -1,0 +1,9 @@
+"""Corpus twin: the aliased container accumulates only aggregates — clean."""
+
+
+def stage_counts(store, node, dataset_id):
+    batch = {"dataset_id": dataset_id, "counts": []}
+    counts = batch["counts"]
+    for record in store.get_records(dataset_id):
+        counts.append(len(record))
+    node.set_slot("batch/" + dataset_id, batch)

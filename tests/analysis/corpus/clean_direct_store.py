@@ -1,0 +1,6 @@
+"""Corpus twin: only the record *count* crosses the boundary — clean."""
+
+
+def publish_cohort_size(store, node, dataset_id):
+    records = store.get_records(dataset_id)
+    node.set_slot("cohort-size/" + dataset_id, len(records))

@@ -1,0 +1,11 @@
+"""Corpus twin: the declared sanitizer provably keeps only pseudonymous
+identifiers and aggregates — clean."""
+
+
+def anonymize_rows(rows):
+    return [{"patient_id": row["patient_id"], "fields": len(row)} for row in rows]
+
+
+def export_rows(store, node, dataset_id):
+    rows = store.get_records(dataset_id)
+    node.set_slot("export/" + dataset_id, anonymize_rows(rows))

@@ -1,0 +1,9 @@
+"""Corpus twin: the RPC reply interpolates only an aggregate — clean."""
+
+
+def build(registry, store):
+    def site_preview(params):
+        records = store.get_records(params["dataset_id"])
+        return {"preview": f"{len(records)} records available"}
+
+    registry.register("site.preview", site_preview)

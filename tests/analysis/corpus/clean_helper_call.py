@@ -1,0 +1,10 @@
+"""Corpus twin: the helper persists only a Merkle commitment — clean."""
+
+
+def persist(node, key, payload):
+    node.set_slot(key, payload)
+
+
+def archive_commitment(store, node, hashing, dataset_id):
+    cohort = store.get_records(dataset_id)
+    persist(node, "archive/" + dataset_id, hashing.merkle_root(cohort))

@@ -1,0 +1,10 @@
+"""Corpus: records leak via container aliasing — mutation through one name
+escapes through another bound to the same object (MED204)."""
+
+
+def stage_batch(store, node, dataset_id):
+    batch = {"dataset_id": dataset_id, "rows": []}
+    rows = batch["rows"]
+    for record in store.get_records(dataset_id):
+        rows.append(record)
+    node.set_slot("batch/" + dataset_id, batch)

@@ -1,0 +1,6 @@
+"""Corpus: raw patient records written straight into chain state (MED201)."""
+
+
+def publish_cohort(store, node, dataset_id):
+    records = store.get_records(dataset_id)
+    node.set_slot("cohort/" + dataset_id, records)

@@ -1,0 +1,14 @@
+"""Corpus: a *declared* sanitizer that provably passes the rows through
+unchanged — re-identification risk (MED205)."""
+
+
+def anonymize_rows(rows):
+    out = []
+    for row in rows:
+        out.append(row)
+    return out
+
+
+def export_rows(store, node, dataset_id):
+    rows = store.get_records(dataset_id)
+    node.set_slot("export/" + dataset_id, anonymize_rows(rows))

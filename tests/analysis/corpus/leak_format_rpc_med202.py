@@ -1,0 +1,9 @@
+"""Corpus: a patient record interpolated into an RPC reply (MED202)."""
+
+
+def build(registry, store):
+    def site_preview(params):
+        record = store.get_records(params["dataset_id"])[0]
+        return {"preview": f"first record: {record}"}
+
+    registry.register("site.preview", site_preview)

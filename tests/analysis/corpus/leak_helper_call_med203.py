@@ -1,0 +1,10 @@
+"""Corpus: records escape through an interprocedural helper (MED203)."""
+
+
+def persist(node, key, payload):
+    node.set_slot(key, payload)
+
+
+def archive_cohort(store, node, dataset_id):
+    cohort = store.get_records(dataset_id)
+    persist(node, "archive/" + dataset_id, cohort)

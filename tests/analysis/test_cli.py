@@ -87,6 +87,119 @@ class TestPathMode:
         assert main([str(tmp_path), "--no-embedded"]) == 0
 
 
+LEAKY_MODULE = (
+    "def publish(store, node):\n"
+    '    node.set_slot("k", store.get_records("d"))\n'
+)
+
+
+class TestTaintFlag:
+    def test_taint_flag_enables_med2_for_modules(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(LEAKY_MODULE)
+        assert main([str(tmp_path)]) == 0
+        assert main([str(tmp_path), "--taint"]) == 1
+
+    def test_taint_rules_listed(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("MED201", "MED202", "MED203", "MED204", "MED205"):
+            assert code in out
+
+    def test_contract_phi_leak_fails_without_flags(self, tmp_path, capsys):
+        path = tmp_path / "leaky.py"
+        path.write_text(
+            "def admit(patient_id, record):\n"
+            '    storage_set("r/" + patient_id, record)\n'
+            "    return 1\n"
+        )
+        assert main(["--contract", str(path)]) == 1
+        assert "MED201" in capsys.readouterr().out
+
+
+class TestSarifFormat:
+    def test_sarif_log_shape_and_code_flow(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text(LEAKY_MODULE)
+        artifact = tmp_path / "findings.sarif"
+        code = main(
+            [
+                str(tmp_path),
+                "--taint",
+                "--format",
+                "sarif",
+                "--output",
+                str(artifact),
+            ]
+        )
+        assert code == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"MED001", "MED102", "MED201"} <= rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "MED201"
+        assert result["level"] == "error"
+        flow = result["codeFlows"][0]["threadFlows"][0]["locations"]
+        assert "[source]" in flow[0]["location"]["message"]["text"]
+        assert "[sink]" in flow[-1]["location"]["message"]["text"]
+        assert json.loads(artifact.read_text()) == log
+
+    def test_clean_tree_sarif_has_no_results(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("def f():\n    return 1\n")
+        assert main([str(tmp_path), "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["results"] == []
+
+
+class TestBaseline:
+    def test_baseline_suppresses_recorded_findings(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text(LEAKY_MODULE)
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    str(tmp_path),
+                    "--taint",
+                    "--write-baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        assert "recorded 1 fingerprint" in capsys.readouterr().out
+        # With the baseline, the recorded finding no longer fails the run.
+        assert main([str(tmp_path), "--taint", "--baseline", str(baseline)]) == 0
+        assert "suppressed by baseline" in capsys.readouterr().out
+
+    def test_baseline_is_line_stable_but_not_symbol_stable(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(LEAKY_MODULE)
+        baseline = tmp_path / "baseline.json"
+        main([str(tmp_path), "--taint", "--write-baseline", str(baseline)])
+        # Shifting the finding to a different line keeps it suppressed...
+        path.write_text("# a comment shifting every line\n" + LEAKY_MODULE)
+        assert main([str(tmp_path), "--taint", "--baseline", str(baseline)]) == 0
+        # ...but a new finding in a different symbol still fails the run.
+        path.write_text(
+            LEAKY_MODULE
+            + "def publish_again(store, node):\n"
+            '    node.set_slot("k2", store.get_records("d"))\n'
+        )
+        assert main([str(tmp_path), "--taint", "--baseline", str(baseline)]) == 1
+
+    def test_unreadable_baseline_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text("def f():\n    return 1\n")
+        code = main(
+            [str(tmp_path), "--baseline", str(tmp_path / "absent.json")]
+        )
+        assert code == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+
 class TestUsage:
     def test_no_inputs_is_usage_error(self, capsys):
         assert main([]) == 2

@@ -1,0 +1,87 @@
+"""Corpus tests: every leak snippet flagged with exactly its MED2xx code,
+every clean twin silent, and the MED2xx pass dogfoods to zero findings on
+the repo's own tree (the zero-false-positive pin)."""
+
+import glob
+import os
+import re
+
+import pytest
+
+from repro.analysis import analyze_file, analyze_paths
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+REPO_ROOT = os.path.normpath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+
+LEAK_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "leak_*.py")))
+CLEAN_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "clean_*.py")))
+
+
+def med2_findings(path):
+    return [
+        f
+        for f in analyze_file(path, taint=True)
+        if f.code.startswith("MED2")
+    ]
+
+
+def expected_code(path):
+    """The MED2xx code encoded in the leak file's name."""
+    match = re.search(r"med(\d{3})\.py$", os.path.basename(path))
+    assert match, f"leak corpus file {path} does not encode its code"
+    return f"MED{match.group(1)}"
+
+
+class TestCorpusShape:
+    def test_one_leak_per_rule_code(self):
+        codes = sorted(expected_code(path) for path in LEAK_FILES)
+        assert codes == ["MED201", "MED202", "MED203", "MED204", "MED205"]
+
+    def test_every_leak_has_a_clean_twin(self):
+        leak_mechanisms = {
+            re.sub(r"_med\d{3}\.py$", "", os.path.basename(p))[len("leak_"):]
+            for p in LEAK_FILES
+        }
+        clean_mechanisms = {
+            os.path.basename(p)[len("clean_"):-len(".py")]
+            for p in CLEAN_FILES
+        }
+        assert leak_mechanisms == clean_mechanisms
+
+
+class TestLeakDetection:
+    @pytest.mark.parametrize(
+        "path", LEAK_FILES, ids=[os.path.basename(p) for p in LEAK_FILES]
+    )
+    def test_leak_flagged_with_exact_code(self, path):
+        findings = med2_findings(path)
+        assert [f.code for f in findings] == [expected_code(path)]
+        # Every finding carries a complete source -> ... -> sink trace.
+        assert findings[0].trace[0]["kind"] == "source"
+        assert findings[0].trace[-1]["kind"] == "sink"
+
+
+class TestCleanTwins:
+    @pytest.mark.parametrize(
+        "path", CLEAN_FILES, ids=[os.path.basename(p) for p in CLEAN_FILES]
+    )
+    def test_clean_twin_has_zero_findings(self, path):
+        assert med2_findings(path) == []
+
+
+class TestDogfood:
+    def test_zero_false_positives_on_own_tree(self):
+        result = analyze_paths(
+            [
+                os.path.join(REPO_ROOT, "src", "repro"),
+                os.path.join(REPO_ROOT, "examples"),
+            ],
+            taint=True,
+        )
+        med2 = [
+            f for f in result.findings if f.code.startswith("MED2")
+        ]
+        assert med2 == [], "\n".join(f.render() for f in med2)
+        assert result.files_analyzed > 100

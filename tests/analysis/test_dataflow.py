@@ -1,0 +1,419 @@
+"""Tests for the MED2xx interprocedural PHI taint analysis."""
+
+import ast
+import textwrap
+
+from repro.analysis import analyze_contract_source, analyze_file
+from repro.analysis.dataflow import TaintEngine, check_module, code_for_trace
+from repro.analysis.dataflow.lattice import (
+    CLEAN,
+    Level,
+    STEP_CALL,
+    STEP_FORMAT,
+    STEP_SANITIZER_BYPASS,
+    Taint,
+    TaintStep,
+)
+from repro.analysis.registry import ModuleContext
+
+
+def run_module(source):
+    """MED2xx findings for one python module source."""
+    source = textwrap.dedent(source)
+    tree = ast.parse(source)
+    ctx = ModuleContext(
+        source=source,
+        tree=tree,
+        file="mod.py",
+        package_path="repro/mod.py",
+        lines=source.splitlines(),
+    )
+    return check_module(ctx)
+
+
+def run_contract(source, **kwargs):
+    """MED2xx findings for one contract source."""
+    findings = analyze_contract_source(textwrap.dedent(source), **kwargs)
+    return [f for f in findings if f.code.startswith("MED2")]
+
+
+class TestLattice:
+    def test_join_prefers_higher_level(self):
+        tainted = Taint(level=Level.TAINTED, steps=(TaintStep("source", "x"),))
+        assert CLEAN.join(tainted).level is Level.TAINTED
+        assert tainted.join(CLEAN).level is Level.TAINTED
+
+    def test_join_tie_keeps_shorter_trace(self):
+        short = Taint(level=Level.TAINTED, steps=(TaintStep("source", "a"),))
+        long = Taint(
+            level=Level.TAINTED,
+            steps=(TaintStep("source", "b"), TaintStep("call", "c")),
+        )
+        assert long.join(short).steps == short.steps
+        assert short.join(long).steps == short.steps
+
+    def test_join_unions_params(self):
+        a = Taint(params=frozenset({"a"}))
+        b = Taint(params=frozenset({"b"}))
+        assert a.join(b).params == frozenset({"a", "b"})
+
+    def test_with_step_is_noop_on_clean(self):
+        assert CLEAN.with_step(TaintStep("format", "x")) is CLEAN
+
+    def test_code_priority(self):
+        source = TaintStep("source", "s")
+        sink = TaintStep("sink", "k")
+        assert code_for_trace((source, sink)) == "MED201"
+        assert code_for_trace((source, TaintStep(STEP_FORMAT, "f"), sink)) == "MED202"
+        assert code_for_trace((source, TaintStep(STEP_CALL, "c"), sink)) == "MED203"
+        assert (
+            code_for_trace(
+                (
+                    source,
+                    TaintStep(STEP_SANITIZER_BYPASS, "b"),
+                    TaintStep(STEP_CALL, "c"),
+                    sink,
+                )
+            )
+            == "MED205"
+        )
+
+
+class TestModuleTaint:
+    def test_direct_store_flagged(self):
+        findings = run_module(
+            """
+            def publish(store, node):
+                records = store.get_records("d")
+                node.set_slot("k", records)
+            """
+        )
+        assert [f.code for f in findings] == ["MED201"]
+        assert findings[0].symbol == "publish"
+        assert findings[0].trace[0]["kind"] == "source"
+        assert findings[0].trace[-1]["kind"] == "sink"
+
+    def test_unknown_at_sink_is_not_reported(self):
+        findings = run_module(
+            """
+            def publish(store, node, transform):
+                records = store.get_records("d")
+                blob = transform(records)
+                node.set_slot("k", blob)
+            """
+        )
+        assert findings == []
+
+    def test_digest_sanitizer_is_clean(self):
+        findings = run_module(
+            """
+            def publish(store, node, hashing):
+                records = store.get_records("d")
+                node.set_slot("k", hashing.sha256_hex(records))
+            """
+        )
+        assert findings == []
+
+    def test_aggregating_builtin_is_clean(self):
+        findings = run_module(
+            """
+            def publish(store, node):
+                records = store.get_records("d")
+                node.set_slot("k", len(records))
+            """
+        )
+        assert findings == []
+
+    def test_fstring_leak_is_med202(self):
+        findings = run_module(
+            """
+            def publish(store, span):
+                records = store.get_records("d")
+                span.set_attr("summary", f"rows: {records}")
+            """
+        )
+        assert [f.code for f in findings] == ["MED202"]
+
+    def test_propagating_reshape_keeps_taint(self):
+        findings = run_module(
+            """
+            def publish(store, node):
+                records = sorted(store.get_records("d"))
+                node.set_slot("k", list(records))
+            """
+        )
+        assert [f.code for f in findings] == ["MED201"]
+
+    def test_helper_leak_is_med203_with_full_trace(self):
+        findings = run_module(
+            """
+            def persist(node, payload):
+                node.set_slot("k", payload)
+
+            def publish(store, node):
+                cohort = store.get_records("d")
+                persist(node, cohort)
+            """
+        )
+        assert [f.code for f in findings] == ["MED203"]
+        kinds = [step["kind"] for step in findings[0].trace]
+        assert kinds[0] == "source"
+        assert "call" in kinds
+        assert kinds[-1] == "sink"
+
+    def test_safe_projection_is_clean(self):
+        findings = run_module(
+            """
+            def publish(store, node):
+                record = store.get_records("d")[0]
+                node.set_slot("k", record["patient_id"])
+            """
+        )
+        assert findings == []
+
+    def test_phi_field_projection_keeps_taint(self):
+        findings = run_module(
+            """
+            def publish(store, node):
+                record = store.get_records("d")[0]
+                node.set_slot("k", record["dob"])
+            """
+        )
+        assert [f.code for f in findings] == ["MED201"]
+
+    def test_rpc_handler_return_is_a_sink(self):
+        findings = run_module(
+            """
+            def build(registry, store):
+                def dump(params):
+                    return store.get_records(params["dataset_id"])
+
+                registry.register("site.dump", dump)
+            """
+        )
+        assert [f.code for f in findings] == ["MED201"]
+        assert "rpc response" in findings[0].message
+
+    def test_unregistered_function_return_is_not_a_sink(self):
+        findings = run_module(
+            """
+            def local_helper(store):
+                return store.get_records("d")
+            """
+        )
+        assert findings == []
+
+    def test_declared_sanitizer_from_elsewhere_is_trusted(self):
+        findings = run_module(
+            """
+            def publish(store, node, privacy):
+                records = store.get_records("d")
+                node.set_slot("k", privacy.anonymize(records))
+            """
+        )
+        assert findings == []
+
+    def test_false_local_sanitizer_is_med205(self):
+        findings = run_module(
+            """
+            def anonymize_rows(rows):
+                return rows
+
+            def publish(store, node):
+                records = store.get_records("d")
+                node.set_slot("k", anonymize_rows(records))
+            """
+        )
+        assert [f.code for f in findings] == ["MED205"]
+
+    def test_noqa_suppresses_taint_finding(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "def publish(store, node):\n"
+            '    records = store.get_records("d")\n'
+            '    node.set_slot("k", records)  # repro: noqa[MED201]\n'
+        )
+        findings = [
+            f
+            for f in analyze_file(str(path), taint=True)
+            if f.code.startswith("MED2")
+        ]
+        assert findings == []
+
+    def test_taint_off_by_default_for_modules(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "def publish(store, node):\n"
+            '    node.set_slot("k", store.get_records("d"))\n'
+        )
+        assert [
+            f for f in analyze_file(str(path)) if f.code.startswith("MED2")
+        ] == []
+        assert [
+            f.code
+            for f in analyze_file(str(path), taint=True)
+            if f.code.startswith("MED2")
+        ] == ["MED201"]
+
+
+class TestInterproceduralDepth:
+    @staticmethod
+    def _chain_source(depth):
+        lines = []
+        for index in range(depth):
+            lines.append(f"def helper{index}(node, payload):")
+            if index + 1 < depth:
+                lines.append(f"    helper{index + 1}(node, payload)")
+            else:
+                lines.append('    node.set_slot("k", payload)')
+        lines.append("def publish(store, node):")
+        lines.append('    helper0(node, store.get_records("d"))')
+        return "\n".join(lines) + "\n"
+
+    def test_chain_within_depth_is_found(self):
+        tree = ast.parse(self._chain_source(4))
+        assert len(TaintEngine(tree).run()) == 1
+
+    def test_chain_past_depth_poisons_to_unknown(self):
+        tree = ast.parse(self._chain_source(12))
+        assert TaintEngine(tree).run() == []
+
+    def test_raised_depth_resolves_deep_chain(self):
+        tree = ast.parse(self._chain_source(12))
+        assert len(TaintEngine(tree, max_depth=32).run()) == 1
+
+    def test_direct_sink_in_recursive_helper_is_still_caught(self):
+        findings = run_module(
+            """
+            def bounce(node, payload):
+                bounce(node, payload)
+                node.set_slot("k", payload)
+
+            def publish(store, node):
+                bounce(node, store.get_records("d"))
+            """
+        )
+        assert [f.code for f in findings] == ["MED203"]
+
+    def test_cyclic_only_flow_is_unknown_and_unreported(self):
+        findings = run_module(
+            """
+            def odd(payload, depth):
+                return even(payload, depth - 1)
+
+            def even(payload, depth):
+                if depth == 0:
+                    return 0
+                return odd(payload, depth - 1)
+
+            def publish(store, node):
+                node.set_slot("k", even(store.get_records("d"), 4))
+            """
+        )
+        assert findings == []
+
+
+class TestContractTaint:
+    def test_phi_param_to_storage_is_med201(self):
+        findings = run_contract(
+            """
+            def admit(patient_id, record):
+                storage_set("r/" + patient_id, record)
+                return 1
+            """
+        )
+        assert [f.code for f in findings] == ["MED201"]
+        assert findings[0].trace[0]["kind"] == "source"
+
+    def test_taint_flag_disables_the_pass(self):
+        findings = run_contract(
+            """
+            def admit(patient_id, record):
+                storage_set("r/" + patient_id, record)
+                return 1
+            """,
+            taint=False,
+        )
+        assert findings == []
+
+    def test_pseudonymous_params_are_clean(self):
+        findings = run_contract(
+            """
+            def admit(patient_id, record_hash, record_count):
+                storage_set("r/" + patient_id, record_hash)
+                storage_set("n/" + patient_id, record_count)
+                return 1
+            """
+        )
+        assert findings == []
+
+    def test_emit_and_require_are_sinks(self):
+        findings = run_contract(
+            """
+            def admit(record):
+                require(record, "missing: " + str(record))
+                emit("admitted", record)
+                return 1
+            """
+        )
+        codes = sorted({f.code for f in findings})
+        assert codes == ["MED201", "MED202"]
+
+    def test_public_return_is_a_sink_private_is_not(self):
+        findings = run_contract(
+            """
+            def _lookup(record):
+                return record
+
+            def get_count(records):
+                return len(records)
+            """
+        )
+        assert findings == []
+        findings = run_contract(
+            """
+            def echo(record):
+                return record
+            """
+        )
+        assert [f.code for f in findings] == ["MED201"]
+
+    def test_phi_prefix_escape_hatch(self):
+        findings = run_contract(
+            """
+            def stash(phi_payload):
+                storage_set("p", phi_payload)
+                return 1
+            """
+        )
+        assert [f.code for f in findings] == ["MED201"]
+
+    def test_sha256_host_digest_is_clean(self):
+        findings = run_contract(
+            """
+            def anchor(record):
+                storage_set("digest", sha256_hex(str(record)))
+                return 1
+            """
+        )
+        assert findings == []
+
+
+class TestEmbeddedLineMapping:
+    def test_embedded_contract_finding_maps_to_host_lines(self, tmp_path):
+        host = tmp_path / "library.py"
+        host.write_text(
+            "LEAKY_SOURCE = '''\n"  # line 1; contract line 1 = host line 2
+            "def admit(patient_id, record):\n"
+            '    storage_set("r/" + patient_id, record)\n'
+            "    return 1\n"
+            "'''\n"
+        )
+        findings = [
+            f
+            for f in analyze_file(str(host))
+            if f.code.startswith("MED2")
+        ]
+        assert [f.code for f in findings] == ["MED201"]
+        assert findings[0].line == 3  # host-file line of the storage_set
+        assert findings[0].trace[0]["line"] == 2  # def line in the host file

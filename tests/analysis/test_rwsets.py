@@ -182,6 +182,34 @@ class TestUnknownPoisoning:
         sets = read_write_sets("\n".join(lines) + "\n")
         assert sets["entry"].unknown
 
+    @staticmethod
+    def _chain(depth):
+        """entry -> _f0 -> ... -> _f<depth-1> -> storage_get."""
+        lines = []
+        for i in range(depth - 1):
+            lines.append(f"def _f{i}(k):")
+            lines.append(f"    return _f{i + 1}(k)")
+        lines.append(f"def _f{depth - 1}(k):")
+        lines.append('    return storage_get("x:" + k)')
+        lines.append("def entry(k):")
+        lines.append("    return _f0(k)")
+        return "\n".join(lines) + "\n"
+
+    def test_max_depth_override_resolves_deeper_chains(self):
+        source = self._chain(MAX_CALL_DEPTH + 4)
+        assert read_write_sets(source)["entry"].unknown
+        sets = read_write_sets(source, max_depth=MAX_CALL_DEPTH + 8)
+        assert not sets["entry"].unknown
+        (template,) = sets["entry"].reads
+        assert template.render() == "x:{k}"
+
+    def test_max_depth_override_poisons_shallow_chains_to_unknown(self):
+        # A chain the default cap resolves mis-resolves to *unknown* —
+        # never to a wrong template — when the cap is tightened.
+        source = self._chain(4)
+        assert not read_write_sets(source)["entry"].unknown
+        assert read_write_sets(source, max_depth=2)["entry"].unknown
+
     def test_format_spec_rejected(self):
         sets = read_write_sets(
             'def f(n):\n    return storage_get(f"x:{n:04d}")\n'

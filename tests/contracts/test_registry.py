@@ -19,6 +19,12 @@ UNBOUNDED_SOURCE = (
     "    return n\n"
 )
 
+PHI_LEAK_SOURCE = (
+    "def admit_patient(patient_id, record):\n"
+    '    storage_set("phi/" + patient_id, record)\n'
+    "    return True\n"
+)
+
 
 class FakeState:
     def __init__(self):
@@ -82,6 +88,30 @@ class TestVerifyGate:
         # Explicit verify=False overrides the registry default.
         registry.deploy("rng", NONDETERMINISTIC_SOURCE, verify=False)
         assert len(registry.node.txs) == 1
+
+    def test_phi_escaping_contract_rejected_with_taint_trace(self, registry):
+        with pytest.raises(ContractVerificationError) as excinfo:
+            registry.deploy("leaky", PHI_LEAK_SOURCE, verify=True)
+        error = excinfo.value
+        assert "MED201" in str(error)
+        (finding,) = [f for f in error.findings if f.code == "MED201"]
+        # The typed error carries the full source -> path -> sink trace.
+        kinds = [step["kind"] for step in finding.trace]
+        assert kinds[0] == "source"
+        assert kinds[-1] == "sink"
+        assert finding.trace[-1]["line"] == 2  # the storage_set line
+        assert "record" in finding.trace[0]["detail"]
+        # Nothing was signed or submitted.
+        assert registry.node.txs == []
+
+    def test_taint_false_registry_skips_the_phi_pass(self):
+        registry = ContractRegistry(
+            node=FakeNode(),
+            deployer=KeyPair.generate("deployer"),
+            taint=False,
+        )
+        tx = registry.deploy("leaky", PHI_LEAK_SOURCE, verify=True)
+        assert registry.node.txs == [tx]
 
     def test_max_gas_ceiling_enforced_at_deploy(self):
         registry = ContractRegistry(
